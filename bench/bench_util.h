@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries: standard
+ * base configuration, environment overrides, and row formatting.
+ */
+
+#ifndef DSTRANGE_BENCH_BENCH_UTIL_H
+#define DSTRANGE_BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "drstrange.h"
+
+namespace bench {
+
+/**
+ * Base configuration for all figure benches. The per-core instruction
+ * budget is scaled down from the paper's 200M-instruction SimPoints so
+ * the whole harness runs in minutes; override with DS_INSTR_BUDGET.
+ */
+inline dstrange::sim::SimConfig
+baseConfig()
+{
+    dstrange::sim::SimConfig cfg;
+    cfg.instrBudget = 200000;
+    if (const char *env = std::getenv("DS_INSTR_BUDGET"))
+        cfg.instrBudget = std::strtoull(env, nullptr, 10);
+    return cfg;
+}
+
+/** Format a ratio with 3 decimals. */
+inline std::string
+num(double v, int precision = 3)
+{
+    return dstrange::TablePrinter::num(v, precision);
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "=== " << what << " ===\n"
+              << "Reproduces: " << paper_ref << "\n\n";
+}
+
+} // namespace bench
+
+#endif // DSTRANGE_BENCH_BENCH_UTIL_H

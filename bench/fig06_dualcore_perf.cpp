@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 6: slowdown over single-core execution of non-RNG (top) and RNG
+ * (bottom) applications in dual-core workloads, for the RNG-Oblivious
+ * baseline, the Greedy Idle design, and DR-STRaNGe.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace dstrange;
+
+int
+main()
+{
+    bench::banner("Figure 6: dual-core performance",
+                  "non-RNG (top) and RNG (bottom) slowdowns vs. running "
+                  "alone; 5 Gb/s RNG app");
+
+    sim::Runner runner(bench::baseConfig());
+    const auto mixes = workloads::dualCorePlottedMixes(5120.0);
+    const sim::SystemDesign designs[] = {sim::SystemDesign::RngOblivious,
+                                         sim::SystemDesign::GreedyIdle,
+                                         sim::SystemDesign::DrStrange};
+
+    TablePrinter table;
+    table.setHeader({"workload", "obliv nonRNG", "greedy nonRNG",
+                     "drstr nonRNG", "obliv RNG", "greedy RNG",
+                     "drstr RNG"});
+
+    std::vector<double> non_rng[3], rng[3];
+    for (const auto &mix : mixes) {
+        std::vector<std::string> row{mix.apps[0]};
+        double cells[2][3];
+        for (unsigned d = 0; d < 3; ++d) {
+            const auto res = runner.run(designs[d], mix);
+            cells[0][d] = res.avgNonRngSlowdown();
+            cells[1][d] = res.rngSlowdown();
+            non_rng[d].push_back(cells[0][d]);
+            rng[d].push_back(cells[1][d]);
+        }
+        for (unsigned d = 0; d < 3; ++d)
+            row.push_back(bench::num(cells[0][d]));
+        for (unsigned d = 0; d < 3; ++d)
+            row.push_back(bench::num(cells[1][d]));
+        table.addRow(row);
+    }
+
+    std::vector<std::string> avg{"AVG"};
+    for (unsigned d = 0; d < 3; ++d)
+        avg.push_back(bench::num(mean(non_rng[d])));
+    for (unsigned d = 0; d < 3; ++d)
+        avg.push_back(bench::num(mean(rng[d])));
+    table.addRow(avg);
+    table.print(std::cout);
+
+    const double non_rng_gain =
+        (mean(non_rng[0]) - mean(non_rng[2])) / mean(non_rng[0]) * 100.0;
+    const double rng_gain =
+        (mean(rng[0]) - mean(rng[2])) / mean(rng[0]) * 100.0;
+    std::cout << "\nDR-STRaNGe vs RNG-Oblivious: non-RNG exec time "
+              << bench::num(non_rng_gain, 1) << "% lower (paper: 17.9%), "
+              << "RNG exec time " << bench::num(rng_gain, 1)
+              << "% lower (paper: 25.1%)\n";
+    return 0;
+}

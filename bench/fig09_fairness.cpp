@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 9: system fairness (unfairness index, lower is better) of
+ * dual-core workloads under the RNG-oblivious baseline, the Greedy Idle
+ * design, and DR-STRaNGe.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dstrange;
+
+int
+main()
+{
+    bench::banner("Figure 9: dual-core system fairness",
+                  "unfairness index per workload, three designs");
+
+    sim::Runner runner(bench::baseConfig());
+
+    TablePrinter t;
+    t.setHeader({"workload", "RNG-Oblivious", "Greedy", "DR-STRANGE"});
+    std::vector<double> obliv, greedy, dr;
+
+    for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
+        const double o =
+            runner.run(sim::SystemDesign::RngOblivious, mix)
+                .unfairnessIndex;
+        const double g =
+            runner.run(sim::SystemDesign::GreedyIdle, mix).unfairnessIndex;
+        const double d =
+            runner.run(sim::SystemDesign::DrStrange, mix).unfairnessIndex;
+        obliv.push_back(o);
+        greedy.push_back(g);
+        dr.push_back(d);
+        t.addRow({mix.apps[0], bench::num(o), bench::num(g),
+                  bench::num(d)});
+    }
+    t.addRow({"AVG", bench::num(mean(obliv)), bench::num(mean(greedy)),
+              bench::num(mean(dr))});
+    t.print(std::cout);
+
+    std::cout << "\nDR-STRaNGe vs RNG-Oblivious: unfairness "
+              << bench::num(
+                     (mean(obliv) - mean(dr)) / mean(obliv) * 100.0, 1)
+              << "% lower (paper: 32.1%); vs Greedy: "
+              << bench::num(
+                     (mean(greedy) - mean(dr)) / mean(greedy) * 100.0, 1)
+              << "% lower (paper: 15.2%).\n";
+    return 0;
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Full command-line simulator front-end: configure a workload mix,
+ * system design, TRNG mechanism and controller parameters, run the
+ * simulation, and print human-readable or JSON results.
+ *
+ * Usage:
+ *   drstrange_sim [options]
+ *     --design NAME       oblivious|greedy|drstrange|drstrange-rl|
+ *                         drstrange-nopred|rng-aware|frfcfs|bliss
+ *     --apps a,b,c        non-RNG applications (default soplex)
+ *     --trace FILE        add a core driven by a trace file (repeatable)
+ *     --rng-mbps N        RNG app required throughput (default 5120; 0=off)
+ *     --mechanism NAME    drange|quac (default drange)
+ *     --hybrid-fill NAME  distinct fill mechanism (hybrid design)
+ *     --buffer N          buffer entries (default 16)
+ *     --partitions N      buffer partitions (default 0 = shared)
+ *     --powerdown N       power-down idle threshold cycles (default 0)
+ *     --budget N          instructions per core (default 200000)
+ *     --priorities a,b,.. per-core OS priorities
+ *     --seed N            master seed (default 1)
+ *     --json              machine-readable output
+ */
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "common/json_writer.h"
+#include "drstrange.h"
+#include "workloads/trace_file.h"
+
+using namespace dstrange;
+
+namespace {
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(csv);
+    std::string item;
+    while (std::getline(iss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+bool
+parseDesign(const std::string &name, sim::SystemDesign &out)
+{
+    if (name == "oblivious")
+        out = sim::SystemDesign::RngOblivious;
+    else if (name == "greedy")
+        out = sim::SystemDesign::GreedyIdle;
+    else if (name == "drstrange")
+        out = sim::SystemDesign::DrStrange;
+    else if (name == "drstrange-rl")
+        out = sim::SystemDesign::DrStrangeRl;
+    else if (name == "drstrange-nopred")
+        out = sim::SystemDesign::DrStrangeNoPred;
+    else if (name == "rng-aware")
+        out = sim::SystemDesign::RngAwareNoBuffer;
+    else if (name == "frfcfs")
+        out = sim::SystemDesign::FrFcfsBaseline;
+    else if (name == "bliss")
+        out = sim::SystemDesign::BlissBaseline;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseMechanism(const std::string &name, trng::TrngMechanism &out)
+{
+    if (name == "drange")
+        out = trng::TrngMechanism::dRange();
+    else if (name == "quac")
+        out = trng::TrngMechanism::quacTrng();
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::SimConfig cfg;
+    cfg.instrBudget = 200000;
+    sim::SystemDesign design = sim::SystemDesign::DrStrange;
+    std::vector<std::string> apps;
+    std::vector<std::string> trace_files;
+    double rng_mbps = 5120.0;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_arg = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " requires an argument\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--design") {
+            if (!parseDesign(next_arg("--design"), design)) {
+                std::cerr << "unknown design\n";
+                return 1;
+            }
+        } else if (arg == "--apps") {
+            apps = splitCsv(next_arg("--apps"));
+        } else if (arg == "--trace") {
+            trace_files.push_back(next_arg("--trace"));
+        } else if (arg == "--rng-mbps") {
+            rng_mbps = std::stod(next_arg("--rng-mbps"));
+        } else if (arg == "--mechanism") {
+            if (!parseMechanism(next_arg("--mechanism"), cfg.mechanism)) {
+                std::cerr << "unknown mechanism\n";
+                return 1;
+            }
+        } else if (arg == "--hybrid-fill") {
+            trng::TrngMechanism fill;
+            if (!parseMechanism(next_arg("--hybrid-fill"), fill)) {
+                std::cerr << "unknown fill mechanism\n";
+                return 1;
+            }
+            cfg.fillMechanism = fill;
+        } else if (arg == "--buffer") {
+            cfg.bufferEntries =
+                static_cast<unsigned>(std::stoul(next_arg("--buffer")));
+        } else if (arg == "--partitions") {
+            cfg.bufferPartitions = static_cast<unsigned>(
+                std::stoul(next_arg("--partitions")));
+        } else if (arg == "--powerdown") {
+            cfg.powerDownThreshold = std::stoull(next_arg("--powerdown"));
+        } else if (arg == "--budget") {
+            cfg.instrBudget = std::stoull(next_arg("--budget"));
+        } else if (arg == "--priorities") {
+            for (const auto &p : splitCsv(next_arg("--priorities")))
+                cfg.priorities.push_back(std::stoi(p));
+        } else if (arg == "--seed") {
+            cfg.seed = std::stoull(next_arg("--seed"));
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "see the header comment of examples/"
+                         "drstrange_sim.cpp for options\n";
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return 1;
+        }
+    }
+    if (apps.empty() && trace_files.empty())
+        apps = {"soplex"};
+
+    // Build the system directly so trace-file cores can join.
+    cfg.design = design;
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+    CoreId core = 0;
+    for (const std::string &app : apps) {
+        try {
+            traces.push_back(std::make_unique<workloads::SyntheticTrace>(
+                workloads::appByName(app), cfg.geometry, core++,
+                cfg.seed));
+        } catch (const std::out_of_range &) {
+            std::cerr << "unknown application: " << app << "\n";
+            return 1;
+        }
+    }
+    for (const std::string &path : trace_files) {
+        try {
+            traces.push_back(
+                std::make_unique<workloads::TraceFileSource>(path));
+        } catch (const std::exception &e) {
+            std::cerr << "trace load failed: " << e.what() << "\n";
+            return 1;
+        }
+    }
+    core = static_cast<CoreId>(traces.size());
+    const bool has_rng = rng_mbps > 0.0;
+    if (has_rng) {
+        traces.push_back(std::make_unique<workloads::RngBenchmark>(
+            rng_mbps, cfg.geometry, cfg.seed + core));
+    }
+
+    sim::System sys(cfg, std::move(traces));
+    sys.run();
+
+    double energy_nj = 0.0;
+    for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
+        energy_nj += sim::channelEnergy(
+                         cfg.timings, sys.mc().channel(ch).energyCounters())
+                         .total();
+    }
+    const auto &mcs = sys.mc().stats();
+
+    if (json) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("design").value(sim::designName(design));
+        w.key("mechanism").value(cfg.mechanism.name);
+        w.key("busCycles").value(sys.busCycles());
+        w.key("energy_nJ").value(energy_nj);
+        w.key("bufferServeRate").value(mcs.bufferServeRate());
+        if (auto ps = sys.mc().predictorStats())
+            w.key("predictorAccuracy").value(ps->accuracy());
+        w.key("cores").beginArray();
+        for (unsigned i = 0; i < sys.numCores(); ++i) {
+            const auto &s = sys.coreStats(i);
+            w.beginObject();
+            w.key("app").value(sys.traceName(i));
+            w.key("instructions").value(s.instrRetired);
+            w.key("cpuCycles").value(s.finishCycle);
+            w.key("ipc").value(s.ipc());
+            w.key("mcpi").value(s.mcpi());
+            w.key("rngRequests").value(s.rngRequests);
+            w.key("finished").value(s.finished);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::cout << w.str() << "\n";
+        return 0;
+    }
+
+    std::cout << "design: " << sim::designName(design)
+              << "  mechanism: " << cfg.mechanism.name;
+    if (cfg.fillMechanism)
+        std::cout << " (fill: " << cfg.fillMechanism->name << ")";
+    std::cout << "\nbus cycles: " << sys.busCycles()
+              << "  energy: " << energy_nj / 1000.0 << " uJ"
+              << "  buffer serve rate: " << mcs.bufferServeRate() << "\n\n";
+
+    TablePrinter t;
+    t.setHeader({"core", "app", "instr", "cpu cycles", "IPC", "MCPI",
+                 "rng reqs"});
+    for (unsigned i = 0; i < sys.numCores(); ++i) {
+        const auto &s = sys.coreStats(i);
+        t.addRow({std::to_string(i), sys.traceName(i),
+                  std::to_string(s.instrRetired),
+                  std::to_string(s.finishCycle),
+                  TablePrinter::num(s.ipc()), TablePrinter::num(s.mcpi()),
+                  std::to_string(s.rngRequests)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Scheduler explorer: run one workload mix of your choice across every
+ * system design and print the full metric set — a small research
+ * playground on top of the public API.
+ *
+ * Usage: scheduler_explorer [app ...] [rng_mbps]
+ *   e.g. scheduler_explorer mcf ycsb2 5120
+ * Defaults to "soplex 5120".
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "drstrange.h"
+
+using namespace dstrange;
+
+int
+main(int argc, char **argv)
+{
+    workloads::WorkloadSpec spec;
+    spec.rngThroughputMbps = 5120.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        char *end = nullptr;
+        const double mbps = std::strtod(arg.c_str(), &end);
+        if (end && *end == '\0') {
+            spec.rngThroughputMbps = mbps;
+        } else {
+            try {
+                workloads::appByName(arg);
+            } catch (const std::out_of_range &) {
+                std::cerr << "unknown application: " << arg << "\n"
+                          << "known applications:";
+                for (const auto &p : workloads::appTable())
+                    std::cerr << " " << p.name;
+                std::cerr << "\n";
+                return 1;
+            }
+            spec.apps.push_back(arg);
+        }
+    }
+    if (spec.apps.empty())
+        spec.apps = {"soplex"};
+    spec.name = "custom";
+
+    sim::SimConfig cfg;
+    cfg.instrBudget = 150000;
+    sim::Runner runner(cfg);
+
+    std::cout << "Workload:";
+    for (const auto &a : spec.apps)
+        std::cout << " " << a;
+    if (spec.rngThroughputMbps > 0)
+        std::cout << " + RNG app @" << spec.rngThroughputMbps << " Mb/s";
+    std::cout << "\n\n";
+
+    TablePrinter t;
+    t.setHeader({"design", "non-RNG sd", "RNG sd", "unfairness",
+                 "serve rate", "pred acc", "energy(uJ)", "bus cycles"});
+
+    for (sim::SystemDesign d : {sim::SystemDesign::FrFcfsBaseline,
+                                sim::SystemDesign::RngOblivious,
+                                sim::SystemDesign::BlissBaseline,
+                                sim::SystemDesign::RngAwareNoBuffer,
+                                sim::SystemDesign::GreedyIdle,
+                                sim::SystemDesign::DrStrangeNoPred,
+                                sim::SystemDesign::DrStrangeNoLowUtil,
+                                sim::SystemDesign::DrStrange,
+                                sim::SystemDesign::DrStrangeRl}) {
+        const auto res = runner.run(d, spec);
+        t.addRow({sim::designName(d),
+                  TablePrinter::num(res.avgNonRngSlowdown()),
+                  TablePrinter::num(res.rngSlowdown()),
+                  TablePrinter::num(res.unfairnessIndex),
+                  TablePrinter::num(res.bufferServeRate),
+                  res.predictorAccuracy < 0
+                      ? "-"
+                      : TablePrinter::num(res.predictorAccuracy),
+                  TablePrinter::num(res.energyNj / 1000.0, 1),
+                  std::to_string(res.busCycles)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,90 @@
+#include "api/random_device.h"
+
+#include <cmath>
+
+namespace dstrange::api {
+
+RandomDevice::RandomDevice() : RandomDevice(Config{})
+{
+}
+
+RandomDevice::RandomDevice(const Config &config)
+    : cfg(config), entropy(mix64(config.seed) ^ 0xfeed)
+{
+    sim::SimConfig sc;
+    sc.design = cfg.design;
+    sc.mechanism = cfg.mechanism;
+    sc.bufferEntries = cfg.bufferEntries;
+    sc.seed = cfg.seed;
+    mc = std::make_unique<mem::MemoryController>(
+        sim::mcConfigFor(sc), timings, geometry, cfg.mechanism,
+        /*num_cores=*/1);
+    mc->setCompletionCallback(
+        [this](CoreId, std::uint64_t, mem::ReqType) { completions++; });
+}
+
+void
+RandomDevice::tick()
+{
+    mc->tick(now);
+    now++;
+}
+
+RandomDevice::Result
+RandomDevice::getRandom(std::size_t n_bytes)
+{
+    Result res;
+    const std::uint64_t words =
+        std::max<std::uint64_t>(1, (n_bytes * 8 + 63) / 64);
+
+    const Cycle start = now;
+    const std::uint64_t buffer_hits_before =
+        mc->stats().rngServedFromBuffer;
+
+    std::uint64_t submitted = 0;
+    const std::uint64_t target = completions + words;
+    while (completions < target) {
+        if (submitted < words) {
+            mem::Request req;
+            req.type = mem::ReqType::Rng;
+            req.core = 0;
+            req.token = nextToken;
+            if (mc->enqueue(req, now)) {
+                nextToken++;
+                submitted++;
+            }
+        }
+        tick();
+    }
+
+    res.bytes = entropy.nextBytes(n_bytes);
+    res.latencyNs =
+        static_cast<double>(now - start) * timings.tCKns;
+    res.servedFromBuffer =
+        mc->stats().rngServedFromBuffer - buffer_hits_before == words;
+    return res;
+}
+
+void
+RandomDevice::idle(double ns)
+{
+    const auto cycles =
+        static_cast<Cycle>(std::ceil(ns / timings.tCKns));
+    for (Cycle i = 0; i < cycles; ++i)
+        tick();
+}
+
+double
+RandomDevice::bufferLevelBits() const
+{
+    const strange::BufferSet *buf = mc->buffer();
+    return buf ? buf->levelBits() : 0.0;
+}
+
+double
+RandomDevice::elapsedNs() const
+{
+    return static_cast<double>(now) * timings.tCKns;
+}
+
+} // namespace dstrange::api

@@ -1,0 +1,138 @@
+#include "common/json_writer.h"
+
+#include <cstdio>
+
+namespace dstrange {
+
+void
+JsonWriter::comma()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return; // Value follows its key; no comma.
+    }
+    if (!needComma.empty()) {
+        if (needComma.back())
+            out << ',';
+        needComma.back() = true;
+    }
+}
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            escaped += "\\\"";
+            break;
+          case '\\':
+            escaped += "\\\\";
+            break;
+          case '\n':
+            escaped += "\\n";
+            break;
+          case '\t':
+            escaped += "\\t";
+            break;
+          default:
+            escaped += c;
+        }
+    }
+    return escaped;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out << '{';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out << '}';
+    needComma.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    out << '[';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out << ']';
+    needComma.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    comma();
+    out << '"' << escape(name) << "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    comma();
+    out << '"' << escape(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", number);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    comma();
+    out << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    comma();
+    out << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    comma();
+    out << (flag ? "true" : "false");
+    return *this;
+}
+
+} // namespace dstrange

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal JSON emitter for machine-readable experiment results (used by
+ * the CLI simulator's --json output). Write-only, no parsing.
+ */
+
+#ifndef DSTRANGE_COMMON_JSON_WRITER_H
+#define DSTRANGE_COMMON_JSON_WRITER_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dstrange {
+
+/** Streaming JSON writer with automatic comma placement. */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object key; must be followed by a value or begin*(). */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+
+    /** Render the accumulated document. */
+    std::string str() const { return out.str(); }
+
+  private:
+    void comma();
+    static std::string escape(const std::string &text);
+
+    std::ostringstream out;
+    std::vector<bool> needComma; ///< Per nesting level.
+    bool pendingKey = false;
+};
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_JSON_WRITER_H

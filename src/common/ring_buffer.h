@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring buffer. Used for the random number buffer, the
+ * RL predictor's idle-period history, and bounded bookkeeping queues.
+ */
+
+#ifndef DSTRANGE_COMMON_RING_BUFFER_H
+#define DSTRANGE_COMMON_RING_BUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace dstrange {
+
+/**
+ * A bounded FIFO with O(1) push/pop and stable capacity. Unlike
+ * std::deque it never allocates after construction, which keeps the
+ * per-cycle simulator loop allocation-free.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity)
+        : slots(capacity), head(0), count(0)
+    {
+        assert(capacity > 0 && "ring buffer needs non-zero capacity");
+    }
+
+    /** Number of elements currently stored. */
+    std::size_t size() const { return count; }
+
+    /** Maximum number of elements. */
+    std::size_t capacity() const { return slots.size(); }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == slots.size(); }
+
+    /**
+     * Append an element at the back.
+     * @retval true on success, false if the buffer is full.
+     */
+    bool
+    push(const T &value)
+    {
+        if (full())
+            return false;
+        slots[(head + count) % slots.size()] = value;
+        ++count;
+        return true;
+    }
+
+    /** Oldest element. @pre !empty() */
+    const T &
+    front() const
+    {
+        assert(!empty());
+        return slots[head];
+    }
+
+    /** Remove the oldest element. @pre !empty() */
+    void
+    pop()
+    {
+        assert(!empty());
+        head = (head + 1) % slots.size();
+        --count;
+    }
+
+    /** Random access from the front (0 == oldest). @pre i < size() */
+    const T &
+    at(std::size_t i) const
+    {
+        assert(i < count);
+        return slots[(head + i) % slots.size()];
+    }
+
+    /** Drop all elements. */
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<T> slots;
+    std::size_t head;
+    std::size_t count;
+};
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_RING_BUFFER_H

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic pseudo-random generators used for workload synthesis and
+ * for simulating physical entropy. All simulator randomness flows through
+ * these so that every experiment is bit-reproducible.
+ */
+
+#ifndef DSTRANGE_COMMON_RNG_H
+#define DSTRANGE_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace dstrange {
+
+/**
+ * SplitMix64: a tiny, high-quality 64-bit mixer. Used to seed other
+ * generators and for cheap stateless hashing.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Return the next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/** Stateless 64-bit hash with the same mixing function as SplitMix64. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * xoshiro256**: fast all-purpose generator with 256-bit state. This is the
+ * simulator's stand-in for the physical entropy harvested from DRAM timing
+ * failures (see trng/entropy_source.h) and the driver of all synthetic
+ * trace generation.
+ */
+class Xoshiro256ss
+{
+  public:
+    explicit Xoshiro256ss(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s)
+            word = sm.next();
+    }
+
+    /** Return the next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Lemire-style multiply-shift reduction; the tiny bias is
+        // irrelevant for simulation and keeps the draw branch-free.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /**
+     * Sample a geometric number of trials-before-success with the given
+     * mean. Used to draw "compute instructions until the next memory
+     * access" so that request interarrivals are memoryless.
+     */
+    std::uint64_t
+    nextGeometric(double mean)
+    {
+        if (mean <= 0.0)
+            return 0;
+        const double p = 1.0 / (mean + 1.0);
+        double u = nextDouble();
+        if (u > 0.999999999999)
+            u = 0.999999999999;
+        return static_cast<std::uint64_t>(
+            std::floor(std::log1p(-u) / std::log1p(-p)));
+    }
+
+    /** true with the given probability. */
+    bool
+    nextBool(double probability)
+    {
+        return nextDouble() < probability;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_RNG_H

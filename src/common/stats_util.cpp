@@ -1,0 +1,66 @@
+#include "common/stats_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dstrange {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    if (p <= 0.0)
+        return values.front();
+    if (p >= 1.0)
+        return values.back();
+    const double pos = p * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+BoxSummary
+boxSummary(const std::vector<double> &values)
+{
+    BoxSummary box;
+    if (values.empty())
+        return box;
+    std::vector<double> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+    box.min = sorted.front();
+    box.max = sorted.back();
+    box.q1 = percentile(sorted, 0.25);
+    box.median = percentile(sorted, 0.50);
+    box.q3 = percentile(sorted, 0.75);
+    const double fence = box.q3 + 1.5 * (box.q3 - box.q1);
+    for (auto it = sorted.rbegin(); it != sorted.rend() && *it > fence; ++it)
+        ++box.highOutliers;
+    return box;
+}
+
+} // namespace dstrange

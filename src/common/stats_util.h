@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small statistics helpers used by the metrics layer and the benchmark
+ * harness: means, medians, quartiles and box-plot summaries matching the
+ * paper's figures.
+ */
+
+#ifndef DSTRANGE_COMMON_STATS_UTIL_H
+#define DSTRANGE_COMMON_STATS_UTIL_H
+
+#include <vector>
+
+namespace dstrange {
+
+/** Five-number box-plot summary plus outlier count (1.5 IQR rule). */
+struct BoxSummary
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    /** Values above q3 + 1.5*(q3-q1), as the paper's Figure 2 marks. */
+    std::size_t highOutliers = 0;
+};
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean; 0 for an empty input. @pre all values > 0 */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Linear-interpolation percentile.
+ * @param values sample set (copied and sorted internally)
+ * @param p percentile in [0, 1]
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Compute the box-plot summary of a sample set. */
+BoxSummary boxSummary(const std::vector<double> &values);
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_STATS_UTIL_H

@@ -1,0 +1,66 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dstrange {
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    headerRow = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::size_t n_cols = headerRow.size();
+    for (const auto &row : rows)
+        n_cols = std::max(n_cols, row.size());
+
+    std::vector<std::size_t> widths(n_cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    widen(headerRow);
+    for (const auto &row : rows)
+        widen(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < n_cols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cell;
+        }
+        os << '\n';
+    };
+
+    if (!headerRow.empty()) {
+        emit(headerRow);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace dstrange

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal fixed-width table printer for the benchmark harness, so that
+ * every bench binary emits the paper's rows/series in a uniform format.
+ */
+
+#ifndef DSTRANGE_COMMON_TABLE_PRINTER_H
+#define DSTRANGE_COMMON_TABLE_PRINTER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dstrange {
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ * Numeric helpers format with a fixed precision so series are easy to
+ * compare against the paper's figures.
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row. Rows may be ragged; short rows are padded. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render the table to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_TABLE_PRINTER_H

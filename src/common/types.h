@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every subsystem.
+ */
+
+#ifndef DSTRANGE_COMMON_TYPES_H
+#define DSTRANGE_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace dstrange {
+
+/** A point in time or a duration, measured in DRAM bus cycles (800 MHz). */
+using Cycle = std::uint64_t;
+
+/** A point in time or a duration, measured in CPU cycles (4 GHz). */
+using CpuCycle = std::uint64_t;
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a core (and of the application pinned to it). */
+using CoreId = std::uint32_t;
+
+/** Number of CPU cycles that elapse per DRAM bus cycle (4 GHz / 800 MHz). */
+inline constexpr unsigned kCpuCyclesPerBusCycle = 5;
+
+/** DRAM bus frequency in Hz (DDR3-1600: 800 MHz bus clock). */
+inline constexpr double kBusFreqHz = 800e6;
+
+/** CPU core frequency in Hz. */
+inline constexpr double kCpuFreqHz = 4e9;
+
+/** Cache-line size in bytes; all memory requests are one line. */
+inline constexpr unsigned kLineBytes = 64;
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_TYPES_H

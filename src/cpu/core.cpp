@@ -1,0 +1,141 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dstrange::cpu {
+
+Core::Core(CoreId id, const Config &config, TraceSource &trace_source,
+           mem::MemoryController &mem_ctrl)
+    : coreId(id), cfg(config), trace(trace_source), mc(mem_ctrl)
+{
+    fetchNextOp();
+}
+
+void
+Core::fetchNextOp()
+{
+    currentOp = trace.next();
+    computeLeft = currentOp.computeInstrs;
+    opPending = true;
+}
+
+void
+Core::tickBusCycle(Cycle bus_cycle)
+{
+    currentBusCycle = bus_cycle;
+    for (unsigned i = 0; i < kCpuCyclesPerBusCycle; ++i)
+        cpuTick();
+}
+
+void
+Core::onCompletion(std::uint64_t token)
+{
+    if (rngBlocked && token == rngBlockToken)
+        rngBlocked = false;
+    // Completions arrive roughly in order; the matching entry is near the
+    // front of the (small) pending list.
+    for (PendingMemOp &op : memOps) {
+        if (op.instrIdx == token && !op.done) {
+            op.done = true;
+            return;
+        }
+    }
+    assert(false && "completion token does not match any pending op");
+}
+
+void
+Core::cpuTick()
+{
+    cpuCycles++;
+
+    // ---- Retire stage -------------------------------------------------
+    // Retirement cannot pass the oldest incomplete memory operation.
+    std::uint64_t retire_limit = issuedIdx;
+    bool head_blocked_rng = false;
+    bool head_blocked = false;
+    for (const PendingMemOp &op : memOps) {
+        if (!op.done) {
+            retire_limit = op.instrIdx;
+            head_blocked = retire_limit == retiredIdx;
+            head_blocked_rng = op.isRng;
+            break;
+        }
+    }
+
+    const std::uint64_t retire_to =
+        std::min(retiredIdx + cfg.issueWidth, retire_limit);
+    const std::uint64_t retired_now = retire_to - retiredIdx;
+    retiredIdx = retire_to;
+
+    // Drop completed memory ops that have fully retired.
+    while (!memOps.empty() && memOps.front().done &&
+           memOps.front().instrIdx < retiredIdx) {
+        memOps.pop_front();
+    }
+
+    if (!statistics.finished) {
+        statistics.instrRetired = std::min(retiredIdx, cfg.instrBudget);
+        if (retired_now == 0 && head_blocked) {
+            statistics.memStallCycles++;
+            if (head_blocked_rng)
+                statistics.rngStallCycles++;
+        }
+        if (retiredIdx >= cfg.instrBudget) {
+            statistics.finished = true;
+            statistics.finishCycle = cpuCycles;
+        }
+    }
+
+    // ---- Issue stage ---------------------------------------------------
+    unsigned inserted = 0;
+    while (inserted < cfg.issueWidth) {
+        if (rngBlocked)
+            break; // Waiting on a random number the next code consumes.
+        const std::uint64_t in_window = issuedIdx - retiredIdx;
+        if (in_window >= cfg.windowSize)
+            break; // Window full.
+
+        if (computeLeft > 0) {
+            const std::uint64_t take = std::min<std::uint64_t>(
+                {computeLeft, cfg.issueWidth - inserted,
+                 cfg.windowSize - in_window});
+            computeLeft -= take;
+            issuedIdx += take;
+            inserted += static_cast<unsigned>(take);
+            continue;
+        }
+
+        // The operation part of the current trace element.
+        assert(opPending);
+        mem::Request req;
+        req.type = currentOp.type;
+        req.addr = currentOp.addr;
+        req.core = coreId;
+        req.token = issuedIdx;
+        if (!mc.enqueue(req, currentBusCycle))
+            break; // Queue full: re-try next cycle (frontend stall).
+
+        if (currentOp.type == mem::ReqType::Read) {
+            memOps.push_back({issuedIdx, false, false});
+            if (!statistics.finished)
+                statistics.reads++;
+        } else if (currentOp.type == mem::ReqType::Rng) {
+            memOps.push_back({issuedIdx, false, true});
+            rngBlocked = true;
+            rngBlockToken = issuedIdx;
+            if (!statistics.finished)
+                statistics.rngRequests++;
+        } else {
+            // Writes are posted: they commit via the write queue and do
+            // not block retirement.
+            if (!statistics.finished)
+                statistics.writes++;
+        }
+        issuedIdx++;
+        inserted++;
+        fetchNextOp();
+    }
+}
+
+} // namespace dstrange::cpu

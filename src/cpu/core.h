@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Trace-driven core model: a 128-entry instruction window with 3-wide
+ * in-order retire and out-of-order memory completion, the standard
+ * Ramulator-style core used by the paper (Table 1: 4 GHz, 3-wide issue,
+ * 128-entry instruction window).
+ */
+
+#ifndef DSTRANGE_CPU_CORE_H
+#define DSTRANGE_CPU_CORE_H
+
+#include <deque>
+#include <string>
+
+#include "common/types.h"
+#include "cpu/trace_source.h"
+#include "mem/memory_controller.h"
+
+namespace dstrange::cpu {
+
+/** Per-core performance counters. Frozen once the budget is retired. */
+struct CoreStats
+{
+    std::uint64_t instrRetired = 0;
+    CpuCycle finishCycle = 0; ///< CPU cycle the budget completed.
+    /** Cycles retirement was blocked by a pending memory operation at
+     *  the window head. */
+    CpuCycle memStallCycles = 0;
+    /** Subset of memStallCycles where the blocking operation was an RNG
+     *  request. */
+    CpuCycle rngStallCycles = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rngRequests = 0;
+    bool finished = false;
+
+    /** Instructions per CPU cycle over the measured region. */
+    double
+    ipc() const
+    {
+        return finishCycle == 0 ? 0.0
+                                : static_cast<double>(instrRetired) /
+                                      static_cast<double>(finishCycle);
+    }
+
+    /** Memory stall cycles per instruction (the paper's MCPI). */
+    double
+    mcpi() const
+    {
+        return instrRetired == 0 ? 0.0
+                                 : static_cast<double>(memStallCycles) /
+                                       static_cast<double>(instrRetired);
+    }
+};
+
+/**
+ * One simulated core running one application trace. The window is
+ * modelled with absolute instruction indices: instructions [retiredIdx,
+ * issuedIdx) are in flight, bounded by the window size; retirement
+ * cannot pass the oldest incomplete memory operation.
+ */
+class Core
+{
+  public:
+    struct Config
+    {
+        unsigned windowSize = 128;
+        unsigned issueWidth = 3;
+        std::uint64_t instrBudget = 300000;
+    };
+
+    Core(CoreId id, const Config &config, TraceSource &trace,
+         mem::MemoryController &mc);
+
+    /** Advance one DRAM bus cycle (= kCpuCyclesPerBusCycle CPU cycles). */
+    void tickBusCycle(Cycle bus_cycle);
+
+    /** Completion callback for reads and RNG requests. */
+    void onCompletion(std::uint64_t token);
+
+    const CoreStats &stats() const { return statistics; }
+    bool finished() const { return statistics.finished; }
+    CoreId id() const { return coreId; }
+    const std::string &traceName() const { return trace.name(); }
+
+  private:
+    void cpuTick();
+    void fetchNextOp();
+
+    CoreId coreId;
+    Config cfg;
+    TraceSource &trace;
+    mem::MemoryController &mc;
+
+    /** Pending (not yet completed) loads/RNG ops in the window. */
+    struct PendingMemOp
+    {
+        std::uint64_t instrIdx;
+        bool done;
+        bool isRng;
+    };
+
+    std::uint64_t issuedIdx = 0;
+    std::uint64_t retiredIdx = 0;
+    std::deque<PendingMemOp> memOps;
+
+    /**
+     * Token of an outstanding RNG request that blocks further issue.
+     * The paper's RNG applications consume each random number
+     * immediately (Section 3: later instructions depend on the generated
+     * value), so the frontend stalls until the request is served.
+     */
+    std::uint64_t rngBlockToken = 0;
+    bool rngBlocked = false;
+
+    TraceOp currentOp{};
+    std::uint64_t computeLeft = 0;
+    bool opPending = false;
+
+    CpuCycle cpuCycles = 0;
+    Cycle currentBusCycle = 0;
+    CoreStats statistics;
+};
+
+} // namespace dstrange::cpu
+
+#endif // DSTRANGE_CPU_CORE_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace interface between workload generators and the core model. A
+ * trace is a stream of operations, each consisting of a number of
+ * compute instructions followed by one memory or RNG operation —
+ * the same shape as Ramulator's core traces.
+ */
+
+#ifndef DSTRANGE_CPU_TRACE_SOURCE_H
+#define DSTRANGE_CPU_TRACE_SOURCE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "mem/request.h"
+
+namespace dstrange::cpu {
+
+/** One trace element: compute bubbles, then one operation. */
+struct TraceOp
+{
+    /** Compute instructions retired before the operation. */
+    std::uint64_t computeInstrs = 0;
+    mem::ReqType type = mem::ReqType::Read;
+    Addr addr = 0;
+};
+
+/** Infinite operation stream; generators synthesize on the fly. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next trace element. */
+    virtual TraceOp next() = 0;
+
+    /** Human-readable workload name (for reports). */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace dstrange::cpu
+
+#endif // DSTRANGE_CPU_TRACE_SOURCE_H

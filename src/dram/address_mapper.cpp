@@ -1,0 +1,38 @@
+#include "dram/address_mapper.h"
+
+#include <cassert>
+
+namespace dstrange::dram {
+
+AddressMapper::AddressMapper(const DramGeometry &geometry) : geom(geometry)
+{
+    assert(geom.channels > 0 && geom.banksPerRank > 0 &&
+           geom.rowsPerBank > 0 && geom.rowBytes >= kLineBytes);
+}
+
+DramCoord
+AddressMapper::decode(Addr addr) const
+{
+    std::uint64_t line = addr / kLineBytes;
+    DramCoord coord;
+    coord.channel = static_cast<unsigned>(line % geom.channels);
+    line /= geom.channels;
+    coord.col = static_cast<unsigned>(line % geom.colsPerRow());
+    line /= geom.colsPerRow();
+    coord.bank = static_cast<unsigned>(line % geom.banksPerRank);
+    line /= geom.banksPerRank;
+    coord.row = static_cast<unsigned>(line % geom.rowsPerBank);
+    return coord;
+}
+
+Addr
+AddressMapper::encode(const DramCoord &coord) const
+{
+    std::uint64_t line = coord.row;
+    line = line * geom.banksPerRank + coord.bank;
+    line = line * geom.colsPerRow() + coord.col;
+    line = line * geom.channels + coord.channel;
+    return line * kLineBytes;
+}
+
+} // namespace dstrange::dram

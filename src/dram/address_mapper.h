@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Physical address to DRAM coordinate translation.
+ */
+
+#ifndef DSTRANGE_DRAM_ADDRESS_MAPPER_H
+#define DSTRANGE_DRAM_ADDRESS_MAPPER_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dstrange::dram {
+
+/** Geometry of the simulated main memory (Table 1 defaults). */
+struct DramGeometry
+{
+    unsigned channels = 4;
+    unsigned ranksPerChannel = 1;
+    unsigned banksPerRank = 8;
+    unsigned rowsPerBank = 65536;
+    unsigned rowBytes = 8192;
+
+    /** Cache lines per row. */
+    unsigned colsPerRow() const { return rowBytes / kLineBytes; }
+
+    /** Total capacity in bytes. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(channels) * ranksPerChannel *
+               banksPerRank * rowsPerBank * rowBytes;
+    }
+};
+
+/** DRAM coordinates of one cache-line request. */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned bank = 0;
+    unsigned row = 0;
+    unsigned col = 0;
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return channel == o.channel && bank == o.bank && row == o.row &&
+               col == o.col;
+    }
+};
+
+/**
+ * Row:Bank:Column:Channel mapping (channel interleaved at cache-line
+ * granularity) — the high-bandwidth mapping typical of Ramulator setups,
+ * which lets streaming applications use all channels.
+ */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(const DramGeometry &geometry);
+
+    /** Translate a byte address into DRAM coordinates. */
+    DramCoord decode(Addr addr) const;
+
+    /** Inverse of decode(); returns the base address of the line. */
+    Addr encode(const DramCoord &coord) const;
+
+    const DramGeometry &geometry() const { return geom; }
+
+  private:
+    DramGeometry geom;
+};
+
+} // namespace dstrange::dram
+
+#endif // DSTRANGE_DRAM_ADDRESS_MAPPER_H

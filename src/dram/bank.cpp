@@ -1,0 +1,71 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dstrange::dram {
+
+Bank::Bank(const DramTimings &timings) : t(timings)
+{
+}
+
+Cycle
+Bank::earliestIssue(DramCmd cmd) const
+{
+    switch (cmd) {
+      case DramCmd::Act:
+        return actReadyAt;
+      case DramCmd::Rd:
+      case DramCmd::Wr:
+        return colReadyAt;
+      case DramCmd::Pre:
+        return preReadyAt;
+      case DramCmd::Ref:
+        return actReadyAt; // Rank-scope; bank only needs to be closed.
+    }
+    return 0;
+}
+
+void
+Bank::issue(DramCmd cmd, Cycle now, std::int64_t row)
+{
+    assert(canIssue(cmd, now));
+    switch (cmd) {
+      case DramCmd::Act:
+        assert(!isOpen() && row != kNoOpenRow);
+        openRowId = row;
+        actReadyAt = now + t.tRC;
+        colReadyAt = now + t.tRCD;
+        preReadyAt = now + t.tRAS;
+        break;
+      case DramCmd::Rd:
+        assert(isOpen());
+        colReadyAt = std::max(colReadyAt, now + t.tCCD);
+        preReadyAt = std::max(preReadyAt, now + t.tRTP);
+        break;
+      case DramCmd::Wr:
+        assert(isOpen());
+        colReadyAt = std::max(colReadyAt, now + t.tCCD);
+        // Write recovery starts at the end of the data burst.
+        preReadyAt = std::max(preReadyAt, now + t.tCWL + t.tBL + t.tWR);
+        break;
+      case DramCmd::Pre:
+        assert(isOpen());
+        openRowId = kNoOpenRow;
+        actReadyAt = std::max(actReadyAt, now + t.tRP);
+        break;
+      case DramCmd::Ref:
+        assert(!isOpen());
+        blockUntil(now + t.tRFC);
+        break;
+    }
+}
+
+void
+Bank::blockUntil(Cycle readyAt)
+{
+    openRowId = kNoOpenRow;
+    actReadyAt = std::max(actReadyAt, readyAt);
+}
+
+} // namespace dstrange::dram

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-bank DRAM state machine, tracked as earliest-issue timestamps.
+ */
+
+#ifndef DSTRANGE_DRAM_BANK_H
+#define DSTRANGE_DRAM_BANK_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/dram_timings.h"
+
+namespace dstrange::dram {
+
+/** DRAM commands issued over the channel command bus. */
+enum class DramCmd : std::uint8_t
+{
+    Act, ///< Activate a row into the row buffer.
+    Pre, ///< Precharge (close) the open row.
+    Rd,  ///< Column read burst.
+    Wr,  ///< Column write burst.
+    Ref, ///< Rank-level refresh (handled at channel scope).
+};
+
+/** Sentinel row id meaning "no row open". */
+inline constexpr std::int64_t kNoOpenRow = -1;
+
+/**
+ * One DRAM bank. The bank keeps its open row and the earliest cycle each
+ * command class may legally be issued; the channel layers rank/bus level
+ * constraints on top.
+ */
+class Bank
+{
+  public:
+    explicit Bank(const DramTimings &timings);
+
+    /** Row currently latched in the row buffer, or kNoOpenRow. */
+    std::int64_t openRow() const { return openRowId; }
+
+    /** true if a row is open. */
+    bool isOpen() const { return openRowId != kNoOpenRow; }
+
+    /** Earliest cycle the given command may issue at this bank. */
+    Cycle earliestIssue(DramCmd cmd) const;
+
+    /** true if the command is legal at @p now from this bank's view. */
+    bool
+    canIssue(DramCmd cmd, Cycle now) const
+    {
+        return now >= earliestIssue(cmd);
+    }
+
+    /**
+     * Apply a command's state change and update timing fences.
+     * @pre canIssue(cmd, now); ACT additionally needs !isOpen(), RD/WR
+     *      need isOpen(), PRE needs isOpen().
+     * @param row the row argument (ACT only).
+     */
+    void issue(DramCmd cmd, Cycle now, std::int64_t row = kNoOpenRow);
+
+    /**
+     * Force-close the bank for a refresh: models PREA + REF at channel
+     * scope by fencing the next ACT until @p readyAt.
+     */
+    void blockUntil(Cycle readyAt);
+
+  private:
+    const DramTimings &t;
+
+    std::int64_t openRowId = kNoOpenRow;
+    Cycle actReadyAt = 0; ///< Earliest next ACT.
+    Cycle colReadyAt = 0; ///< Earliest next RD/WR (row must be open).
+    Cycle preReadyAt = 0; ///< Earliest next PRE.
+};
+
+} // namespace dstrange::dram
+
+#endif // DSTRANGE_DRAM_BANK_H

@@ -1,0 +1,226 @@
+#include "dram/dram_channel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dstrange::dram {
+
+DramChannel::DramChannel(const DramTimings &timings,
+                         const DramGeometry &geometry)
+    : t(timings), nextRefreshAt(timings.tREFI)
+{
+    banks.reserve(geometry.banksPerRank);
+    for (unsigned i = 0; i < geometry.banksPerRank; ++i)
+        banks.emplace_back(t);
+}
+
+bool
+DramChannel::rankCanAct(Cycle now) const
+{
+    if (anyActIssued && now < lastActAt + t.tRRD)
+        return false;
+    if (actWindowCount == actWindow.size()) {
+        // The oldest of the last four ACTs fences tFAW.
+        const Cycle oldest = actWindow[actWindowPos];
+        if (now < oldest + t.tFAW)
+            return false;
+    }
+    return true;
+}
+
+bool
+DramChannel::canIssue(DramCmd cmd, unsigned bankIdx, Cycle now) const
+{
+    assert(bankIdx < banks.size());
+    if (now < cmdBusFreeAt)
+        return false;
+    if (refreshBusy(now) || rngBusy(now) || pd)
+        return false;
+
+    const Bank &b = banks[bankIdx];
+    switch (cmd) {
+      case DramCmd::Act:
+        return !b.isOpen() && b.canIssue(cmd, now) && rankCanAct(now);
+      case DramCmd::Pre:
+        return b.isOpen() && b.canIssue(cmd, now);
+      case DramCmd::Rd:
+        if (!b.isOpen() || !b.canIssue(cmd, now) || now < nextRdAt)
+            return false;
+        return now + t.tCL >= dataBusFreeAt;
+      case DramCmd::Wr:
+        if (!b.isOpen() || !b.canIssue(cmd, now) || now < nextWrAt)
+            return false;
+        return now + t.tCWL >= dataBusFreeAt;
+      case DramCmd::Ref:
+        return false; // Refresh is issued internally by tickRefresh().
+    }
+    return false;
+}
+
+Cycle
+DramChannel::issue(DramCmd cmd, unsigned bankIdx, Cycle now, std::int64_t row)
+{
+    assert(canIssue(cmd, bankIdx, now));
+    Bank &b = banks[bankIdx];
+    cmdBusFreeAt = now + 1;
+    lastActivityAt = now;
+    if (onCommand)
+        onCommand(cmd, bankIdx, now, row);
+
+    switch (cmd) {
+      case DramCmd::Act:
+        b.issue(cmd, now, row);
+        counters.nAct++;
+        nOpenBanks++;
+        lastActAt = now;
+        anyActIssued = true;
+        actWindow[actWindowPos] = now;
+        actWindowPos = (actWindowPos + 1) % actWindow.size();
+        actWindowCount = std::min<unsigned>(actWindowCount + 1,
+                                            actWindow.size());
+        return 0;
+      case DramCmd::Pre:
+        b.issue(cmd, now);
+        counters.nPre++;
+        assert(nOpenBanks > 0);
+        nOpenBanks--;
+        return 0;
+      case DramCmd::Rd: {
+        b.issue(cmd, now);
+        counters.nRd++;
+        nextRdAt = std::max(nextRdAt, now + t.tCCD);
+        nextWrAt = std::max(nextWrAt, now + t.readToWrite());
+        const Cycle done = now + t.tCL + t.tBL;
+        dataBusFreeAt = done;
+        return done;
+      }
+      case DramCmd::Wr: {
+        b.issue(cmd, now);
+        counters.nWr++;
+        nextWrAt = std::max(nextWrAt, now + t.tCCD);
+        nextRdAt = std::max(nextRdAt, now + t.writeToRead());
+        const Cycle done = now + t.tCWL + t.tBL;
+        dataBusFreeAt = done;
+        return done;
+      }
+      case DramCmd::Ref:
+        assert(false && "REF is issued internally by tickRefresh()");
+        return 0;
+    }
+    return 0;
+}
+
+void
+DramChannel::tickRefresh(Cycle now)
+{
+    if (now < refreshDoneAt)
+        return;
+
+    if (!stagingRefresh) {
+        if (now >= nextRefreshAt)
+            stagingRefresh = true;
+        else
+            return;
+    }
+
+    // A refresh wakes a powered-down rank.
+    if (pd)
+        requestWake(now);
+    if (now < cmdBusFreeAt)
+        return;
+
+    // Do not interleave refresh staging with RNG-mode occupancy; resume
+    // once the TRNG engine releases the channel.
+    if (rngBusy(now))
+        return;
+
+    // Close open banks, one precharge per cycle (command bus).
+    if (nOpenBanks > 0) {
+        if (now < cmdBusFreeAt)
+            return;
+        for (unsigned i = 0; i < banks.size(); ++i) {
+            Bank &b = banks[i];
+            if (b.isOpen() && b.canIssue(DramCmd::Pre, now)) {
+                b.issue(DramCmd::Pre, now);
+                counters.nPre++;
+                nOpenBanks--;
+                cmdBusFreeAt = now + 1;
+                if (onCommand)
+                    onCommand(DramCmd::Pre, i, now, kNoOpenRow);
+                break;
+            }
+        }
+        return;
+    }
+
+    // All banks closed: wait for tRP fences, then refresh the rank.
+    if (now < cmdBusFreeAt)
+        return;
+    for (const Bank &b : banks)
+        if (!b.canIssue(DramCmd::Ref, now))
+            return;
+
+    for (Bank &b : banks)
+        b.blockUntil(now + t.tRFC);
+    counters.nRef++;
+    if (onCommand)
+        onCommand(DramCmd::Ref, 0, now, kNoOpenRow);
+    cmdBusFreeAt = now + 1;
+    refreshDoneAt = now + t.tRFC;
+    nextRefreshAt += t.tREFI;
+    stagingRefresh = false;
+}
+
+bool
+DramChannel::refreshBusy(Cycle now) const
+{
+    return stagingRefresh || now < refreshDoneAt;
+}
+
+void
+DramChannel::requestWake(Cycle now)
+{
+    if (!pd)
+        return;
+    pd = false;
+    lastActivityAt = now;
+    cmdBusFreeAt = std::max(cmdBusFreeAt, now + t.tXP);
+}
+
+void
+DramChannel::occupyForRng(Cycle until)
+{
+    // RNG-mode accesses target reserved rows (D-RaNGe) or reserved
+    // subarrays (QUAC), so application row-buffer contents survive; the
+    // channel's command and data buses are simply unavailable while
+    // non-standard timing parameters are active.
+    if (pd)
+        requestWake(until > 0 ? until - 1 : 0);
+    rngBusyUntil = std::max(rngBusyUntil, until);
+    cmdBusFreeAt = std::max(cmdBusFreeAt, until);
+    dataBusFreeAt = std::max(dataBusFreeAt, until);
+    lastActivityAt = std::max(lastActivityAt, until);
+}
+
+void
+DramChannel::sampleState(Cycle now)
+{
+    // Power-down entry check: all banks closed, nothing in flight, and
+    // the idle threshold elapsed.
+    if (!pd && pdThreshold > 0 && nOpenBanks == 0 && !rngBusy(now) &&
+        !refreshBusy(now) && now >= cmdBusFreeAt &&
+        now >= lastActivityAt + pdThreshold) {
+        pd = true;
+    }
+
+    // RNG-mode occupancy and refresh are counted as active cycles: the
+    // device is burning row-cycle power in both.
+    if (rngBusy(now) || now < refreshDoneAt || nOpenBanks > 0)
+        counters.cyclesActive++;
+    else if (pd)
+        counters.cyclesPoweredDown++;
+    else
+        counters.cyclesPrecharged++;
+}
+
+} // namespace dstrange::dram

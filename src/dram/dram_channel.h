@@ -1,0 +1,168 @@
+/**
+ * @file
+ * One DRAM channel: banks plus rank- and bus-level timing constraints,
+ * autonomous refresh, and energy accounting. The memory controller issues
+ * commands through this model; the TRNG engine occupies it during RNG mode.
+ */
+
+#ifndef DSTRANGE_DRAM_DRAM_CHANNEL_H
+#define DSTRANGE_DRAM_DRAM_CHANNEL_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/address_mapper.h"
+#include "dram/bank.h"
+#include "dram/dram_timings.h"
+
+namespace dstrange::dram {
+
+/** Command and state-residency counters feeding the energy model. */
+struct ChannelEnergyCounters
+{
+    std::uint64_t nAct = 0;
+    std::uint64_t nPre = 0;
+    std::uint64_t nRd = 0;
+    std::uint64_t nWr = 0;
+    std::uint64_t nRef = 0;
+    /** TRNG rounds executed on this channel (see trng/rng_engine.h). */
+    std::uint64_t rngRounds = 0;
+    /** Cycles with at least one bank open (active standby). */
+    std::uint64_t cyclesActive = 0;
+    /** Cycles with all banks closed (precharge standby). */
+    std::uint64_t cyclesPrecharged = 0;
+    /** Cycles in precharge power-down (reduced background power). */
+    std::uint64_t cyclesPoweredDown = 0;
+};
+
+/**
+ * Cycle-level model of one DDR3 channel with a single rank. Constraints
+ * enforced: per-bank tRCD/tRAS/tRC/tRP/tRTP/tWR/tCCD, rank-level tRRD and
+ * tFAW, command-bus serialization (one command per cycle), data-bus
+ * occupancy, read/write turnaround, and tREFI/tRFC refresh.
+ */
+class DramChannel
+{
+  public:
+    DramChannel(const DramTimings &timings, const DramGeometry &geometry);
+
+    unsigned numBanks() const { return static_cast<unsigned>(banks.size()); }
+
+    const Bank &bank(unsigned i) const { return banks[i]; }
+
+    /**
+     * true if @p cmd may issue to @p bankIdx at @p now, considering bank,
+     * rank, command-bus and data-bus constraints plus refresh state.
+     */
+    bool canIssue(DramCmd cmd, unsigned bankIdx, Cycle now) const;
+
+    /**
+     * Issue a command.
+     * @pre canIssue(cmd, bankIdx, now)
+     * @return for RD/WR the cycle the data burst completes on the bus;
+     *         0 for other commands.
+     */
+    Cycle issue(DramCmd cmd, unsigned bankIdx, Cycle now,
+                std::int64_t row = kNoOpenRow);
+
+    /**
+     * Advance refresh housekeeping by one cycle. While a refresh is being
+     * staged the channel precharges open banks itself and regular issue is
+     * blocked; call once per bus cycle before scheduling.
+     */
+    void tickRefresh(Cycle now);
+
+    /** true while a refresh is being staged or the rank is in tRFC. */
+    bool refreshBusy(Cycle now) const;
+
+    /**
+     * Occupy the whole channel for RNG-mode operation until @p until.
+     * All banks are closed and fenced; regular traffic cannot issue.
+     */
+    void occupyForRng(Cycle until);
+
+    /** true while the channel is held by the TRNG engine. */
+    bool rngBusy(Cycle now) const { return now < rngBusyUntil; }
+
+    /** Record one executed TRNG round for energy accounting. */
+    void noteRngRound() { counters.rngRounds++; }
+
+    /** Accumulate state residency for this cycle; call once per cycle. */
+    void sampleState(Cycle now);
+
+    const ChannelEnergyCounters &energyCounters() const { return counters; }
+
+    /** Number of banks with an open row. */
+    unsigned openBankCount() const { return nOpenBanks; }
+
+    /**
+     * Enable precharge power-down: after @p idle_threshold cycles with
+     * all banks closed and no activity, the rank powers down; waking
+     * costs tXP before the next command (0 disables the policy).
+     */
+    void setPowerDownPolicy(Cycle idle_threshold)
+    {
+        pdThreshold = idle_threshold;
+    }
+
+    /** true while the rank is in precharge power-down. */
+    bool poweredDown() const { return pd; }
+
+    /** Begin waking a powered-down rank; commands resume after tXP. */
+    void requestWake(Cycle now);
+
+    /**
+     * Observe every issued command (including internally issued
+     * refresh-path precharges and REF). Used by verification harnesses
+     * that independently re-check the JEDEC constraints.
+     */
+    using CommandObserver =
+        std::function<void(DramCmd, unsigned bank, Cycle, std::int64_t row)>;
+    void setCommandObserver(CommandObserver observer)
+    {
+        onCommand = std::move(observer);
+    }
+
+  private:
+    bool rankCanAct(Cycle now) const;
+
+    const DramTimings &t;
+    std::vector<Bank> banks;
+
+    // Rank-level ACT throttling.
+    Cycle lastActAt = 0;
+    bool anyActIssued = false;
+    std::array<Cycle, 4> actWindow{}; ///< Circular tFAW history.
+    unsigned actWindowPos = 0;
+    unsigned actWindowCount = 0;
+
+    // Shared buses.
+    Cycle cmdBusFreeAt = 0;
+    Cycle dataBusFreeAt = 0;
+    Cycle nextRdAt = 0;
+    Cycle nextWrAt = 0;
+
+    // Refresh.
+    Cycle nextRefreshAt;
+    bool stagingRefresh = false;
+    Cycle refreshDoneAt = 0;
+
+    // RNG-mode occupancy.
+    Cycle rngBusyUntil = 0;
+
+    // Precharge power-down policy.
+    Cycle pdThreshold = 0;
+    bool pd = false;
+    Cycle lastActivityAt = 0;
+
+    unsigned nOpenBanks = 0;
+    ChannelEnergyCounters counters;
+    CommandObserver onCommand;
+};
+
+} // namespace dstrange::dram
+
+#endif // DSTRANGE_DRAM_DRAM_CHANNEL_H

@@ -1,0 +1,21 @@
+#include "dram/dram_timings.h"
+
+namespace dstrange::dram {
+
+bool
+timingsAreConsistent(const DramTimings &t)
+{
+    if (t.tRC < t.tRAS + t.tRP)
+        return false;
+    if (t.tRAS < t.tRCD)
+        return false;
+    if (t.tFAW < t.tRRD)
+        return false;
+    if (t.tREFI <= t.tRFC)
+        return false;
+    if (t.tCKns <= 0.0)
+        return false;
+    return true;
+}
+
+} // namespace dstrange::dram

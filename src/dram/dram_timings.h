@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DDR3-1600 timing and current parameters. All timing values are in DRAM
+ * bus cycles (tCK = 1.25 ns at the 800 MHz bus clock of Table 1).
+ */
+
+#ifndef DSTRANGE_DRAM_DRAM_TIMINGS_H
+#define DSTRANGE_DRAM_DRAM_TIMINGS_H
+
+#include "common/types.h"
+
+namespace dstrange::dram {
+
+/**
+ * JEDEC timing constraint set for one DRAM device generation. The default
+ * values model DDR3-1600K (11-11-11) with 2 Gb x8 devices, the
+ * configuration the paper simulates.
+ */
+struct DramTimings
+{
+    /** Bus clock period in nanoseconds. */
+    double tCKns = 1.25;
+
+    Cycle tRCD = 11;  ///< ACT to internal read/write delay.
+    Cycle tCL = 11;   ///< Read column command to first data.
+    Cycle tCWL = 8;   ///< Write column command to first data.
+    Cycle tRP = 11;   ///< Precharge to ACT delay.
+    Cycle tRAS = 28;  ///< ACT to PRE minimum.
+    Cycle tRC = 39;   ///< ACT to ACT (same bank) minimum.
+    Cycle tBL = 4;    ///< Burst length on the bus (BL8, DDR).
+    Cycle tCCD = 4;   ///< Column command to column command.
+    Cycle tRTP = 6;   ///< Read to precharge.
+    Cycle tWR = 12;   ///< Write recovery (end of write data to PRE).
+    Cycle tWTR = 6;   ///< End of write data to read command.
+    Cycle tRRD = 5;   ///< ACT to ACT (different banks, same rank).
+    Cycle tFAW = 24;  ///< Four-activate window.
+    Cycle tRFC = 128; ///< Refresh cycle time (160 ns for 2 Gb parts).
+    Cycle tREFI = 6240; ///< Average refresh interval (7.8 us).
+    Cycle tXP = 5;    ///< Power-down exit to first valid command.
+
+    /** Read command to write command turnaround on the shared bus. */
+    Cycle readToWrite() const { return tCL + tBL + 2 - tCWL; }
+
+    /** Write command to read command turnaround on the shared bus. */
+    Cycle writeToRead() const { return tCWL + tBL + tWTR; }
+
+    /**
+     * IDD currents (mA) and supply voltage for the DRAMPower-style energy
+     * model; typical Micron 2 Gb DDR3-1600 datasheet values.
+     */
+    double vdd = 1.5;
+    double idd0 = 70.0;   ///< One-bank ACT-PRE current.
+    double idd2n = 42.0;  ///< Precharge standby.
+    double idd3n = 45.0;  ///< Active standby.
+    double idd4r = 180.0; ///< Burst read.
+    double idd4w = 185.0; ///< Burst write.
+    double idd2p = 12.0;  ///< Precharge power-down.
+    double idd5 = 215.0;  ///< Refresh.
+};
+
+/** Sanity-check the constraint set (e.g. tRC >= tRAS + tRP). */
+bool timingsAreConsistent(const DramTimings &t);
+
+} // namespace dstrange::dram
+
+#endif // DSTRANGE_DRAM_DRAM_TIMINGS_H

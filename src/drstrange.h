@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Umbrella header for the dr-strange library: include this to use the
+ * full public API (system simulation, workloads, metrics, and the
+ * getrandom()-style RandomDevice).
+ */
+
+#ifndef DSTRANGE_DRSTRANGE_H
+#define DSTRANGE_DRSTRANGE_H
+
+#include "api/random_device.h"
+#include "common/stats_util.h"
+#include "common/table_printer.h"
+#include "sim/area_model.h"
+#include "sim/energy_model.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "sim/system.h"
+#include "trng/bit_quality.h"
+#include "trng/trng_mechanism.h"
+#include "workloads/app_profile.h"
+#include "workloads/mixes.h"
+#include "workloads/rng_benchmark.h"
+#include "workloads/synthetic_trace.h"
+
+#endif // DSTRANGE_DRSTRANGE_H

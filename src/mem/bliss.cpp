@@ -1,0 +1,67 @@
+#include "mem/bliss.h"
+
+namespace dstrange::mem {
+
+BlissScheduler::BlissScheduler(unsigned channels, unsigned cores,
+                               unsigned threshold, Cycle clearing_interval)
+    : threshold(threshold), clearingInterval(clearing_interval),
+      nextClearAt(clearing_interval), blacklist(cores, false),
+      streaks(channels)
+{
+}
+
+int
+BlissScheduler::pick(const SchedContext &ctx)
+{
+    const auto &entries = ctx.queue.all();
+
+    // Rank issuable requests by (blacklisted, !rowHit, age); lowest wins.
+    int best = kNoPick;
+    auto better = [&](const Request &a, const Request &b) {
+        const bool bl_a = blacklist[a.core], bl_b = blacklist[b.core];
+        if (bl_a != bl_b)
+            return !bl_a;
+        const bool hit_a = isRowHit(a, ctx.channel);
+        const bool hit_b = isRowHit(b, ctx.channel);
+        if (hit_a != hit_b)
+            return hit_a;
+        return a.seq < b.seq;
+    };
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Request &req = entries[i];
+        const dram::DramCmd cmd = nextCommandFor(req, ctx.channel);
+        if (!ctx.channel.canIssue(cmd, req.coord.bank, ctx.now))
+            continue;
+        if (best == kNoPick ||
+            better(req, entries[static_cast<std::size_t>(best)])) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+void
+BlissScheduler::onColumnIssued(const Request &req, unsigned channel_id)
+{
+    Streak &s = streaks[channel_id];
+    if (s.valid && s.core == req.core) {
+        if (++s.count >= threshold)
+            blacklist[req.core] = true;
+    } else {
+        s.core = req.core;
+        s.count = 1;
+        s.valid = true;
+    }
+}
+
+void
+BlissScheduler::tick(Cycle now)
+{
+    if (now >= nextClearAt) {
+        std::fill(blacklist.begin(), blacklist.end(), false);
+        nextClearAt = now + clearingInterval;
+    }
+}
+
+} // namespace dstrange::mem

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The BLISS (Blacklisting) memory scheduler [Subramanian et al., ICCD'14
+ * / TPDS'16], one of the paper's comparison points. An application that
+ * has Blacklisting-Threshold consecutive requests served is blacklisted;
+ * the blacklist is cleared every Clearing-Interval cycles. Priority
+ * order: non-blacklisted > row hit > older.
+ */
+
+#ifndef DSTRANGE_MEM_BLISS_H
+#define DSTRANGE_MEM_BLISS_H
+
+#include <vector>
+
+#include "mem/scheduler.h"
+
+namespace dstrange::mem {
+
+/** BLISS scheduling policy. */
+class BlissScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param channels channel count
+     * @param cores application/core count
+     * @param threshold consecutive-service blacklisting threshold
+     *        (paper configuration: 4)
+     * @param clearing_interval blacklist clearing period in bus cycles
+     *        (paper configuration: 10000)
+     */
+    BlissScheduler(unsigned channels, unsigned cores, unsigned threshold,
+                   Cycle clearing_interval);
+
+    int pick(const SchedContext &ctx) override;
+    void onColumnIssued(const Request &req, unsigned channel_id) override;
+    void tick(Cycle now) override;
+
+    bool isBlacklisted(CoreId core) const { return blacklist[core]; }
+
+  private:
+    unsigned threshold;
+    Cycle clearingInterval;
+    Cycle nextClearAt;
+    std::vector<bool> blacklist;
+
+    struct Streak
+    {
+        CoreId core = 0;
+        unsigned count = 0;
+        bool valid = false;
+    };
+    std::vector<Streak> streaks; ///< Per channel.
+};
+
+} // namespace dstrange::mem
+
+#endif // DSTRANGE_MEM_BLISS_H

@@ -1,0 +1,111 @@
+#include "mem/fr_fcfs.h"
+
+#include <cassert>
+
+namespace dstrange::mem {
+
+FrFcfsScheduler::FrFcfsScheduler(unsigned channels,
+                                 unsigned banks_per_channel,
+                                 unsigned column_cap)
+    : banksPerChannel(banks_per_channel), columnCap(column_cap),
+      streaks(static_cast<std::size_t>(channels) * banks_per_channel)
+{
+}
+
+bool
+FrFcfsScheduler::capBlocked(const SchedContext &ctx,
+                            const Request &req) const
+{
+    if (columnCap == 0)
+        return false;
+    const BankStreak &bs =
+        streaks[ctx.channelId * banksPerChannel + req.coord.bank];
+    if (bs.row != static_cast<std::int64_t>(req.coord.row) ||
+        bs.streak < columnCap) {
+        return false;
+    }
+    // The cap only bites while a conflicting request to the same bank is
+    // actually waiting.
+    for (const Request &other : ctx.queue.all()) {
+        if (other.coord.bank == req.coord.bank &&
+            other.coord.row != req.coord.row) {
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+FrFcfsScheduler::pick(const SchedContext &ctx)
+{
+    const auto &entries = ctx.queue.all();
+
+    // Pass 1: oldest issuable column command (row hit) not blocked by the
+    // column cap.
+    int best = kNoPick;
+    std::uint64_t best_seq = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Request &req = entries[i];
+        const dram::DramCmd cmd = nextCommandFor(req, ctx.channel);
+        if (cmd != dram::DramCmd::Rd && cmd != dram::DramCmd::Wr)
+            continue;
+        if (!ctx.channel.canIssue(cmd, req.coord.bank, ctx.now))
+            continue;
+        if (capBlocked(ctx, req))
+            continue;
+        if (best == kNoPick || req.seq < best_seq) {
+            best = static_cast<int>(i);
+            best_seq = req.seq;
+        }
+    }
+    if (best != kNoPick)
+        return best;
+
+    // Pass 2: oldest request whose next command (of any kind) can issue.
+    // Cap-blocked column commands are skipped so the conflicting request
+    // can make progress via its precharge.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Request &req = entries[i];
+        const dram::DramCmd cmd = nextCommandFor(req, ctx.channel);
+        if (!ctx.channel.canIssue(cmd, req.coord.bank, ctx.now))
+            continue;
+        if ((cmd == dram::DramCmd::Rd || cmd == dram::DramCmd::Wr) &&
+            capBlocked(ctx, req)) {
+            continue;
+        }
+        if (best == kNoPick || req.seq < best_seq) {
+            best = static_cast<int>(i);
+            best_seq = req.seq;
+        }
+    }
+    if (best != kNoPick)
+        return best;
+
+    // Pass 3: everything issuable is cap-blocked; serve the oldest anyway
+    // rather than idling the channel (work conservation).
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Request &req = entries[i];
+        const dram::DramCmd cmd = nextCommandFor(req, ctx.channel);
+        if (!ctx.channel.canIssue(cmd, req.coord.bank, ctx.now))
+            continue;
+        if (best == kNoPick || req.seq < best_seq) {
+            best = static_cast<int>(i);
+            best_seq = req.seq;
+        }
+    }
+    return best;
+}
+
+void
+FrFcfsScheduler::onColumnIssued(const Request &req, unsigned channel_id)
+{
+    BankStreak &bs = streaks[channel_id * banksPerChannel + req.coord.bank];
+    if (bs.row == static_cast<std::int64_t>(req.coord.row)) {
+        bs.streak++;
+    } else {
+        bs.row = static_cast<std::int64_t>(req.coord.row);
+        bs.streak = 1;
+    }
+}
+
+} // namespace dstrange::mem

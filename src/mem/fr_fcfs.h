@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FR-FCFS scheduler with an optional per-row column-access cap. With
+ * cap == 0 this is classic FR-FCFS (row hits first, then oldest); with
+ * cap == 16 it is the paper's baseline FR-FCFS+Cap configuration, which
+ * bounds how long a stream of row hits may starve a conflicting request.
+ */
+
+#ifndef DSTRANGE_MEM_FR_FCFS_H
+#define DSTRANGE_MEM_FR_FCFS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/scheduler.h"
+
+namespace dstrange::mem {
+
+/** First-Ready First-Come-First-Serve scheduling policy. */
+class FrFcfsScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param channels number of channels (for streak bookkeeping)
+     * @param banks_per_channel bank count per channel
+     * @param column_cap max consecutive column accesses to one row while
+     *        a conflicting request waits; 0 disables the cap
+     */
+    FrFcfsScheduler(unsigned channels, unsigned banks_per_channel,
+                    unsigned column_cap);
+
+    int pick(const SchedContext &ctx) override;
+    void onColumnIssued(const Request &req, unsigned channel_id) override;
+
+  private:
+    struct BankStreak
+    {
+        std::int64_t row = -1;
+        unsigned streak = 0;
+    };
+
+    bool capBlocked(const SchedContext &ctx, const Request &req) const;
+
+    unsigned banksPerChannel;
+    unsigned columnCap;
+    std::vector<BankStreak> streaks; ///< [channel * banks + bank]
+};
+
+} // namespace dstrange::mem
+
+#endif // DSTRANGE_MEM_FR_FCFS_H

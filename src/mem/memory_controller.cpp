@@ -1,0 +1,551 @@
+#include "mem/memory_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mem/bliss.h"
+
+namespace dstrange::mem {
+
+MemoryController::MemoryController(const McConfig &config,
+                                   const dram::DramTimings &timings,
+                                   const dram::DramGeometry &geometry,
+                                   const trng::TrngMechanism &mechanism,
+                                   unsigned num_cores)
+    : cfg(config), mapper(geometry), mech(mechanism),
+      fillMech(config.fillMechanism.value_or(mechanism)),
+      numCores(num_cores),
+      writeSched(geometry.channels, geometry.banksPerRank, /*cap=*/0)
+{
+    assert(timingsAreConsistent(timings));
+
+    for (unsigned ch = 0; ch < geometry.channels; ++ch) {
+        chans.push_back(
+            std::make_unique<dram::DramChannel>(timings, geometry));
+        chans.back()->setPowerDownPolicy(cfg.powerDownThreshold);
+        engines.push_back(std::make_unique<trng::RngEngine>(
+            mech, fillMech, *chans.back()));
+    }
+
+    perChan.resize(geometry.channels);
+    for (unsigned ch = 0; ch < geometry.channels; ++ch) {
+        ChannelState &cs = perChan[ch];
+        cs.readQ = std::make_unique<RequestQueue>(cfg.readQueueCap);
+        cs.writeQ = std::make_unique<RequestQueue>(cfg.writeQueueCap);
+        if (cfg.fill == FillMode::Engine) {
+            switch (cfg.predictorKind) {
+              case PredictorKind::None:
+                break; // Simple buffering: every quiet period is "long".
+              case PredictorKind::Simple: {
+                strange::SimpleIdlenessPredictor::Config pc;
+                pc.tableEntries = cfg.predictorEntries;
+                pc.periodThreshold = cfg.periodThreshold;
+                cs.predictor =
+                    std::make_unique<strange::SimpleIdlenessPredictor>(pc);
+                break;
+              }
+              case PredictorKind::Rl: {
+                strange::RlIdlenessPredictor::Config pc = cfg.rlConfig;
+                pc.periodThreshold = cfg.periodThreshold;
+                pc.seed += ch; // Independent exploration per channel.
+                cs.predictor =
+                    std::make_unique<strange::RlIdlenessPredictor>(pc);
+                break;
+              }
+            }
+        }
+        // Channels start empty, i.e. idle from cycle 0; the first fill
+        // prediction is made lazily by manageEngine().
+        cs.idleActive = true;
+    }
+
+    switch (cfg.schedulerKind) {
+      case SchedulerKind::FrFcfs:
+        readSched = std::make_unique<FrFcfsScheduler>(
+            geometry.channels, geometry.banksPerRank, 0);
+        break;
+      case SchedulerKind::FrFcfsCap:
+        readSched = std::make_unique<FrFcfsScheduler>(
+            geometry.channels, geometry.banksPerRank, cfg.columnCap);
+        break;
+      case SchedulerKind::Bliss:
+        readSched = std::make_unique<BlissScheduler>(
+            geometry.channels, num_cores, cfg.blissThreshold,
+            cfg.blissClearingInterval);
+        break;
+    }
+
+    if (cfg.rngAwareQueueing) {
+        RngAwarePolicy::Config pc;
+        pc.stallLimit = cfg.stallLimit;
+        rngPolicy = std::make_unique<RngAwarePolicy>(geometry.channels,
+                                                     num_cores, pc);
+    }
+
+    if (cfg.bufferEntries > 0) {
+        buf = std::make_unique<strange::BufferSet>(cfg.bufferEntries,
+                                                   cfg.bufferPartitions);
+    }
+}
+
+void
+MemoryController::setCompletionCallback(CompletionCallback cb)
+{
+    onComplete = std::move(cb);
+}
+
+void
+MemoryController::setPriority(CoreId core, int priority)
+{
+    if (rngPolicy)
+        rngPolicy->setPriority(core, priority);
+}
+
+unsigned
+MemoryController::occupancy(const ChannelState &cs) const
+{
+    return static_cast<unsigned>(cs.readQ->size() + cs.writeQ->size());
+}
+
+bool
+MemoryController::enqueue(Request req, Cycle now)
+{
+    req.arrival = now;
+
+    if (req.type == ReqType::Rng) {
+        if (rngPolicy)
+            rngPolicy->markRngApp(req.core);
+        if (buf && buf->canServe64(req.core)) {
+            buf->serve64(req.core);
+            statistics.rngRequests++;
+            statistics.rngServedFromBuffer++;
+            statistics.sumRngLatency += cfg.bufferServeLatency;
+            RngJob job{req.core, now, nextSeq++, req.token, 64.0};
+            pendingBufferServes.push_back(job);
+            pendingBufferServeDone.push_back(now + cfg.bufferServeLatency);
+            return true;
+        }
+        if (stagingBits >= 64.0) {
+            // Leftover bits of an earlier demand round cover the request.
+            stagingBits -= 64.0;
+            statistics.rngRequests++;
+            statistics.rngServedFromStaging++;
+            statistics.sumRngLatency += cfg.bufferServeLatency;
+            RngJob job{req.core, now, nextSeq++, req.token, 64.0};
+            pendingBufferServes.push_back(job);
+            pendingBufferServeDone.push_back(now + cfg.bufferServeLatency);
+            return true;
+        }
+        if (rngJobs.size() >= cfg.rngQueueCap)
+            return false;
+        statistics.rngRequests++;
+        RngJob job{req.core, now, nextSeq++, req.token, 0.0};
+        // Start the job with whatever partial bits are staged.
+        job.bitsCollected = stagingBits;
+        stagingBits = 0.0;
+        rngJobs.push_back(job);
+        return true;
+    }
+
+    req.coord = mapper.decode(req.addr);
+    ChannelState &cs = perChan[req.coord.channel];
+    RequestQueue &q =
+        req.type == ReqType::Write ? *cs.writeQ : *cs.readQ;
+    if (q.full())
+        return false;
+    req.seq = nextSeq++;
+    q.push(req);
+    if (req.type == ReqType::Read)
+        statistics.readRequests++;
+    else
+        statistics.writeRequests++;
+
+    // The arrival ends any idle/quiet period; the predictor trains with
+    // the *previous* last-accessed address, then the address updates.
+    updateIdleState(req.coord.channel, now);
+    cs.lastAddr = req.addr;
+    return true;
+}
+
+void
+MemoryController::updateIdleState(unsigned ch, Cycle now)
+{
+    ChannelState &cs = perChan[ch];
+    const unsigned occ = occupancy(cs);
+
+    const bool idle_now = occ == 0;
+    if (idle_now && !cs.idleActive) {
+        cs.idleActive = true;
+        cs.idleStart = now;
+        cs.predictionCached = false;
+        cs.predictedLong = false;
+    } else if (!idle_now && cs.idleActive) {
+        // The period ends at the first arrival: record its length for
+        // the Fig. 5/18 distributions and train the predictor with the
+        // previous last-accessed address (Section 5.1.2).
+        cs.idleActive = false;
+        const Cycle len = now - cs.idleStart;
+        if (len > 0 && cs.idleLengths.size() < kMaxIdleSamples)
+            cs.idleLengths.push_back(static_cast<std::uint32_t>(len));
+        if (cs.predictor)
+            cs.predictor->periodEnded(cs.lastAddr, len);
+    }
+
+}
+
+void
+MemoryController::routeBits(double bits, Cycle now)
+{
+    while (bits > 0.0 && !rngJobs.empty()) {
+        RngJob &job = rngJobs.front();
+        const double need = 64.0 - job.bitsCollected;
+        const double take = std::min(need, bits);
+        job.bitsCollected += take;
+        bits -= take;
+        if (job.done()) {
+            statistics.rngJobsCompleted++;
+            statistics.sumRngLatency += now - job.arrival;
+            if (onComplete)
+                onComplete(job.core, job.token, ReqType::Rng);
+            rngJobs.pop_front();
+        }
+    }
+    if (bits > 0.0 && buf)
+        bits -= buf->deposit(bits);
+    if (bits > 0.0) {
+        stagingBits = std::min(stagingBits + bits,
+                               std::max(mech.bitsPerRound,
+                                        fillMech.bitsPerRound));
+    }
+}
+
+bool
+MemoryController::fillSessionActive() const
+{
+    if (cfg.fillChannelLimit == 0)
+        return false; // Unlimited concurrent fill channels.
+    unsigned active = 0;
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        if (engines[ch]->active() && !engines[ch]->parked() &&
+            !perChan[ch].demandSession) {
+            if (++active >= cfg.fillChannelLimit)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryController::manageEngine(unsigned ch, Cycle now)
+{
+    trng::RngEngine &eng = *engines[ch];
+    ChannelState &cs = perChan[ch];
+    dram::DramChannel &chan = *chans[ch];
+
+    const unsigned occ = occupancy(cs);
+    const bool want_demand =
+        !rngJobs.empty() && choiceNow[ch] == QueueChoice::Rng;
+    const bool fill_capable =
+        cfg.fill == FillMode::Engine && buf && !buf->full();
+
+    if (eng.idle()) {
+        cs.lowUtilSession = false;
+        cs.demandSession = false;
+        if (chan.refreshBusy(now))
+            return;
+        if (want_demand) {
+            eng.start(now, trng::RngEngine::SessionKind::Demand);
+            cs.demandSession = true;
+            return;
+        }
+        if (!fill_capable || fillSessionActive())
+            return; // Fill uses one selected channel at a time (5.1.1).
+        if (occ == 0 && cs.idleActive) {
+            // Predict once per idle period; sessions may restart within
+            // the same period while the prediction holds.
+            if (!cs.predictionCached) {
+                cs.predictedLong =
+                    cs.predictor ? cs.predictor->predictLong(cs.lastAddr)
+                                 : true; // Simple buffering (5.1.1).
+                cs.predictionCached = true;
+            }
+            if (cs.predictedLong)
+                eng.start(now, trng::RngEngine::SessionKind::Fill);
+        } else if (cfg.lowUtilThreshold > 0 &&
+                   occ < cfg.lowUtilThreshold &&
+                   now >= cs.lowUtilNextAllowed &&
+                   buf->levelBits() < 0.5 * buf->capacityBits()) {
+            // Low-utilization extension: short generation bursts while
+            // the queue stays below the threshold and the buffer is
+            // running low, gated by the trained predictor and
+            // rate-limited so the few queued requests are stalled only
+            // briefly between bursts (Section 5.1.2: "the predictor
+            // stalls only a small number of requests").
+            cs.lowUtilNextAllowed = now + 6 * cfg.periodThreshold;
+            const bool fill_now =
+                cs.predictor ? cs.predictor->peekLong(cs.lastAddr) : false;
+            if (fill_now) {
+                eng.start(now, trng::RngEngine::SessionKind::Fill);
+                cs.lowUtilSession = true;
+            }
+        }
+        return;
+    }
+
+    // Engine active: keep generating for pending demand, or keep filling
+    // while the channel is strictly idle; otherwise wind down after the
+    // current round (rounds cannot abort mid-flight because non-standard
+    // timing parameters are in effect). Refinements:
+    //  - A fill session still swapping timing parameters when a request
+    //    arrives aborts outright — the mispredicted session yields
+    //    nothing (low-utilization sessions start with requests queued,
+    //    so they are exempt and commit to one round).
+    //  - A demand session with no regular work waiting parks in RNG mode
+    //    so the RNG application's next request (typically a handful of
+    //    cycles away) resumes generation without another switch-in.
+    const bool continue_fill = fill_capable && occ == 0;
+    if (want_demand || continue_fill) {
+        eng.cancelStop();
+        if (eng.parked()) {
+            // A hybrid engine parked in demand mode cannot fill without
+            // re-switching mechanisms; wind it down instead.
+            if (want_demand ||
+                eng.canResumeAs(trng::RngEngine::SessionKind::Fill)) {
+                eng.resume(now);
+            } else {
+                eng.requestStop();
+            }
+        }
+        if (want_demand)
+            cs.demandSession = true;
+    } else if (cfg.enableFillAbort && eng.switchingIn() &&
+               !cs.lowUtilSession && !cs.demandSession) {
+        eng.abortSwitchIn(now);
+    } else if (cfg.rngAwareQueueing && cfg.enableParking &&
+               cs.demandSession && occ == 0 && !chan.refreshBusy(now)) {
+        // Only the RNG-aware designs batch: they keep the channel in RNG
+        // mode awaiting the next request burst (Section 2: interleaving
+        // RNG and regular requests costs a timing-parameter swap each
+        // way). The RNG-oblivious baseline switches back immediately.
+        eng.requestPark();
+    } else {
+        eng.requestStop();
+    }
+}
+
+void
+MemoryController::serveChannel(unsigned ch, Cycle now)
+{
+    ChannelState &cs = perChan[ch];
+    dram::DramChannel &chan = *chans[ch];
+
+    if (engines[ch]->active() || chan.refreshBusy(now) ||
+        chan.rngBusy(now)) {
+        return;
+    }
+
+    // A powered-down rank must wake before serving queued work.
+    if (chan.poweredDown()) {
+        if (!cs.readQ->empty() || !cs.writeQ->empty())
+            chan.requestWake(now);
+        return;
+    }
+
+    // Write-drain policy: drain on the high watermark or opportunistically
+    // when no reads wait; stop once the low watermark is reached and reads
+    // are waiting again.
+    const bool reads_waiting = !cs.readQ->empty();
+    if (!cs.writeDraining &&
+        (cs.writeQ->size() >= cfg.writeDrainHigh ||
+         (!reads_waiting && !cs.writeQ->empty()))) {
+        cs.writeDraining = true;
+    }
+    if (cs.writeDraining &&
+        (cs.writeQ->empty() ||
+         (cs.writeQ->size() <= cfg.writeDrainLow && reads_waiting))) {
+        cs.writeDraining = false;
+    }
+
+    RequestQueue *queue = nullptr;
+    Scheduler *sched = nullptr;
+    if (cs.writeDraining) {
+        queue = cs.writeQ.get();
+        sched = &writeSched;
+    } else {
+        if (!reads_waiting)
+            return;
+        // When the RNG queue is chosen for this channel, regular reads
+        // wait; the engine is being started by manageEngine(). In the
+        // RNG-oblivious configuration any pending RNG job stalls all
+        // regular traffic (Section 3 baseline).
+        if (!rngJobs.empty() && choiceNow[ch] == QueueChoice::Rng)
+            return;
+        queue = cs.readQ.get();
+        sched = readSched.get();
+    }
+
+    const SchedContext ctx{*queue, chan, ch, now};
+    const int pick = sched->pick(ctx);
+    if (pick < 0)
+        return;
+
+    Request &req = queue->at(static_cast<std::size_t>(pick));
+    const dram::DramCmd cmd = nextCommandFor(req, chan);
+    const Cycle done = chan.issue(
+        cmd, req.coord.bank, now, static_cast<std::int64_t>(req.coord.row));
+
+    if (cmd == dram::DramCmd::Rd) {
+        statistics.readsCompleted++;
+        statistics.sumReadLatency += done - req.arrival;
+        cs.inflightReads.push_back(req);
+        cs.inflightDone.push_back(done);
+        sched->onColumnIssued(req, ch);
+        if (rngPolicy)
+            rngPolicy->noteServed(ch, QueueChoice::Regular);
+        queue->erase(static_cast<std::size_t>(pick));
+        updateIdleState(ch, now);
+    } else if (cmd == dram::DramCmd::Wr) {
+        sched->onColumnIssued(req, ch);
+        queue->erase(static_cast<std::size_t>(pick));
+        updateIdleState(ch, now);
+    }
+    // ACT/PRE only advance bank state; the request stays queued.
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    readSched->tick(now);
+
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        chans[ch]->tickRefresh(now);
+        chans[ch]->sampleState(now);
+    }
+
+    // 1. Deliver completed reads and buffer-served RNG requests.
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        ChannelState &cs = perChan[ch];
+        while (!cs.inflightDone.empty() && cs.inflightDone.front() <= now) {
+            const Request &req = cs.inflightReads.front();
+            if (onComplete)
+                onComplete(req.core, req.token, ReqType::Read);
+            cs.inflightReads.pop_front();
+            cs.inflightDone.pop_front();
+        }
+    }
+    while (!pendingBufferServeDone.empty() &&
+           pendingBufferServeDone.front() <= now) {
+        const RngJob &job = pendingBufferServes.front();
+        if (onComplete)
+            onComplete(job.core, job.token, ReqType::Rng);
+        pendingBufferServes.pop_front();
+        pendingBufferServeDone.pop_front();
+    }
+
+    // 2. Advance RNG-mode engines; route any bits a finished round yields.
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        const double bits = engines[ch]->tick(now);
+        if (bits > 0.0) {
+            routeBits(bits, now);
+            if (rngPolicy)
+                rngPolicy->noteServed(ch, QueueChoice::Rng);
+        }
+    }
+
+    // 3. Greedy-oracle fill: once a contiguous idle stretch reaches the
+    //    Period Threshold, deposit one round's bits at zero cost, then
+    //    one more round per round-latency of continued idleness. Like
+    //    DR-STRaNGe's engine fill, the oracle uses one selected channel
+    //    at a time (the lowest-numbered idle one).
+    if (cfg.fill == FillMode::GreedyOracle && buf) {
+        bool selected = false;
+        for (unsigned ch = 0; ch < chans.size(); ++ch) {
+            ChannelState &cs = perChan[ch];
+            const bool eligible = occupancy(cs) == 0 &&
+                                  engines[ch]->idle() &&
+                                  !chans[ch]->refreshBusy(now);
+            if (!eligible) {
+                cs.greedyIdleCredit = 0;
+            } else if (!selected) {
+                selected = true;
+                cs.greedyIdleCredit++;
+                if (cs.greedyIdleCredit >= cfg.periodThreshold &&
+                    (cs.greedyIdleCredit - cfg.periodThreshold) %
+                            fillMech.roundLatency ==
+                        0 &&
+                    !buf->full()) {
+                    buf->deposit(fillMech.bitsPerRound);
+                }
+            }
+            // Other idle channels keep their accrued credit paused.
+        }
+    }
+
+    // 4. Arbitrate queues, start/stop RNG mode, then issue regular DRAM
+    //    commands.
+    choiceNow.assign(chans.size(), QueueChoice::None);
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        if (!cfg.rngAwareQueueing) {
+            // RNG-oblivious: pending RNG work preempts every channel.
+            choiceNow[ch] = !rngJobs.empty() ? QueueChoice::Rng
+                            : !perChan[ch].readQ->empty()
+                                ? QueueChoice::Regular
+                                : QueueChoice::None;
+        } else {
+            choiceNow[ch] =
+                rngPolicy->choose(ch, *perChan[ch].readQ, rngJobs);
+        }
+    }
+    for (unsigned ch = 0; ch < chans.size(); ++ch)
+        manageEngine(ch, now);
+    for (unsigned ch = 0; ch < chans.size(); ++ch)
+        serveChannel(ch, now);
+}
+
+std::optional<strange::PredictorStats>
+MemoryController::predictorStats() const
+{
+    strange::PredictorStats agg;
+    bool any = false;
+    for (const ChannelState &cs : perChan) {
+        if (!cs.predictor)
+            continue;
+        any = true;
+        const strange::PredictorStats &s = cs.predictor->stats();
+        agg.predictions += s.predictions;
+        agg.correct += s.correct;
+        agg.falsePositives += s.falsePositives;
+        agg.falseNegatives += s.falseNegatives;
+    }
+    if (!any)
+        return std::nullopt;
+    return agg;
+}
+
+Cycle
+MemoryController::rngOccupiedCycles() const
+{
+    Cycle total = 0;
+    for (const auto &eng : engines)
+        total += eng->totalOccupiedCycles();
+    return total;
+}
+
+bool
+MemoryController::busy() const
+{
+    if (!rngJobs.empty() || !pendingBufferServes.empty())
+        return true;
+    for (const ChannelState &cs : perChan) {
+        if (!cs.readQ->empty() || !cs.writeQ->empty() ||
+            !cs.inflightReads.empty()) {
+            return true;
+        }
+    }
+    for (const auto &eng : engines)
+        if (eng->active())
+            return true;
+    return false;
+}
+
+} // namespace dstrange::mem

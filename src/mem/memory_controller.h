@@ -1,0 +1,315 @@
+/**
+ * @file
+ * The memory controller: per-channel read/write queues, write-drain and
+ * refresh handling, pluggable intra-queue schedulers, and the RNG service
+ * machinery (oblivious on-demand generation, RNG-aware queueing, random
+ * number buffering, greedy-oracle fill, and predictor-driven fill).
+ *
+ * All three of the paper's system designs — RNG-Oblivious baseline,
+ * Greedy Idle, and DR-STRaNGe — are configurations of this one class, so
+ * they share every substrate code path and differ only in policy.
+ */
+
+#ifndef DSTRANGE_MEM_MEMORY_CONTROLLER_H
+#define DSTRANGE_MEM_MEMORY_CONTROLLER_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dram/address_mapper.h"
+#include "dram/dram_channel.h"
+#include "dram/dram_timings.h"
+#include "mem/fr_fcfs.h"
+#include "mem/request.h"
+#include "mem/request_queue.h"
+#include "mem/rng_aware.h"
+#include "mem/scheduler.h"
+#include "strange/idleness_predictor.h"
+#include "strange/buffer_set.h"
+#include "strange/random_buffer.h"
+#include "strange/rl_predictor.h"
+#include "strange/simple_predictor.h"
+#include "trng/rng_engine.h"
+#include "trng/trng_mechanism.h"
+
+namespace dstrange::mem {
+
+/** Intra-queue scheduler selection. */
+enum class SchedulerKind : std::uint8_t
+{
+    FrFcfs,    ///< Classic FR-FCFS.
+    FrFcfsCap, ///< FR-FCFS with a 16-column cap (baseline, Table 1).
+    Bliss,     ///< Blacklisting scheduler.
+};
+
+/** How random bits are proactively generated for the buffer. */
+enum class FillMode : std::uint8_t
+{
+    None,         ///< Never fill; generate on demand only.
+    GreedyOracle, ///< Zero-overhead oracle fill (Greedy Idle design).
+    Engine,       ///< Real RNG-mode fill driven by the idleness logic.
+};
+
+/** Which idleness predictor gates engine-driven fill. */
+enum class PredictorKind : std::uint8_t
+{
+    None,   ///< Simple buffering: every idle cycle is assumed long.
+    Simple, ///< 2-bit saturating counter table (Section 5.1.2).
+    Rl,     ///< Q-learning agent (Section 5.1.2).
+};
+
+/** Full memory controller configuration. */
+struct McConfig
+{
+    SchedulerKind schedulerKind = SchedulerKind::FrFcfsCap;
+    unsigned columnCap = 16;
+    unsigned blissThreshold = 4;
+    Cycle blissClearingInterval = 10000;
+
+    unsigned readQueueCap = 32;
+    unsigned writeQueueCap = 32;
+    unsigned rngQueueCap = 32;
+    unsigned writeDrainHigh = 28;
+    unsigned writeDrainLow = 8;
+
+    /** true: separate RNG queue + RngAwarePolicy arbitration.
+     *  false: RNG-oblivious — jobs preempt all channels on arrival. */
+    bool rngAwareQueueing = false;
+    Cycle stallLimit = 100;
+
+    unsigned bufferEntries = 0;      ///< 64-bit entries; 0 disables.
+    /** Partition the buffer per application (Section 6 side/covert-
+     *  channel countermeasure); 0/1 = one shared buffer. */
+    unsigned bufferPartitions = 0;
+    Cycle bufferServeLatency = 2;    ///< Buffer-hit service latency.
+
+    FillMode fill = FillMode::None;
+    /** Optional distinct TRNG mechanism for buffer filling (hybrid
+     *  design, Section 8.7 future work); demand generation always uses
+     *  the mechanism passed to the controller. */
+    std::optional<trng::TrngMechanism> fillMechanism;
+    PredictorKind predictorKind = PredictorKind::Simple;
+    unsigned predictorEntries = 256;
+    Cycle periodThreshold = 40;
+    /** Read+write queue occupancy below which a channel counts as
+     *  low-utilization (0 = idle-only fill). */
+    unsigned lowUtilThreshold = 4;
+    /** Precharge power-down after this many idle cycles (0 = off). */
+    Cycle powerDownThreshold = 0;
+
+    // --- Modelling-refinement ablation knobs (see DESIGN.md) ---------
+    /** RNG-aware designs park channels in RNG mode between demand
+     *  bursts instead of switching out after every generation. */
+    bool enableParking = true;
+    /** Mispredicted fill sessions abort during switch-in instead of
+     *  committing to a full round. */
+    bool enableFillAbort = true;
+    /** Max concurrent buffer-fill channels (0 = unlimited; the paper's
+     *  Section 5.1.1 selects one channel at a time). */
+    unsigned fillChannelLimit = 1;
+
+    strange::RlIdlenessPredictor::Config rlConfig{};
+};
+
+/** Aggregate controller statistics. */
+struct McStats
+{
+    std::uint64_t readRequests = 0;
+    std::uint64_t writeRequests = 0;
+    std::uint64_t rngRequests = 0;
+    std::uint64_t rngServedFromBuffer = 0;
+    /** Requests served entirely from the mechanism's output staging
+     *  register (leftover bits of earlier demand rounds). */
+    std::uint64_t rngServedFromStaging = 0;
+    std::uint64_t rngJobsCompleted = 0;
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t sumReadLatency = 0; ///< Bus cycles, arrival to data.
+    std::uint64_t sumRngLatency = 0;  ///< Bus cycles, arrival to service.
+
+    /** Fraction of RNG requests served from the buffer (Section 8.3). */
+    double
+    bufferServeRate() const
+    {
+        return rngRequests == 0 ? 0.0
+                                : static_cast<double>(rngServedFromBuffer) /
+                                      static_cast<double>(rngRequests);
+    }
+};
+
+/**
+ * Cycle-level memory controller over N DRAM channels with an integrated
+ * DRAM-based TRNG.
+ */
+class MemoryController
+{
+  public:
+    /** Callback invoked when a read or RNG request completes. */
+    using CompletionCallback =
+        std::function<void(CoreId, std::uint64_t token, ReqType)>;
+
+    MemoryController(const McConfig &config,
+                     const dram::DramTimings &timings,
+                     const dram::DramGeometry &geometry,
+                     const trng::TrngMechanism &mechanism,
+                     unsigned num_cores);
+
+    void setCompletionCallback(CompletionCallback cb);
+
+    /** Set an application's OS priority (RNG-aware designs only). */
+    void setPriority(CoreId core, int priority);
+
+    /**
+     * Enqueue a request. The caller must set type/addr/core/token;
+     * arrival, seq and coord are filled in here.
+     * @retval false the target queue is full — retry next cycle.
+     */
+    bool enqueue(Request req, Cycle now);
+
+    /** Advance the whole memory system by one bus cycle. */
+    void tick(Cycle now);
+
+    // --- Introspection -----------------------------------------------
+    const McStats &stats() const { return statistics; }
+    const dram::DramChannel &channel(unsigned i) const { return *chans[i]; }
+    /** Mutable access for verification harnesses (command observers). */
+    dram::DramChannel &channelMutable(unsigned i) { return *chans[i]; }
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(chans.size());
+    }
+    const strange::BufferSet *buffer() const { return buf.get(); }
+
+    /** Aggregated predictor accuracy across channels (empty if none). */
+    std::optional<strange::PredictorStats> predictorStats() const;
+
+    /** Recorded strict-idle period lengths for one channel (Fig. 5/18). */
+    const std::vector<std::uint32_t> &idlePeriods(unsigned ch) const
+    {
+        return perChan[ch].idleLengths;
+    }
+
+    /** Total bus cycles channels spent held in RNG mode. */
+    Cycle rngOccupiedCycles() const;
+
+    /** Pending work indicator (used by drain-out loops in tests). */
+    bool busy() const;
+
+    /** RNG jobs currently queued (not yet fully generated). */
+    std::size_t pendingRngJobs() const { return rngJobs.size(); }
+
+    /** Bits currently held in the mechanism's staging register. */
+    double stagingLevel() const { return stagingBits; }
+
+    /** Read-queue occupancy of one channel (tests/telemetry). */
+    std::size_t
+    readQueueSize(unsigned ch) const
+    {
+        return perChan[ch].readQ->size();
+    }
+
+    /** Write-queue occupancy of one channel (tests/telemetry). */
+    std::size_t
+    writeQueueSize(unsigned ch) const
+    {
+        return perChan[ch].writeQ->size();
+    }
+
+    const McConfig &config() const { return cfg; }
+
+    const RngAwarePolicy *policy() const { return rngPolicy.get(); }
+
+  private:
+    struct ChannelState
+    {
+        std::unique_ptr<RequestQueue> readQ;
+        std::unique_ptr<RequestQueue> writeQ;
+        bool writeDraining = false;
+
+        /// In-flight reads awaiting their data burst (FIFO by completion).
+        std::deque<Request> inflightReads;
+        std::deque<Cycle> inflightDone;
+
+        // Idle-period tracking: drives the Fig. 5/18 distributions and
+        // the idleness predictor (predicted at period start, trained at
+        // the arrival that ends the period).
+        bool idleActive = false;
+        Cycle idleStart = 0;
+        bool predictionCached = false; ///< Predicted this idle period?
+        bool predictedLong = false;    ///< Cached per-period prediction.
+        /** Rate limiter for the low-utilization fill trigger: earliest
+         *  cycle the next low-utilization session may start. */
+        Cycle lowUtilNextAllowed = 0;
+        /** Current engine session was started by the low-utilization
+         *  trigger (it commits to one round; it is not aborted when a
+         *  request arrives). */
+        bool lowUtilSession = false;
+        /** Current engine session served on-demand generation; such
+         *  sessions park in RNG mode awaiting the next request burst
+         *  instead of eagerly switching out. */
+        bool demandSession = false;
+        std::vector<std::uint32_t> idleLengths;
+
+        // Greedy-oracle fill bookkeeping.
+        Cycle greedyIdleCredit = 0;
+
+        Addr lastAddr = 0;
+
+        std::unique_ptr<strange::IdlenessPredictor> predictor;
+    };
+
+    unsigned occupancy(const ChannelState &cs) const;
+    void updateIdleState(unsigned ch, Cycle now);
+
+    /** true when some channel is running a buffer-fill session. Fill
+     *  uses one selected channel at a time (Section 5.1.1: "selects a
+     *  channel for RNG"); demand generation still uses all channels. */
+    bool fillSessionActive() const;
+    void routeBits(double bits, Cycle now);
+    void serveChannel(unsigned ch, Cycle now);
+    void manageEngine(unsigned ch, Cycle now);
+
+    /** Per-channel queue choice, computed once per tick (the policy's
+     *  stall counters advance exactly once per channel per cycle). */
+    std::vector<QueueChoice> choiceNow;
+
+    McConfig cfg;
+    dram::AddressMapper mapper;
+    trng::TrngMechanism mech;     ///< Demand-generation mechanism.
+    trng::TrngMechanism fillMech; ///< Fill mechanism (== mech unless hybrid).
+    unsigned numCores;
+
+    std::vector<std::unique_ptr<dram::DramChannel>> chans;
+    std::vector<std::unique_ptr<trng::RngEngine>> engines;
+    std::vector<ChannelState> perChan;
+
+    std::unique_ptr<Scheduler> readSched;
+    FrFcfsScheduler writeSched; ///< Plain FR-FCFS for write drains.
+    std::unique_ptr<RngAwarePolicy> rngPolicy;
+
+    std::deque<RngJob> rngJobs;
+    std::unique_ptr<strange::BufferSet> buf;
+    /**
+     * The TRNG mechanism's output staging register: bits left over from
+     * demand rounds beyond the requested 64 (significant for QUAC-TRNG's
+     * 512-bit rounds). Present in every design — it is part of the
+     * mechanism, not of DR-STRaNGe. Capped at one round's yield.
+     */
+    double stagingBits = 0.0;
+    /// Buffer hits completing after the fixed serve latency.
+    std::deque<RngJob> pendingBufferServes;
+    std::deque<Cycle> pendingBufferServeDone;
+
+    CompletionCallback onComplete;
+    std::uint64_t nextSeq = 0;
+    McStats statistics;
+
+    /** Cap on stored idle-period samples per channel (memory bound). */
+    static constexpr std::size_t kMaxIdleSamples = 1u << 18;
+};
+
+} // namespace dstrange::mem
+
+#endif // DSTRANGE_MEM_MEMORY_CONTROLLER_H

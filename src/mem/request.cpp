@@ -1,0 +1,3 @@
+#include "mem/request.h"
+
+// Request types are header-only; this translation unit anchors the library.

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory request and RNG job types exchanged between cores and the
+ * memory controller.
+ */
+
+#ifndef DSTRANGE_MEM_REQUEST_H
+#define DSTRANGE_MEM_REQUEST_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/address_mapper.h"
+
+namespace dstrange::mem {
+
+/** Kind of request a core can issue to the memory system. */
+enum class ReqType : std::uint8_t
+{
+    Read,  ///< Cache-line read (LLC miss).
+    Write, ///< Cache-line writeback (posted).
+    Rng,   ///< 64-bit true random number request.
+};
+
+/** One cache-line memory request. */
+struct Request
+{
+    ReqType type = ReqType::Read;
+    Addr addr = 0;
+    dram::DramCoord coord{};
+    CoreId core = 0;
+    Cycle arrival = 0;       ///< Bus cycle the request entered the MC.
+    std::uint64_t seq = 0;   ///< Global arrival order (FCFS age).
+    std::uint64_t token = 0; ///< Core-side identifier for completion.
+};
+
+/**
+ * One pending 64-bit random number generation job. Jobs live in the RNG
+ * request queue and accumulate bits produced by RNG-mode rounds on any
+ * channel until 64 bits are gathered.
+ */
+struct RngJob
+{
+    CoreId core = 0;
+    Cycle arrival = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t token = 0;
+    double bitsCollected = 0.0;
+
+    bool done() const { return bitsCollected >= 64.0; }
+};
+
+} // namespace dstrange::mem
+
+#endif // DSTRANGE_MEM_REQUEST_H

@@ -1,0 +1,3 @@
+#include "mem/request_queue.h"
+
+// RequestQueue is header-only; this translation unit anchors the library.

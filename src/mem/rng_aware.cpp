@@ -1,0 +1,105 @@
+#include "mem/rng_aware.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dstrange::mem {
+
+RngAwarePolicy::RngAwarePolicy(unsigned channels, unsigned cores,
+                               const Config &config)
+    : cfg(config), priorities(cores, 0), rngApp(cores, false),
+      stalls(channels)
+{
+}
+
+void
+RngAwarePolicy::setPriority(CoreId core, int priority)
+{
+    if (priorities[core] != priority) {
+        priorities[core] = priority;
+        // Priority changes reset the anti-starvation state (Section 5.2).
+        for (auto &s : stalls)
+            s = StallCounters{};
+    }
+}
+
+QueueChoice
+RngAwarePolicy::choose(unsigned channel, const RequestQueue &read_queue,
+                       const std::deque<RngJob> &rng_jobs)
+{
+    const bool rng_pending = !rng_jobs.empty();
+    const bool reg_pending = !read_queue.empty();
+    if (!rng_pending && !reg_pending)
+        return QueueChoice::None;
+    if (!rng_pending)
+        return QueueChoice::Regular;
+    if (!reg_pending)
+        return QueueChoice::Rng;
+
+    int prio_rng = priorities[rng_jobs.front().core];
+    for (const RngJob &job : rng_jobs)
+        prio_rng = std::max(prio_rng, priorities[job.core]);
+
+    int prio_reg = priorities[read_queue.at(0).core];
+    std::uint64_t oldest_reg_seq = read_queue.at(0).seq;
+    CoreId oldest_reg_core = read_queue.at(0).core;
+    for (std::size_t i = 0; i < read_queue.size(); ++i) {
+        const Request &req = read_queue.at(i);
+        prio_reg = std::max(prio_reg, priorities[req.core]);
+        if (req.seq < oldest_reg_seq) {
+            oldest_reg_seq = req.seq;
+            oldest_reg_core = req.core;
+        }
+    }
+    const std::uint64_t oldest_rng_seq = rng_jobs.front().seq;
+
+    StallCounters &s = stalls[channel];
+    if (prio_rng > prio_reg) {
+        // RNG prioritized: drain the RNG queue, bounded by the stall limit.
+        if (s.regular >= cfg.stallLimit) {
+            s.regular = 0;
+            return QueueChoice::Regular;
+        }
+        s.regular++;
+        maxStall = std::max(maxStall, s.regular);
+        return QueueChoice::Rng;
+    }
+    if (prio_reg > prio_rng) {
+        // Non-RNG prioritized: only drain RNG requests that are older than
+        // an RNG application's blocked regular read.
+        if (rngApp[oldest_reg_core] && oldest_reg_seq > oldest_rng_seq)
+            return QueueChoice::Rng;
+        if (s.rng >= cfg.stallLimit) {
+            s.rng = 0;
+            return QueueChoice::Rng;
+        }
+        s.rng++;
+        maxStall = std::max(maxStall, s.rng);
+        return QueueChoice::Regular;
+    }
+
+    // Equal priorities: prioritize the RNG requests to minimize the RNG
+    // interference (Section 5.2.1), batching them into one RNG-mode
+    // session; the stall counter bounds how long regular reads wait.
+    (void)oldest_reg_seq;
+    (void)oldest_rng_seq;
+    if (s.regular >= cfg.stallLimit) {
+        s.regular = 0;
+        return QueueChoice::Regular;
+    }
+    s.regular++;
+    maxStall = std::max(maxStall, s.regular);
+    return QueueChoice::Rng;
+}
+
+void
+RngAwarePolicy::noteServed(unsigned channel, QueueChoice served)
+{
+    StallCounters &s = stalls[channel];
+    if (served == QueueChoice::Regular)
+        s.regular = 0;
+    else if (served == QueueChoice::Rng)
+        s.rng = 0;
+}
+
+} // namespace dstrange::mem

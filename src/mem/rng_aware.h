@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The RNG-aware inter-queue scheduling policy of Section 5.2: decides,
+ * per channel and per cycle, whether to serve the regular read queue or
+ * the RNG request queue, based on OS-assigned application priorities,
+ * with the paper's anti-starvation rules and stall-limit backstop.
+ */
+
+#ifndef DSTRANGE_MEM_RNG_AWARE_H
+#define DSTRANGE_MEM_RNG_AWARE_H
+
+#include <deque>
+#include <vector>
+
+#include "mem/request_queue.h"
+
+namespace dstrange::mem {
+
+/** Which queue a channel should serve this cycle. */
+enum class QueueChoice : std::uint8_t
+{
+    None,    ///< Nothing pending.
+    Regular, ///< Serve the regular read queue.
+    Rng,     ///< Serve the RNG request queue (enter/stay in RNG mode).
+};
+
+/**
+ * Priority-based RNG-aware queue arbitration.
+ *
+ * Rules (Section 5.2.1):
+ *  - RNG prioritized: drain the RNG queue first; the stall-limit counter
+ *    bounds how long regular reads wait.
+ *  - Non-RNG prioritized: serve regular reads; switch to the RNG queue
+ *    only when the oldest regular read is from an RNG application and is
+ *    younger than the oldest RNG request (drain the older RNG requests).
+ *  - Equal priorities: regular reads older than the oldest RNG request
+ *    are served first, then RNG requests are batched to minimize mode
+ *    switches.
+ */
+class RngAwarePolicy
+{
+  public:
+    struct Config
+    {
+        Cycle stallLimit = 100;
+    };
+
+    RngAwarePolicy(unsigned channels, unsigned cores, const Config &config);
+
+    /** Set an application's OS priority (higher = more important). */
+    void setPriority(CoreId core, int priority);
+
+    int priority(CoreId core) const { return priorities[core]; }
+
+    /** Mark an application as an RNG application (sticky). */
+    void markRngApp(CoreId core) { rngApp[core] = true; }
+
+    bool isRngApp(CoreId core) const { return rngApp[core]; }
+
+    /** Arbitrate between the two queues for one channel. */
+    QueueChoice choose(unsigned channel, const RequestQueue &read_queue,
+                       const std::deque<RngJob> &rng_jobs);
+
+    /** Reset the stall counter of the queue that just made progress. */
+    void noteServed(unsigned channel, QueueChoice served);
+
+    /** Largest stall counter value ever reached (for tests/telemetry). */
+    Cycle maxStallObserved() const { return maxStall; }
+
+  private:
+    Config cfg;
+    std::vector<int> priorities;
+    std::vector<bool> rngApp;
+
+    struct StallCounters
+    {
+        Cycle regular = 0; ///< Cycles the regular queue was deprioritized.
+        Cycle rng = 0;     ///< Cycles the RNG queue was deprioritized.
+    };
+    std::vector<StallCounters> stalls; ///< Per channel.
+    Cycle maxStall = 0;
+};
+
+} // namespace dstrange::mem
+
+#endif // DSTRANGE_MEM_RNG_AWARE_H

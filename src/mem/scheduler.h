@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Scheduler interface for picking the next request within one channel's
+ * queue. The inter-queue decision (RNG queue vs regular queue) is a
+ * separate policy (see mem/rng_aware.h); these schedulers order regular
+ * requests, exactly like the baselines the paper compares against.
+ */
+
+#ifndef DSTRANGE_MEM_SCHEDULER_H
+#define DSTRANGE_MEM_SCHEDULER_H
+
+#include <vector>
+
+#include "dram/dram_channel.h"
+#include "mem/request_queue.h"
+
+namespace dstrange::mem {
+
+/** Everything a scheduler needs to rank one channel's candidates. */
+struct SchedContext
+{
+    const RequestQueue &queue;
+    const dram::DramChannel &channel;
+    unsigned channelId = 0;
+    Cycle now = 0;
+};
+
+/** Index-based pick result; kNoPick when nothing can issue this cycle. */
+inline constexpr int kNoPick = -1;
+
+/**
+ * Intra-queue memory request scheduler. Implementations must be
+ * work-conserving: if any request's next command can legally issue at
+ * @p now, pick() must not return kNoPick.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Choose the queue index whose next DRAM command to issue now. */
+    virtual int pick(const SchedContext &ctx) = 0;
+
+    /**
+     * Notify that a request's *column* command was issued (the request
+     * leaves the queue). Used for streak bookkeeping.
+     */
+    virtual void onColumnIssued(const Request &req, unsigned channel_id) = 0;
+
+    /** Per-cycle housekeeping (e.g. BLISS blacklist clearing). */
+    virtual void tick(Cycle now) { (void)now; }
+};
+
+} // namespace dstrange::mem
+
+#endif // DSTRANGE_MEM_SCHEDULER_H

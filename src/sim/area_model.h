@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CACTI-calibrated SRAM macro area estimator at 22 nm, used for the
+ * Section 8.9 area numbers. The linear bit-area coefficient and the
+ * fixed periphery term are fitted to the paper's CACTI 6.0 results
+ * (0.0022 mm^2 for the base DR-STRaNGe storage, 0.012 mm^2 with the
+ * 8 KB RL Q-table).
+ */
+
+#ifndef DSTRANGE_SIM_AREA_MODEL_H
+#define DSTRANGE_SIM_AREA_MODEL_H
+
+#include <cstdint>
+
+#include "mem/memory_controller.h"
+
+namespace dstrange::sim {
+
+/** Area estimate for a set of SRAM structures. */
+struct AreaEstimate
+{
+    double storageBits = 0.0;
+    double mm2 = 0.0;
+
+    /** Fraction of an Intel Cascade Lake CPU core (paper reference). */
+    double
+    fractionOfCascadeLakeCore() const
+    {
+        // Back-computed from the paper: 0.0022 mm^2 == 0.00048 %.
+        constexpr double kCoreMm2 = 458.3;
+        return mm2 / kCoreMm2;
+    }
+};
+
+/** Area of a single SRAM macro holding @p bits at 22 nm. */
+AreaEstimate sramMacroArea(double bits);
+
+/**
+ * Storage bits and area of the DR-STRaNGe controller additions for a
+ * given configuration: random number buffer, RNG request queue, and the
+ * per-channel idleness predictor (tables or Q-table).
+ */
+AreaEstimate drStrangeArea(const mem::McConfig &cfg, unsigned channels);
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_AREA_MODEL_H

@@ -1,0 +1,54 @@
+#include "sim/energy_model.h"
+
+namespace dstrange::sim {
+
+EnergyBreakdown
+channelEnergy(const dram::DramTimings &t,
+              const dram::ChannelEnergyCounters &c,
+              const EnergyModelConfig &cfg)
+{
+    EnergyBreakdown e;
+    const double devs = cfg.devicesPerRank;
+    const double tck = t.tCKns;
+    // mA * V * ns = pJ; convert to nJ with 1e-3.
+    constexpr double kPjToNj = 1e-3;
+
+    // One ACT..PRE row cycle: IDD0 over tRC minus the standby current
+    // that the background term already accounts for.
+    const double act_pre_pj =
+        t.vdd *
+        (t.idd0 * static_cast<double>(t.tRC) -
+         (t.idd3n * static_cast<double>(t.tRAS) +
+          t.idd2n * static_cast<double>(t.tRC - t.tRAS))) *
+        tck * devs;
+    e.actPre = static_cast<double>(c.nAct) * act_pre_pj * kPjToNj;
+
+    const double rd_pj = t.vdd * (t.idd4r - t.idd3n) *
+                         static_cast<double>(t.tBL) * tck * devs;
+    const double wr_pj = t.vdd * (t.idd4w - t.idd3n) *
+                         static_cast<double>(t.tBL) * tck * devs;
+    e.read = static_cast<double>(c.nRd) * rd_pj * kPjToNj;
+    e.write = static_cast<double>(c.nWr) * wr_pj * kPjToNj;
+
+    const double ref_pj = t.vdd * (t.idd5 - t.idd2n) *
+                          static_cast<double>(t.tRFC) * tck * devs;
+    e.refresh = static_cast<double>(c.nRef) * ref_pj * kPjToNj;
+
+    const double bg_active_pj = t.vdd * t.idd3n * tck * devs;
+    const double bg_pre_pj = t.vdd * t.idd2n * tck * devs;
+    const double bg_pd_pj = t.vdd * t.idd2p * tck * devs;
+    e.background =
+        (static_cast<double>(c.cyclesActive) * bg_active_pj +
+         static_cast<double>(c.cyclesPrecharged) * bg_pre_pj +
+         static_cast<double>(c.cyclesPoweredDown) * bg_pd_pj) *
+        kPjToNj;
+
+    // RNG rounds: banksPerRound reduced row cycles + one burst per bank.
+    const double rng_round_pj =
+        cfg.banksPerRound * (act_pre_pj * cfg.rngActScale + rd_pj);
+    e.rng = static_cast<double>(c.rngRounds) * rng_round_pj * kPjToNj;
+
+    return e;
+}
+
+} // namespace dstrange::sim

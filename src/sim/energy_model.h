@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DRAMPower-style energy model over the DRAM channel command and
+ * state-residency counters, following the Micron DDR3 power model. Used
+ * for the Section 8.9 energy comparison.
+ */
+
+#ifndef DSTRANGE_SIM_ENERGY_MODEL_H
+#define DSTRANGE_SIM_ENERGY_MODEL_H
+
+#include "dram/dram_channel.h"
+#include "dram/dram_timings.h"
+
+namespace dstrange::sim {
+
+/** Energy in nanojoules, broken down by source. */
+struct EnergyBreakdown
+{
+    double actPre = 0.0;     ///< Row activate/precharge pairs.
+    double read = 0.0;       ///< Read bursts.
+    double write = 0.0;      ///< Write bursts.
+    double refresh = 0.0;    ///< REF commands.
+    double background = 0.0; ///< Standby (active + precharged).
+    double rng = 0.0;        ///< RNG-mode rounds.
+
+    double
+    total() const
+    {
+        return actPre + read + write + refresh + background + rng;
+    }
+};
+
+/**
+ * Energy model configuration: number of devices sharing each command
+ * (x8 devices, 64-bit channel => 8 chips per rank).
+ */
+struct EnergyModelConfig
+{
+    unsigned devicesPerRank = 8;
+    /**
+     * RNG rounds run with violated timing parameters and touch every
+     * bank; one round is charged as banksPerRound activate/precharge
+     * pairs at a reduced row-cycle energy plus one read burst per bank.
+     */
+    unsigned banksPerRound = 8;
+    double rngActScale = 0.6; ///< Reduced tRCD/tRAS row cycle fraction.
+};
+
+/** Compute the energy of one channel's activity. */
+EnergyBreakdown channelEnergy(const dram::DramTimings &t,
+                              const dram::ChannelEnergyCounters &c,
+                              const EnergyModelConfig &cfg = {});
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_ENERGY_MODEL_H

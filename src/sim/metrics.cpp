@@ -1,0 +1,54 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <cassert>
+
+namespace dstrange::sim {
+
+double
+slowdown(const cpu::CoreStats &shared, const AloneResult &alone)
+{
+    if (alone.execCpuCycles <= 0.0 || shared.finishCycle == 0)
+        return 1.0;
+    return static_cast<double>(shared.finishCycle) / alone.execCpuCycles;
+}
+
+double
+memSlowdown(const cpu::CoreStats &shared, const AloneResult &alone)
+{
+    constexpr double kMinAloneMcpi = 1e-3;
+    if (alone.mcpi < kMinAloneMcpi)
+        return slowdown(shared, alone);
+    return shared.mcpi() / alone.mcpi;
+}
+
+double
+unfairness(const std::vector<double> &mem_slowdowns)
+{
+    assert(!mem_slowdowns.empty());
+    // An application whose memory requests are served faster than in its
+    // alone run experiences no memory-related slowdown; the index
+    // measures relative harm, so each slowdown is floored at 1.
+    double lo = std::numeric_limits<double>::max();
+    double hi = 1.0;
+    for (double sd : mem_slowdowns) {
+        const double clamped = std::max(1.0, sd);
+        lo = std::min(lo, clamped);
+        hi = std::max(hi, clamped);
+    }
+    return hi / lo;
+}
+
+double
+weightedSpeedup(const std::vector<double> &ipc_shared,
+                const std::vector<double> &ipc_alone)
+{
+    assert(ipc_shared.size() == ipc_alone.size());
+    double ws = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i)
+        ws += ipc_alone[i] > 0.0 ? ipc_shared[i] / ipc_alone[i] : 0.0;
+    return ws;
+}
+
+} // namespace dstrange::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The paper's evaluation metrics (Section 7): per-application slowdown,
+ * MCPI-based memory slowdown, the max/min unfairness index, and weighted
+ * speedup for multi-core throughput.
+ */
+
+#ifndef DSTRANGE_SIM_METRICS_H
+#define DSTRANGE_SIM_METRICS_H
+
+#include <vector>
+
+#include "cpu/core.h"
+
+namespace dstrange::sim {
+
+/** Cached result of an application running alone on the baseline. */
+struct AloneResult
+{
+    double execCpuCycles = 0.0; ///< CPU cycles to retire the budget.
+    double ipc = 0.0;
+    double mcpi = 0.0; ///< Memory stall cycles per instruction.
+};
+
+/** Execution-time slowdown vs. the alone run. */
+double slowdown(const cpu::CoreStats &shared, const AloneResult &alone);
+
+/**
+ * Memory-related slowdown: MCPI_shared / MCPI_alone. When the alone run
+ * has (near-)zero memory stall, falls back to the execution-time
+ * slowdown so compute-bound applications do not produce infinities.
+ */
+double memSlowdown(const cpu::CoreStats &shared, const AloneResult &alone);
+
+/** Unfairness index: max memory slowdown / min memory slowdown. */
+double unfairness(const std::vector<double> &mem_slowdowns);
+
+/** Weighted speedup: sum of IPC_shared / IPC_alone. */
+double weightedSpeedup(const std::vector<double> &ipc_shared,
+                       const std::vector<double> &ipc_alone);
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_METRICS_H

@@ -1,0 +1,177 @@
+#include "sim/runner.h"
+
+#include <cassert>
+
+#include "sim/energy_model.h"
+#include "workloads/rng_benchmark.h"
+#include "workloads/synthetic_trace.h"
+
+namespace dstrange::sim {
+
+double
+Runner::WorkloadResult::avgNonRngSlowdown() const
+{
+    double sum = 0.0;
+    unsigned n = 0;
+    for (const CoreResult &c : cores) {
+        if (!c.isRng) {
+            sum += c.slowdown;
+            ++n;
+        }
+    }
+    return n == 0 ? 1.0 : sum / n;
+}
+
+double
+Runner::WorkloadResult::rngSlowdown() const
+{
+    for (const CoreResult &c : cores)
+        if (c.isRng)
+            return c.slowdown;
+    return 1.0;
+}
+
+Runner::Runner(SimConfig base) : baseCfg(std::move(base))
+{
+}
+
+std::unique_ptr<cpu::TraceSource>
+Runner::makeAppTrace(const std::string &name, CoreId core) const
+{
+    return std::make_unique<workloads::SyntheticTrace>(
+        workloads::appByName(name), baseCfg.geometry, core, baseCfg.seed);
+}
+
+std::unique_ptr<cpu::TraceSource>
+Runner::makeRngTrace(double mbps, CoreId core) const
+{
+    return std::make_unique<workloads::RngBenchmark>(
+        mbps, baseCfg.geometry, baseCfg.seed + core);
+}
+
+AloneResult
+Runner::runAlone(std::unique_ptr<cpu::TraceSource> trace,
+                 SystemDesign design)
+{
+    SimConfig cfg = baseCfg;
+    cfg.design = design;
+    cfg.priorities.clear();
+
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+    traces.push_back(std::move(trace));
+    System sys(cfg, std::move(traces));
+    sys.run();
+
+    const cpu::CoreStats &s = sys.coreStats(0);
+    AloneResult res;
+    res.execCpuCycles = static_cast<double>(s.finishCycle);
+    res.ipc = s.ipc();
+    res.mcpi = s.mcpi();
+    return res;
+}
+
+const AloneResult &
+Runner::alone(const std::string &app_name, SystemDesign design)
+{
+    const std::string key = app_name + "|" + baseCfg.mechanism.name + "|" +
+                            std::to_string(baseCfg.instrBudget) + "|" +
+                            std::to_string(baseCfg.seed) + "|" +
+                            designName(design);
+    auto it = aloneCache.find(key);
+    if (it == aloneCache.end()) {
+        it = aloneCache
+                 .emplace(key, runAlone(makeAppTrace(app_name, 0), design))
+                 .first;
+    }
+    return it->second;
+}
+
+const AloneResult &
+Runner::aloneRng(double mbps, SystemDesign design)
+{
+    const std::string key = "rng" + std::to_string(mbps) + "|" +
+                            baseCfg.mechanism.name + "|" +
+                            std::to_string(baseCfg.instrBudget) + "|" +
+                            std::to_string(baseCfg.seed) + "|" +
+                            designName(design);
+    auto it = aloneCache.find(key);
+    if (it == aloneCache.end()) {
+        it = aloneCache
+                 .emplace(key, runAlone(makeRngTrace(mbps, 0), design))
+                 .first;
+    }
+    return it->second;
+}
+
+Runner::WorkloadResult
+Runner::run(SystemDesign design, const workloads::WorkloadSpec &spec)
+{
+    SimConfig cfg = baseCfg;
+    cfg.design = design;
+
+    const bool has_rng = spec.rngThroughputMbps > 0.0;
+    const unsigned n_cores =
+        static_cast<unsigned>(spec.apps.size()) + (has_rng ? 1 : 0);
+    assert(n_cores >= 1);
+
+    // The RNG benchmark occupies the last core.
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+    for (unsigned i = 0; i < spec.apps.size(); ++i)
+        traces.push_back(makeAppTrace(spec.apps[i], i));
+    if (has_rng)
+        traces.push_back(makeRngTrace(spec.rngThroughputMbps, n_cores - 1));
+
+    System sys(cfg, std::move(traces));
+    sys.run();
+
+    WorkloadResult result;
+    result.name = spec.name;
+    result.group = spec.group;
+    result.busCycles = sys.busCycles();
+    result.mcStats = sys.mc().stats();
+    result.bufferServeRate = result.mcStats.bufferServeRate();
+    if (auto ps = sys.mc().predictorStats())
+        result.predictorAccuracy = ps->accuracy();
+
+    for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
+        result.energyNj +=
+            channelEnergy(cfg.timings, sys.mc().channel(ch).energyCounters())
+                .total();
+    }
+
+    std::vector<double> mem_slowdowns;
+    std::vector<double> ipc_shared, ipc_alone;
+    for (unsigned i = 0; i < n_cores; ++i) {
+        const bool is_rng = has_rng && i == n_cores - 1;
+        const cpu::CoreStats &s = sys.coreStats(i);
+        // Both execution-time slowdown and the MCPI-based memory
+        // slowdown are normalized to the RNG-oblivious single-core
+        // baseline alone run (Section 7).
+        const AloneResult &al = is_rng
+                                    ? aloneRng(spec.rngThroughputMbps)
+                                    : alone(spec.apps[i]);
+        CoreResult cr;
+        cr.app = sys.traceName(i);
+        cr.isRng = is_rng;
+        cr.slowdown = slowdown(s, al);
+        cr.memSlowdown = memSlowdown(s, al);
+        cr.ipcShared = s.ipc();
+        cr.ipcAlone = al.ipc;
+        cr.rngStallFraction =
+            s.finishCycle == 0 ? 0.0
+                               : static_cast<double>(s.rngStallCycles) /
+                                     static_cast<double>(s.finishCycle);
+        mem_slowdowns.push_back(cr.memSlowdown);
+        if (!is_rng) {
+            ipc_shared.push_back(cr.ipcShared);
+            ipc_alone.push_back(cr.ipcAlone);
+        }
+        result.cores.push_back(std::move(cr));
+    }
+
+    result.unfairnessIndex = unfairness(mem_slowdowns);
+    result.weightedSpeedupNonRng = weightedSpeedup(ipc_shared, ipc_alone);
+    return result;
+}
+
+} // namespace dstrange::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experiment runner: builds systems from workload specs, runs them, and
+ * derives the paper's metrics. Alone-run baselines are cached so sweeps
+ * over designs and workload sets stay fast.
+ */
+
+#ifndef DSTRANGE_SIM_RUNNER_H
+#define DSTRANGE_SIM_RUNNER_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/system.h"
+#include "workloads/mixes.h"
+
+namespace dstrange::sim {
+
+/** Orchestrates workload execution and metric computation. */
+class Runner
+{
+  public:
+    /** Per-core outcome of one workload run. */
+    struct CoreResult
+    {
+        std::string app;
+        bool isRng = false;
+        double slowdown = 1.0;    ///< Execution time vs. alone.
+        double memSlowdown = 1.0; ///< MCPI vs. alone.
+        double ipcShared = 0.0;
+        double ipcAlone = 0.0;
+        double rngStallFraction = 0.0; ///< RNG stall share of runtime.
+    };
+
+    /** Aggregate outcome of one workload run. */
+    struct WorkloadResult
+    {
+        std::string name;
+        std::string group;
+        std::vector<CoreResult> cores;
+        double unfairnessIndex = 1.0;
+        /** Raw weighted speedup over the non-RNG applications. */
+        double weightedSpeedupNonRng = 0.0;
+        double bufferServeRate = 0.0;
+        double predictorAccuracy = -1.0; ///< -1 when no predictor.
+        Cycle busCycles = 0;
+        double energyNj = 0.0;
+        mem::McStats mcStats{};
+
+        /** Mean slowdown of the non-RNG applications. */
+        double avgNonRngSlowdown() const;
+
+        /** Slowdown of the RNG application (1.0 if none). */
+        double rngSlowdown() const;
+    };
+
+    explicit Runner(SimConfig base);
+
+    /** Run one workload under the given design. */
+    WorkloadResult run(SystemDesign design,
+                       const workloads::WorkloadSpec &spec);
+
+    /**
+     * Alone-run baseline of a non-RNG application (cached).
+     *
+     * Execution-time slowdowns (the paper's Fig. 1/6/8 y-axes) are
+     * normalized to the RNG-oblivious baseline alone run; the MCPI-based
+     * memory slowdown feeding the unfairness index is normalized to the
+     * alone run *on the same design* (Section 7's "when the application
+     * runs alone"), so pass the design under evaluation for the latter.
+     */
+    const AloneResult &alone(const std::string &app_name,
+                             SystemDesign design =
+                                 SystemDesign::RngOblivious);
+
+    /** Alone-run baseline of the RNG benchmark (cached). */
+    const AloneResult &aloneRng(double mbps,
+                                SystemDesign design =
+                                    SystemDesign::RngOblivious);
+
+    /** Mutable base configuration (mechanism, budget, seed, ...). */
+    SimConfig &base() { return baseCfg; }
+
+  private:
+    std::unique_ptr<cpu::TraceSource>
+    makeAppTrace(const std::string &name, CoreId core) const;
+    std::unique_ptr<cpu::TraceSource> makeRngTrace(double mbps,
+                                                   CoreId core) const;
+    AloneResult runAlone(std::unique_ptr<cpu::TraceSource> trace,
+                         SystemDesign design);
+
+    SimConfig baseCfg;
+    std::map<std::string, AloneResult> aloneCache;
+};
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_RUNNER_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * System-level configuration: the paper's named system designs as
+ * presets over the memory controller configuration space.
+ */
+
+#ifndef DSTRANGE_SIM_SIM_CONFIG_H
+#define DSTRANGE_SIM_SIM_CONFIG_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dram/address_mapper.h"
+#include "dram/dram_timings.h"
+#include "mem/memory_controller.h"
+#include "trng/trng_mechanism.h"
+
+namespace dstrange::sim {
+
+/** The named system designs evaluated in the paper. */
+enum class SystemDesign : std::uint8_t
+{
+    RngOblivious,     ///< Baseline: FR-FCFS+Cap16, on-demand all-channel RNG.
+    GreedyIdle,       ///< Oracle zero-overhead buffer fill + RNG-aware queue.
+    DrStrange,        ///< Full design: simple predictor, low-util threshold 4.
+    DrStrangeNoPred,  ///< Simple buffering (every quiet period assumed long).
+    DrStrangeRl,      ///< Q-learning idleness predictor.
+    DrStrangeNoLowUtil, ///< Simple predictor, low-utilization disabled.
+    RngAwareNoBuffer, ///< RNG-aware scheduler only (Fig. 11 ablation).
+    FrFcfsBaseline,   ///< RNG-oblivious with classic (uncapped) FR-FCFS.
+    BlissBaseline,    ///< RNG-oblivious with the BLISS scheduler.
+};
+
+/** Short display name of a design. */
+const char *designName(SystemDesign design);
+
+/** Full simulation configuration. */
+struct SimConfig
+{
+    SystemDesign design = SystemDesign::DrStrange;
+    trng::TrngMechanism mechanism = trng::TrngMechanism::dRange();
+    /** Optional distinct buffer-fill mechanism (hybrid TRNG design,
+     *  Section 8.7); empty = same mechanism for demand and fill. */
+    std::optional<trng::TrngMechanism> fillMechanism;
+    dram::DramTimings timings{};
+    dram::DramGeometry geometry{};
+
+    unsigned bufferEntries = 16;   ///< Buffered 64-bit numbers.
+    /** Per-application buffer partitions (Section 6 countermeasure);
+     *  0/1 = one shared buffer. */
+    unsigned bufferPartitions = 0;
+    unsigned lowUtilThreshold = 4; ///< DR-STRaNGe designs only.
+    /** Precharge power-down after this many idle cycles (0 = off). */
+    Cycle powerDownThreshold = 0;
+
+    std::uint64_t instrBudget = 300000; ///< Per-core retired instructions.
+    Cycle maxBusCycles = 40'000'000;    ///< Safety bound.
+
+    /** Per-core OS priorities (empty = all equal). */
+    std::vector<int> priorities;
+
+    std::uint64_t seed = 1; ///< Master seed for traces and entropy.
+};
+
+/** Expand a design preset into the memory controller configuration. */
+mem::McConfig mcConfigFor(const SimConfig &cfg);
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_SIM_CONFIG_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Top-level simulated system: N cores + memory controller + DRAM +
+ * integrated DRAM TRNG, advanced in lock-step at bus-cycle granularity.
+ */
+
+#ifndef DSTRANGE_SIM_SYSTEM_H
+#define DSTRANGE_SIM_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.h"
+#include "cpu/trace_source.h"
+#include "sim/sim_config.h"
+#include "trng/entropy_source.h"
+
+namespace dstrange::sim {
+
+/**
+ * Owns and steps all components. Cores run until each retires its
+ * instruction budget; finished cores keep generating traffic (standard
+ * multi-programmed methodology) but their statistics freeze.
+ */
+class System
+{
+  public:
+    System(const SimConfig &config,
+           std::vector<std::unique_ptr<cpu::TraceSource>> traces);
+
+    /** Run to completion (all budgets retired) or the safety bound. */
+    void run();
+
+    /** Advance exactly @p cycles bus cycles (for tests). */
+    void step(Cycle cycles);
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores.size());
+    }
+    const cpu::CoreStats &coreStats(unsigned i) const
+    {
+        return cores[i]->stats();
+    }
+    const std::string &traceName(unsigned i) const
+    {
+        return cores[i]->traceName();
+    }
+    mem::MemoryController &mc() { return *controller; }
+    const mem::MemoryController &mc() const { return *controller; }
+    trng::EntropySource &entropy() { return entropySource; }
+    Cycle busCycles() const { return now; }
+    bool allFinished() const;
+    const SimConfig &config() const { return cfg; }
+
+  private:
+    SimConfig cfg;
+    std::vector<std::unique_ptr<cpu::TraceSource>> traceOwners;
+    std::unique_ptr<mem::MemoryController> controller;
+    std::vector<std::unique_ptr<cpu::Core>> cores;
+    trng::EntropySource entropySource;
+    Cycle now = 0;
+};
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_SYSTEM_H

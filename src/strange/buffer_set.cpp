@@ -1,0 +1,105 @@
+#include "strange/buffer_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dstrange::strange {
+
+BufferSet::BufferSet(unsigned entries64, unsigned partitions)
+{
+    const unsigned n = std::max(1u, partitions);
+    // Distribute capacity; remainders go to the first partitions.
+    const unsigned base = entries64 / n;
+    const unsigned extra = entries64 % n;
+    buffers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        buffers.emplace_back(base + (i < extra ? 1 : 0));
+}
+
+const RandomNumberBuffer &
+BufferSet::bufferFor(CoreId core) const
+{
+    return buffers[partitioned() ? core % buffers.size() : 0];
+}
+
+RandomNumberBuffer &
+BufferSet::bufferFor(CoreId core)
+{
+    return buffers[partitioned() ? core % buffers.size() : 0];
+}
+
+bool
+BufferSet::canServe64(CoreId core) const
+{
+    return bufferFor(core).canServe64();
+}
+
+void
+BufferSet::serve64(CoreId core)
+{
+    bufferFor(core).serve64();
+}
+
+double
+BufferSet::deposit(double bits)
+{
+    double accepted = 0.0;
+    while (bits > 0.0) {
+        auto it = std::min_element(
+            buffers.begin(), buffers.end(),
+            [](const RandomNumberBuffer &a, const RandomNumberBuffer &b) {
+                // Compare fill fractions so uneven partitions behave.
+                const double fa =
+                    a.capacityBits() > 0 ? a.levelBits() / a.capacityBits()
+                                         : 1.0;
+                const double fb =
+                    b.capacityBits() > 0 ? b.levelBits() / b.capacityBits()
+                                         : 1.0;
+                return fa < fb;
+            });
+        const double taken = it->deposit(bits);
+        if (taken <= 0.0)
+            break; // Everything is full.
+        accepted += taken;
+        bits -= taken;
+    }
+    return accepted;
+}
+
+bool
+BufferSet::full() const
+{
+    for (const RandomNumberBuffer &b : buffers)
+        if (!b.full())
+            return false;
+    return true;
+}
+
+double
+BufferSet::levelBits() const
+{
+    double level = 0.0;
+    for (const RandomNumberBuffer &b : buffers)
+        level += b.levelBits();
+    return level;
+}
+
+double
+BufferSet::capacityBits() const
+{
+    double cap = 0.0;
+    for (const RandomNumberBuffer &b : buffers)
+        cap += b.capacityBits();
+    return cap;
+}
+
+std::uint64_t
+BufferSet::servedCount() const
+{
+    std::uint64_t served = 0;
+    for (const RandomNumberBuffer &b : buffers)
+        served += b.servedCount();
+    return served;
+}
+
+} // namespace dstrange::strange

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared or partitioned random number buffer. Section 6 proposes
+ * partitioning the random number buffer across threads as a covert- and
+ * side-channel countermeasure: with per-application partitions, one
+ * application's random number consumption cannot be observed through
+ * another application's buffer-hit latency.
+ */
+
+#ifndef DSTRANGE_STRANGE_BUFFER_SET_H
+#define DSTRANGE_STRANGE_BUFFER_SET_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "strange/random_buffer.h"
+
+namespace dstrange::strange {
+
+/**
+ * A set of random number buffers: either one buffer shared by all
+ * applications (the default, highest-performance configuration) or one
+ * private partition per application (the isolation configuration).
+ * Fill bits go to the emptiest partition so no application starves.
+ */
+class BufferSet
+{
+  public:
+    /**
+     * @param entries64 total capacity in 64-bit numbers
+     * @param partitions number of partitions; 0 or 1 = one shared buffer
+     */
+    BufferSet(unsigned entries64, unsigned partitions);
+
+    bool partitioned() const { return buffers.size() > 1; }
+
+    /** true when @p core's (or the shared) buffer can serve 64 bits. */
+    bool canServe64(CoreId core) const;
+
+    /** Serve one 64-bit request for @p core. @pre canServe64(core) */
+    void serve64(CoreId core);
+
+    /**
+     * Deposit harvested bits into the emptiest partition (bits spill
+     * to the next-emptiest when a partition fills).
+     * @return bits accepted.
+     */
+    double deposit(double bits);
+
+    /** true when every partition is full. */
+    bool full() const;
+
+    /** Total buffered bits across partitions. */
+    double levelBits() const;
+
+    /** Total capacity in bits. */
+    double capacityBits() const;
+
+    /** Total 64-bit serves across partitions. */
+    std::uint64_t servedCount() const;
+
+    /** Direct partition access (tests/telemetry). */
+    const RandomNumberBuffer &partition(std::size_t i) const
+    {
+        return buffers[i];
+    }
+    std::size_t partitionCount() const { return buffers.size(); }
+
+  private:
+    const RandomNumberBuffer &bufferFor(CoreId core) const;
+    RandomNumberBuffer &bufferFor(CoreId core);
+
+    std::vector<RandomNumberBuffer> buffers;
+};
+
+} // namespace dstrange::strange
+
+#endif // DSTRANGE_STRANGE_BUFFER_SET_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Interface for DRAM idleness predictors. The memory controller consults
+ * a predictor when a channel's request queues drain (or fall below the
+ * low-utilization threshold) and trains it when the idle period ends.
+ */
+
+#ifndef DSTRANGE_STRANGE_IDLENESS_PREDICTOR_H
+#define DSTRANGE_STRANGE_IDLENESS_PREDICTOR_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dstrange::strange {
+
+/** Accuracy bookkeeping shared by all predictor implementations. */
+struct PredictorStats
+{
+    std::uint64_t predictions = 0;
+    std::uint64_t correct = 0;
+    /** Short period predicted long: RNG interferes with regular traffic. */
+    std::uint64_t falsePositives = 0;
+    /** Long period predicted short: a generation opportunity is wasted. */
+    std::uint64_t falseNegatives = 0;
+
+    double
+    accuracy() const
+    {
+        return predictions == 0
+                   ? 0.0
+                   : static_cast<double>(correct) /
+                         static_cast<double>(predictions);
+    }
+};
+
+/**
+ * Predicts whether the idle period starting now will be long enough
+ * (>= PeriodThreshold cycles) to generate a batch of random bits.
+ */
+class IdlenessPredictor
+{
+  public:
+    virtual ~IdlenessPredictor() = default;
+
+    /**
+     * Called once at the start of each idle (or low-utilization) period.
+     * @param last_addr the last accessed memory address on the channel.
+     * @retval true the period is predicted long (generate).
+     */
+    virtual bool predictLong(Addr last_addr) = 0;
+
+    /**
+     * Side-effect-free prediction for the low-utilization extension:
+     * reuses the trained state without registering a scored prediction.
+     */
+    virtual bool peekLong(Addr last_addr) const = 0;
+
+    /**
+     * Called once at the end of the period with the observed length so
+     * the predictor can train and score its earlier prediction.
+     */
+    virtual void periodEnded(Addr last_addr, Cycle idle_length) = 0;
+
+    const PredictorStats &stats() const { return statistics; }
+
+  protected:
+    /** Score one resolved prediction. */
+    void
+    score(bool predicted_long, bool actually_long)
+    {
+        statistics.predictions++;
+        if (predicted_long == actually_long)
+            statistics.correct++;
+        else if (predicted_long)
+            statistics.falsePositives++;
+        else
+            statistics.falseNegatives++;
+    }
+
+    PredictorStats statistics;
+};
+
+} // namespace dstrange::strange
+
+#endif // DSTRANGE_STRANGE_IDLENESS_PREDICTOR_H

@@ -1,0 +1,36 @@
+#include "strange/random_buffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dstrange::strange {
+
+RandomNumberBuffer::RandomNumberBuffer(unsigned entries64)
+    : capacity(static_cast<double>(entries64) * 64.0)
+{
+}
+
+double
+RandomNumberBuffer::deposit(double bits)
+{
+    assert(bits >= 0.0);
+    const double accepted = std::min(bits, capacity - level);
+    if (accepted <= 0.0) {
+        overflowed += bits;
+        return 0.0;
+    }
+    level += accepted;
+    deposited += accepted;
+    overflowed += bits - accepted;
+    return accepted;
+}
+
+void
+RandomNumberBuffer::serve64()
+{
+    assert(canServe64());
+    level -= 64.0;
+    served++;
+}
+
+} // namespace dstrange::strange

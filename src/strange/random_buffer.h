@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The random number buffer DR-STRaNGe places in the memory controller.
+ * Random bits generated during (predicted) idle DRAM periods are stored
+ * here and 64-bit random number requests are served from it with low
+ * latency. Served bits are discarded (each number is unique, Section 6).
+ */
+
+#ifndef DSTRANGE_STRANGE_RANDOM_BUFFER_H
+#define DSTRANGE_STRANGE_RANDOM_BUFFER_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dstrange::strange {
+
+/**
+ * Bit-granularity accounting of a small SRAM buffer of 64-bit random
+ * numbers. Fractional bit credit is allowed because the Figure-2 sweep
+ * mechanisms yield fractional bits per round; a request is only served
+ * once 64 whole bits are available.
+ */
+class RandomNumberBuffer
+{
+  public:
+    /** @param entries64 capacity in 64-bit numbers (0 = no buffer). */
+    explicit RandomNumberBuffer(unsigned entries64);
+
+    /** Capacity in bits. */
+    double capacityBits() const { return capacity; }
+
+    /** Bits currently buffered. */
+    double levelBits() const { return level; }
+
+    bool full() const { return level >= capacity; }
+    bool empty() const { return level <= 0.0; }
+
+    /** true when a 64-bit request can be served from the buffer. */
+    bool canServe64() const { return level >= 64.0; }
+
+    /**
+     * Deposit harvested bits.
+     * @return the number of bits actually accepted (the rest overflow
+     *         and are discarded, matching a full hardware buffer).
+     */
+    double deposit(double bits);
+
+    /**
+     * Serve one 64-bit random number request.
+     * @pre canServe64()
+     */
+    void serve64();
+
+    /** Number of 64-bit requests served from the buffer. */
+    std::uint64_t servedCount() const { return served; }
+
+    /** Total bits ever deposited (excluding overflow). */
+    double totalDeposited() const { return deposited; }
+
+    /** Total bits that arrived while full and were discarded. */
+    double totalOverflowed() const { return overflowed; }
+
+  private:
+    double capacity;
+    double level = 0.0;
+    std::uint64_t served = 0;
+    double deposited = 0.0;
+    double overflowed = 0.0;
+};
+
+} // namespace dstrange::strange
+
+#endif // DSTRANGE_STRANGE_RANDOM_BUFFER_H

@@ -1,0 +1,90 @@
+#include "strange/rl_predictor.h"
+
+#include <cassert>
+
+namespace dstrange::strange {
+
+RlIdlenessPredictor::RlIdlenessPredictor(const Config &config)
+    : cfg(config), stateMask((1u << config.stateBits) - 1),
+      q(std::size_t(2) << config.stateBits, 0.0), explore(config.seed)
+{
+    assert(cfg.stateBits > 0 && cfg.stateBits <= 20);
+    assert(cfg.alpha > 0.0 && cfg.alpha <= 1.0);
+}
+
+unsigned
+RlIdlenessPredictor::stateOf(Addr last_addr) const
+{
+    // High-order address bits at region granularity (see
+    // simple_predictor.cpp) XOR'ed with the 10-bit long/short history of
+    // recent idle periods.
+    constexpr unsigned kRegionShift = 22;
+    const auto addr_bits =
+        static_cast<unsigned>(mix64(last_addr >> kRegionShift) & stateMask);
+    return (addr_bits ^ idleHistory) & stateMask;
+}
+
+bool
+RlIdlenessPredictor::predictLong(Addr last_addr)
+{
+    const unsigned s = stateOf(last_addr);
+    const double q_wait = q[2 * s];
+    const double q_gen = q[2 * s + 1];
+
+    bool generate;
+    if (explore.nextDouble() < cfg.epsilon)
+        generate = explore.nextBool(0.5);
+    else if (q_gen == q_wait)
+        generate = explore.nextBool(0.5); // break ties without bias
+    else
+        generate = q_gen > q_wait;
+
+    pendingState = s;
+    pendingAction = generate;
+    predictionPending = true;
+    return generate;
+}
+
+bool
+RlIdlenessPredictor::peekLong(Addr last_addr) const
+{
+    const unsigned s = stateOf(last_addr);
+    return q[2 * s + 1] > q[2 * s];
+}
+
+void
+RlIdlenessPredictor::periodEnded(Addr last_addr, Cycle idle_length)
+{
+    (void)last_addr; // the state was latched when the prediction was made
+    const bool actually_long = idle_length >= cfg.periodThreshold;
+
+    if (predictionPending) {
+        double reward;
+        if (pendingAction && actually_long)
+            reward = cfg.rewardCorrectGenerate;
+        else if (!pendingAction && !actually_long)
+            reward = cfg.rewardCorrectWait;
+        else if (pendingAction)
+            reward = cfg.penaltyFalsePositive;
+        else
+            reward = cfg.penaltyFalseNegative;
+
+        double &qv = q[2 * pendingState + (pendingAction ? 1 : 0)];
+        qv = (1.0 - cfg.alpha) * qv + cfg.alpha * reward;
+
+        score(pendingAction, actually_long);
+        predictionPending = false;
+    }
+
+    idleHistory =
+        ((idleHistory << 1) | (actually_long ? 1u : 0u)) & stateMask;
+}
+
+double
+RlIdlenessPredictor::qValue(unsigned state, bool generate) const
+{
+    assert(state <= stateMask);
+    return q[2 * state + (generate ? 1 : 0)];
+}
+
+} // namespace dstrange::strange

@@ -1,0 +1,130 @@
+#include "trng/bit_quality.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+namespace dstrange::trng {
+
+namespace {
+
+std::uint64_t
+countOnes(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t ones = 0;
+    for (std::uint8_t b : bytes)
+        ones += std::popcount(b);
+    return ones;
+}
+
+} // namespace
+
+TestResult
+monobitTest(const std::vector<std::uint8_t> &bytes)
+{
+    TestResult res;
+    const double n = static_cast<double>(bytes.size()) * 8.0;
+    if (n == 0.0)
+        return res;
+    const double ones = static_cast<double>(countOnes(bytes));
+    res.statistic = std::abs(2.0 * ones - n) / std::sqrt(n);
+    res.pass = res.statistic < 3.29;
+    return res;
+}
+
+TestResult
+runsTest(const std::vector<std::uint8_t> &bytes)
+{
+    TestResult res;
+    const std::size_t n_bits = bytes.size() * 8;
+    if (n_bits < 2)
+        return res;
+
+    auto bit_at = [&](std::size_t i) {
+        return (bytes[i / 8] >> (i % 8)) & 1;
+    };
+
+    std::uint64_t runs = 1;
+    for (std::size_t i = 1; i < n_bits; ++i)
+        if (bit_at(i) != bit_at(i - 1))
+            ++runs;
+
+    const double n = static_cast<double>(n_bits);
+    const double pi =
+        static_cast<double>(countOnes(bytes)) / n; // fraction of ones
+    const double expected = 2.0 * n * pi * (1.0 - pi) + 1.0;
+    const double variance =
+        2.0 * n * pi * (1.0 - pi) * (2.0 * pi * (1.0 - pi));
+    if (variance <= 0.0)
+        return res;
+    res.statistic =
+        std::abs(static_cast<double>(runs) - expected) / std::sqrt(variance);
+    res.pass = res.statistic < 3.29;
+    return res;
+}
+
+TestResult
+chiSquareByteTest(const std::vector<std::uint8_t> &bytes)
+{
+    TestResult res;
+    if (bytes.size() < 2560) // need >=10 expected per bin
+        return res;
+    std::array<std::uint64_t, 256> hist{};
+    for (std::uint8_t b : bytes)
+        hist[b]++;
+    const double expected = static_cast<double>(bytes.size()) / 256.0;
+    double chi2 = 0.0;
+    for (std::uint64_t h : hist) {
+        const double d = static_cast<double>(h) - expected;
+        chi2 += d * d / expected;
+    }
+    res.statistic = chi2;
+    res.pass = chi2 > 160.0 && chi2 < 380.0;
+    return res;
+}
+
+TestResult
+serialCorrelationTest(const std::vector<std::uint8_t> &bytes)
+{
+    TestResult res;
+    const std::size_t n = bytes.size();
+    if (n < 2)
+        return res;
+
+    double sum_x = 0.0, sum_x2 = 0.0, sum_xy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = bytes[i];
+        sum_x += x;
+        sum_x2 += x * x;
+        sum_xy += x * bytes[(i + 1) % n];
+    }
+    const double nn = static_cast<double>(n);
+    const double num = nn * sum_xy - sum_x * sum_x;
+    const double den = nn * sum_x2 - sum_x * sum_x;
+    if (den == 0.0)
+        return res;
+    res.statistic = num / den;
+    res.pass = std::abs(res.statistic) < 0.05;
+    return res;
+}
+
+double
+shannonEntropyPerByte(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return 0.0;
+    std::array<std::uint64_t, 256> hist{};
+    for (std::uint8_t b : bytes)
+        hist[b]++;
+    double entropy = 0.0;
+    const double n = static_cast<double>(bytes.size());
+    for (std::uint64_t h : hist) {
+        if (h == 0)
+            continue;
+        const double p = static_cast<double>(h) / n;
+        entropy -= p * std::log2(p);
+    }
+    return entropy;
+}
+
+} // namespace dstrange::trng

@@ -1,0 +1,3 @@
+#include "trng/entropy_source.h"
+
+// EntropySource is header-only; this translation unit anchors the library.

@@ -1,0 +1,71 @@
+#include "trng/postprocess.h"
+
+#include "trng/sha256.h"
+
+namespace dstrange::trng {
+
+bool
+VonNeumannCorrector::feed(bool raw_bit, bool &out_bit)
+{
+    bitsIn++;
+    if (!havePending) {
+        havePending = true;
+        pendingBit = raw_bit;
+        return false;
+    }
+    havePending = false;
+    if (pendingBit == raw_bit)
+        return false; // Concordant pair: discard.
+    out_bit = pendingBit;
+    bitsEmitted++;
+    return true;
+}
+
+std::vector<std::uint8_t>
+VonNeumannCorrector::process(const std::vector<std::uint8_t> &raw)
+{
+    std::vector<std::uint8_t> out;
+    std::uint8_t acc = 0;
+    unsigned nbits = 0;
+    for (std::uint8_t byte : raw) {
+        for (int b = 0; b < 8; ++b) {
+            bool out_bit = false;
+            if (feed((byte >> b) & 1, out_bit)) {
+                acc |= static_cast<std::uint8_t>(out_bit) << nbits;
+                if (++nbits == 8) {
+                    out.push_back(acc);
+                    acc = 0;
+                    nbits = 0;
+                }
+            }
+        }
+    }
+    return out; // Trailing partial byte is dropped (caller re-feeds).
+}
+
+double
+VonNeumannCorrector::efficiency() const
+{
+    return bitsIn == 0 ? 0.0
+                       : static_cast<double>(bitsEmitted) /
+                             static_cast<double>(bitsIn);
+}
+
+void
+Sha256Conditioner::feed(const std::vector<std::uint8_t> &raw,
+                        std::vector<std::uint8_t> &out)
+{
+    pending.insert(pending.end(), raw.begin(), raw.end());
+    std::size_t offset = 0;
+    while (pending.size() - offset >= 64) {
+        Sha256 h;
+        h.update(pending.data() + offset, 64);
+        const auto digest = h.digest();
+        out.insert(out.end(), digest.begin(), digest.end());
+        offset += 64;
+    }
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+} // namespace dstrange::trng

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bitstream post-processing used by DRAM TRNG mechanisms: the von
+ * Neumann corrector D-RaNGe applies to raw RNG-cell reads, and
+ * SHA-256-based conditioning as used by QUAC-TRNG. Both consume raw
+ * (possibly biased) bits and emit unbiased output bits, with the
+ * throughput cost the mechanisms' quoted rates already account for.
+ */
+
+#ifndef DSTRANGE_TRNG_POSTPROCESS_H
+#define DSTRANGE_TRNG_POSTPROCESS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dstrange::trng {
+
+/**
+ * Von Neumann corrector: consumes bit pairs, emits the first bit of
+ * each discordant pair (01 -> 0, 10 -> 1), discards concordant pairs.
+ * Removes bias from independent-but-biased bits at a 4x-plus rate cost.
+ */
+class VonNeumannCorrector
+{
+  public:
+    /** Feed one raw bit; returns true if an output bit was produced. */
+    bool feed(bool raw_bit, bool &out_bit);
+
+    /** Process a whole byte vector (bit order: LSB first per byte). */
+    std::vector<std::uint8_t>
+    process(const std::vector<std::uint8_t> &raw);
+
+    /** Raw bits consumed so far. */
+    std::uint64_t rawBitsIn() const { return bitsIn; }
+
+    /** Output bits produced so far. */
+    std::uint64_t bitsOut() const { return bitsEmitted; }
+
+    /** Output/input bit ratio (0.25 for unbiased input). */
+    double efficiency() const;
+
+  private:
+    bool havePending = false;
+    bool pendingBit = false;
+    std::uint64_t bitsIn = 0;
+    std::uint64_t bitsEmitted = 0;
+};
+
+/**
+ * SHA-256 conditioner: compresses each 64-byte raw block into a 32-byte
+ * conditioned block (2:1 entropy extraction, QUAC-TRNG's scheme).
+ * Partial trailing blocks are buffered until full.
+ */
+class Sha256Conditioner
+{
+  public:
+    /** Feed raw bytes; conditioned output is appended to out. */
+    void feed(const std::vector<std::uint8_t> &raw,
+              std::vector<std::uint8_t> &out);
+
+    /** Raw bytes buffered awaiting a full block. */
+    std::size_t pendingBytes() const { return pending.size(); }
+
+  private:
+    std::vector<std::uint8_t> pending;
+};
+
+} // namespace dstrange::trng
+
+#endif // DSTRANGE_TRNG_POSTPROCESS_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compact SHA-256 implementation (FIPS 180-4). QUAC-TRNG post-processes
+ * the raw QUAC sieve with SHA-256 to condition the entropy; this is the
+ * same conditioning step, used by the post-processing pipeline and the
+ * security examples.
+ */
+
+#ifndef DSTRANGE_TRNG_SHA256_H
+#define DSTRANGE_TRNG_SHA256_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dstrange::trng {
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    void
+    update(const std::vector<std::uint8_t> &data)
+    {
+        update(data.data(), data.size());
+    }
+
+    /** Finalize and return the 32-byte digest (object becomes reusable
+     *  only after reset()). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Restore the initial state. */
+    void reset();
+
+    /** One-shot convenience helper. */
+    static std::array<std::uint8_t, 32>
+    hash(const std::vector<std::uint8_t> &data);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state;
+    std::uint64_t bitLength = 0;
+    std::array<std::uint8_t, 64> buffer;
+    std::size_t bufferLen = 0;
+};
+
+} // namespace dstrange::trng
+
+#endif // DSTRANGE_TRNG_SHA256_H

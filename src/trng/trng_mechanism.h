@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Parametric model of a DRAM-based TRNG mechanism. A mechanism is
+ * described by how many random bits one "round" of timing-violation
+ * accesses yields on one channel, how long a round occupies the channel,
+ * and the cost of switching the channel between Regular and RNG modes
+ * (timing parameters must be changed and banks precharged on both edges).
+ */
+
+#ifndef DSTRANGE_TRNG_TRNG_MECHANISM_H
+#define DSTRANGE_TRNG_TRNG_MECHANISM_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace dstrange::trng {
+
+/**
+ * TRNG mechanism parameters. Two concrete instances model the paper's
+ * mechanisms:
+ *
+ * - D-RaNGe (HPCA'19): one low-latency round reads one RNG cell per bank
+ *   (8 bits / round / channel) in one PeriodThreshold-sized burst; modest
+ *   sustained throughput (~563 Mb/s system-wide), low 64-bit latency.
+ * - QUAC-TRNG (ISCA'21): one quadruple-activation + SHA-256 round yields
+ *   512 bits but takes much longer; high sustained throughput
+ *   (~3.4 Gb/s system-wide), high 64-bit latency.
+ */
+struct TrngMechanism
+{
+    std::string name = "custom";
+
+    /** Random bits one round yields on one channel (fractional allowed
+     *  for the Figure-2 throughput-sweep mechanisms). */
+    double bitsPerRound = 8.0;
+
+    /** Bus cycles one round occupies the channel. */
+    Cycle roundLatency = 40;
+
+    /** Bus cycles to enter RNG mode (precharge + timing-parameter swap). */
+    Cycle switchInLatency = 24;
+
+    /** Bus cycles to restore Regular mode. */
+    Cycle switchOutLatency = 16;
+
+    /** Sustained per-channel throughput in Mb/s (rounds back to back). */
+    double perChannelThroughputMbps() const;
+
+    /** Sustained system throughput in Mb/s over @p channels channels. */
+    double systemThroughputMbps(unsigned channels) const;
+
+    /**
+     * Latency in bus cycles to generate @p bits on demand with
+     * @p channels channels operating in parallel from Regular mode,
+     * including both mode switches.
+     */
+    Cycle demandLatency(unsigned bits, unsigned channels) const;
+
+    /** The D-RaNGe mechanism model. */
+    static TrngMechanism dRange();
+
+    /** The QUAC-TRNG mechanism model. */
+    static TrngMechanism quacTrng();
+
+    /**
+     * A D-RaNGe-latency mechanism scaled to the given *system* throughput
+     * (Figure 2 sweep: round latency is held at D-RaNGe's value and the
+     * per-round yield is scaled).
+     */
+    static TrngMechanism withSystemThroughput(double mbps, unsigned channels);
+};
+
+} // namespace dstrange::trng
+
+#endif // DSTRANGE_TRNG_TRNG_MECHANISM_H

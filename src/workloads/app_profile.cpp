@@ -1,0 +1,123 @@
+#include "workloads/app_profile.h"
+
+#include <stdexcept>
+
+namespace dstrange::workloads {
+
+namespace {
+
+// name, mpki, readFrac, rowLocality, hotBanks, burstStay, burstIntensity,
+// footprint (lines).
+//
+// The 23 plotted apps carry the paper's names; MPKI rises along the
+// paper's x-axis order. Low-intensity fillers complete the 43-app pool
+// used for workload-mix construction.
+std::vector<AppProfile>
+buildTable()
+{
+    auto app = [](std::string name, double mpki, double rf, double rl,
+                  unsigned hb, double bs, double bi,
+                  std::uint64_t fp) -> AppProfile {
+        AppProfile p;
+        p.name = std::move(name);
+        p.mpki = mpki;
+        p.readFraction = rf;
+        p.rowLocality = rl;
+        p.hotBanks = hb;
+        p.burstStay = bs;
+        p.burstIntensity = bi;
+        p.footprintLines = fp;
+        return p;
+    };
+
+    std::vector<AppProfile> t;
+    // --- Medium intensity (plotted, YCSB/TPC/media/SPEC) --------------
+    t.push_back(app("ycsb3", 1.2, 0.80, 0.35, 4, 0.97, 8.0, 1u << 21));
+    t.push_back(app("ycsb4", 1.6, 0.78, 0.35, 4, 0.97, 8.0, 1u << 21));
+    t.push_back(app("ycsb2", 2.0, 0.80, 0.40, 4, 0.97, 7.0, 1u << 21));
+    t.push_back(app("ycsb1", 2.5, 0.75, 0.40, 4, 0.96, 7.0, 1u << 21));
+    t.push_back(app("sphinx3", 3.0, 0.85, 0.65, 6, 0.96, 6.0, 1u << 19));
+    t.push_back(app("ycsb0", 3.6, 0.78, 0.40, 4, 0.97, 7.0, 1u << 21));
+    t.push_back(app("jp2d", 4.2, 0.70, 0.80, 8, 0.96, 6.0, 1u << 18));
+    t.push_back(app("tpcc64", 5.0, 0.65, 0.30, 4, 0.97, 8.0, 1u << 22));
+    t.push_back(app("jp2e", 6.0, 0.60, 0.80, 8, 0.96, 6.0, 1u << 18));
+    t.push_back(app("wcount0", 7.0, 0.72, 0.55, 6, 0.96, 7.0, 1u << 20));
+    t.push_back(app("cactus", 8.2, 0.75, 0.70, 8, 0.95, 5.0, 1u << 20));
+    t.push_back(app("astar", 9.2, 0.82, 0.30, 3, 0.95, 5.0, 1u << 20));
+    // --- High intensity (plotted) --------------------------------------
+    t.push_back(app("tpch17", 11.0, 0.85, 0.60, 6, 0.90, 3.0, 1u << 22));
+    t.push_back(app("soplex", 13.0, 0.80, 0.55, 6, 0.70, 2.0, 1u << 21));
+    t.push_back(app("milc", 15.0, 0.75, 0.70, 8, 0.60, 1.8, 1u << 21));
+    t.push_back(app("gems", 17.0, 0.78, 0.75, 8, 0.60, 1.8, 1u << 21));
+    t.push_back(app("leslie3d", 19.0, 0.76, 0.85, 8, 0.55, 1.5, 1u << 21));
+    t.push_back(app("tpch2", 22.0, 0.85, 0.60, 6, 0.88, 2.5, 1u << 22));
+    t.push_back(app("zeusmp", 25.0, 0.72, 0.80, 8, 0.50, 1.5, 1u << 21));
+    t.push_back(app("lbm", 29.0, 0.55, 0.90, 8, 0.40, 1.2, 1u << 21));
+    t.push_back(app("mcf", 33.0, 0.85, 0.20, 3, 0.55, 1.5, 1u << 22));
+    t.push_back(app("libq", 38.0, 0.95, 0.95, 8, 0.30, 1.1, 1u << 20));
+    t.push_back(app("h264d", 44.0, 0.70, 0.75, 8, 0.60, 1.5, 1u << 19));
+    // --- Low intensity (pool fillers for L-category mixes) -------------
+    t.push_back(app("perlbench", 0.20, 0.80, 0.55, 4, 0.85, 4.0, 1u << 18));
+    t.push_back(app("bzip2", 0.50, 0.70, 0.65, 6, 0.80, 3.0, 1u << 19));
+    t.push_back(app("gcc", 0.70, 0.78, 0.50, 4, 0.85, 4.0, 1u << 19));
+    t.push_back(app("gobmk", 0.30, 0.82, 0.45, 4, 0.80, 3.0, 1u << 18));
+    t.push_back(app("hmmer", 0.15, 0.75, 0.70, 6, 0.70, 2.0, 1u << 17));
+    t.push_back(app("sjeng", 0.40, 0.80, 0.40, 4, 0.80, 3.0, 1u << 18));
+    t.push_back(app("namd", 0.10, 0.78, 0.75, 8, 0.60, 2.0, 1u << 17));
+    t.push_back(app("dealII", 0.25, 0.80, 0.60, 6, 0.75, 2.5, 1u << 18));
+    t.push_back(app("povray", 0.05, 0.85, 0.60, 4, 0.70, 2.0, 1u << 16));
+    t.push_back(app("calculix", 0.12, 0.76, 0.70, 6, 0.70, 2.0, 1u << 17));
+    t.push_back(app("tonto", 0.20, 0.78, 0.65, 6, 0.75, 2.5, 1u << 17));
+    t.push_back(app("gamess", 0.08, 0.80, 0.65, 4, 0.70, 2.0, 1u << 16));
+    t.push_back(app("gromacs", 0.30, 0.75, 0.70, 6, 0.70, 2.0, 1u << 18));
+    t.push_back(app("h264ref", 0.50, 0.70, 0.75, 8, 0.75, 2.5, 1u << 18));
+    t.push_back(app("epic", 0.35, 0.68, 0.80, 8, 0.80, 3.0, 1u << 17));
+    t.push_back(app("mpeg2d", 0.45, 0.70, 0.80, 8, 0.80, 3.0, 1u << 18));
+    t.push_back(app("adpcmd", 0.10, 0.72, 0.85, 8, 0.70, 2.0, 1u << 16));
+    t.push_back(app("tpch6", 0.80, 0.85, 0.60, 6, 0.90, 4.0, 1u << 21));
+    t.push_back(app("tpcc16", 0.60, 0.65, 0.30, 4, 0.92, 5.0, 1u << 21));
+    t.push_back(app("ycsb5", 0.90, 0.78, 0.40, 4, 0.92, 5.0, 1u << 21));
+    return t;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+appTable()
+{
+    static const std::vector<AppProfile> table = buildTable();
+    return table;
+}
+
+const AppProfile &
+appByName(const std::string &name)
+{
+    for (const AppProfile &p : appTable())
+        if (p.name == name)
+            return p;
+    throw std::out_of_range("unknown application profile: " + name);
+}
+
+std::vector<const AppProfile *>
+appsByCategory(char category)
+{
+    std::vector<const AppProfile *> out;
+    for (const AppProfile &p : appTable())
+        if (p.category() == category)
+            out.push_back(&p);
+    return out;
+}
+
+const std::vector<std::string> &
+paperPlottedApps()
+{
+    static const std::vector<std::string> names = {
+        "ycsb3",   "ycsb4",  "ycsb2", "ycsb1",    "sphinx3", "ycsb0",
+        "jp2d",    "tpcc64", "jp2e",  "wcount0",  "cactus",  "astar",
+        "tpch17",  "soplex", "milc",  "gems",     "leslie3d", "tpch2",
+        "zeusmp",  "lbm",    "mcf",   "libq",     "h264d",
+    };
+    return names;
+}
+
+} // namespace dstrange::workloads

@@ -1,0 +1,114 @@
+#include "workloads/mixes.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+#include "workloads/app_profile.h"
+
+namespace dstrange::workloads {
+
+namespace {
+
+std::string
+mixName(const std::string &app, double mbps)
+{
+    return app + "+rng" + std::to_string(static_cast<int>(mbps));
+}
+
+/** Draw one random app name from a category. */
+const std::string &
+draw(Xoshiro256ss &gen, const std::vector<const AppProfile *> &pool)
+{
+    assert(!pool.empty());
+    return pool[gen.nextBelow(pool.size())]->name;
+}
+
+} // namespace
+
+std::vector<WorkloadSpec>
+dualCoreMixes(double rng_mbps)
+{
+    std::vector<WorkloadSpec> out;
+    for (const AppProfile &p : appTable()) {
+        WorkloadSpec spec;
+        spec.name = mixName(p.name, rng_mbps);
+        spec.apps = {p.name};
+        spec.rngThroughputMbps = rng_mbps;
+        out.push_back(std::move(spec));
+    }
+    return out;
+}
+
+std::vector<WorkloadSpec>
+dualCorePlottedMixes(double rng_mbps)
+{
+    std::vector<WorkloadSpec> out;
+    for (const std::string &name : paperPlottedApps()) {
+        WorkloadSpec spec;
+        spec.name = mixName(name, rng_mbps);
+        spec.apps = {name};
+        spec.rngThroughputMbps = rng_mbps;
+        out.push_back(std::move(spec));
+    }
+    return out;
+}
+
+std::vector<WorkloadSpec>
+fourCoreGroups(std::uint64_t seed)
+{
+    const auto low = appsByCategory('L');
+    const auto high = appsByCategory('H');
+
+    struct GroupDef
+    {
+        const char *label;
+        char cats[3];
+    };
+    // S denotes the synthetic RNG benchmark occupying the fourth core.
+    const GroupDef defs[] = {
+        {"LLLS", {'L', 'L', 'L'}},
+        {"LLHS", {'L', 'L', 'H'}},
+        {"LHHS", {'L', 'H', 'H'}},
+        {"HHHS", {'H', 'H', 'H'}},
+    };
+
+    std::vector<WorkloadSpec> out;
+    for (const GroupDef &def : defs) {
+        Xoshiro256ss gen(mix64(seed) ^
+                         mix64(std::hash<std::string>{}(def.label)));
+        for (unsigned i = 0; i < 10; ++i) {
+            WorkloadSpec spec;
+            spec.group = def.label;
+            spec.name = std::string(def.label) + "-" +
+                        (i < 10 ? "0" : "") + std::to_string(i);
+            for (char c : def.cats)
+                spec.apps.push_back(draw(gen, c == 'L' ? low : high));
+            spec.rngThroughputMbps = 5120.0;
+            out.push_back(std::move(spec));
+        }
+    }
+    return out;
+}
+
+std::vector<WorkloadSpec>
+multiCoreCategoryGroup(unsigned n_cores, char category, std::uint64_t seed)
+{
+    assert(n_cores >= 2);
+    const auto pool = appsByCategory(category);
+    Xoshiro256ss gen(mix64(seed) ^ mix64(category) ^ mix64(n_cores));
+
+    std::vector<WorkloadSpec> out;
+    for (unsigned i = 0; i < 10; ++i) {
+        WorkloadSpec spec;
+        spec.group = std::string(1, category) + "(" +
+                     std::to_string(n_cores) + ")";
+        spec.name = spec.group + "-" + std::to_string(i);
+        for (unsigned a = 0; a + 1 < n_cores; ++a)
+            spec.apps.push_back(draw(gen, pool));
+        spec.rngThroughputMbps = 5120.0;
+        out.push_back(std::move(spec));
+    }
+    return out;
+}
+
+} // namespace dstrange::workloads

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Multi-programmed workload mix construction (Section 7 / Appendix A.2):
+ * 43 two-core mixes per RNG intensity, the four 4-core groups
+ * (LLLS/LLHS/LHHS/HHHS), and the L/M/H groups for 8- and 16-core
+ * configurations.
+ */
+
+#ifndef DSTRANGE_WORKLOADS_MIXES_H
+#define DSTRANGE_WORKLOADS_MIXES_H
+
+#include <string>
+#include <vector>
+
+namespace dstrange::workloads {
+
+/** One multi-programmed workload: non-RNG apps + one RNG benchmark. */
+struct WorkloadSpec
+{
+    std::string name;              ///< e.g. "mcf+rng5120" or "LLHS-03".
+    std::string group;             ///< e.g. "LLHS" or "H(8)"; may be empty.
+    std::vector<std::string> apps; ///< Non-RNG application names.
+    /** Required RNG throughput of the synthetic RNG app (0 = none). */
+    double rngThroughputMbps = 5120.0;
+};
+
+/** All 43 two-core mixes (one app + one RNG benchmark). */
+std::vector<WorkloadSpec> dualCoreMixes(double rng_mbps);
+
+/** The 23 plotted two-core mixes in the paper's x-axis order. */
+std::vector<WorkloadSpec> dualCorePlottedMixes(double rng_mbps);
+
+/**
+ * The four 4-core groups, 10 mixes each: three apps drawn from the
+ * group's memory-intensity categories plus the 5 Gb/s RNG benchmark.
+ */
+std::vector<WorkloadSpec> fourCoreGroups(std::uint64_t seed);
+
+/**
+ * One L/M/H group of @p n_cores-core workloads (10 mixes): n_cores-1
+ * applications from the category plus the RNG benchmark.
+ */
+std::vector<WorkloadSpec> multiCoreCategoryGroup(unsigned n_cores,
+                                                 char category,
+                                                 std::uint64_t seed);
+
+} // namespace dstrange::workloads
+
+#endif // DSTRANGE_WORKLOADS_MIXES_H

@@ -1,0 +1,95 @@
+#include "workloads/trace_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dstrange::workloads {
+
+TraceFileSource::TraceFileSource(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+
+    // Trace name = file name without directories.
+    const std::size_t slash = path.find_last_of('/');
+    traceName = slash == std::string::npos ? path : path.substr(slash + 1);
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream iss(line);
+        cpu::TraceOp op;
+        std::string kind;
+        if (!(iss >> op.computeInstrs >> kind)) {
+            throw std::runtime_error("malformed trace line " +
+                                     std::to_string(line_no) + " in " +
+                                     path);
+        }
+        if (kind == "R" || kind == "W") {
+            std::string addr_hex;
+            if (!(iss >> addr_hex)) {
+                throw std::runtime_error("missing address on line " +
+                                         std::to_string(line_no) + " in " +
+                                         path);
+            }
+            op.addr = std::stoull(addr_hex, nullptr, 16);
+            op.type = kind == "R" ? mem::ReqType::Read
+                                  : mem::ReqType::Write;
+        } else if (kind == "G") {
+            op.type = mem::ReqType::Rng;
+            op.addr = 0;
+        } else {
+            throw std::runtime_error("unknown op kind '" + kind +
+                                     "' on line " +
+                                     std::to_string(line_no) + " in " +
+                                     path);
+        }
+        ops.push_back(op);
+    }
+    if (ops.empty())
+        throw std::runtime_error("empty trace file: " + path);
+}
+
+cpu::TraceOp
+TraceFileSource::next()
+{
+    const cpu::TraceOp op = ops[pos];
+    if (++pos == ops.size()) {
+        pos = 0;
+        loopCount++;
+    }
+    return op;
+}
+
+void
+writeTraceFile(const std::string &path, cpu::TraceSource &source,
+               std::size_t count)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write trace file: " + path);
+    out << "# dr-strange trace: " << source.name() << "\n";
+    for (std::size_t i = 0; i < count; ++i) {
+        const cpu::TraceOp op = source.next();
+        out << op.computeInstrs << ' ';
+        switch (op.type) {
+          case mem::ReqType::Read:
+            out << "R " << std::hex << op.addr << std::dec;
+            break;
+          case mem::ReqType::Write:
+            out << "W " << std::hex << op.addr << std::dec;
+            break;
+          case mem::ReqType::Rng:
+            out << "G";
+            break;
+        }
+        out << '\n';
+    }
+}
+
+} // namespace dstrange::workloads

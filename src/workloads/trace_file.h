@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Trace file import/export: a plain-text format compatible in spirit
+ * with Ramulator CPU traces, so users can drive the simulator with
+ * their own captured traces instead of the synthetic generators.
+ *
+ * Format: one operation per line,
+ *     <compute-instrs> R|W|G [hex-address]
+ * where G is a 64-bit random number request (no address). Lines
+ * starting with '#' are comments.
+ */
+
+#ifndef DSTRANGE_WORKLOADS_TRACE_FILE_H
+#define DSTRANGE_WORKLOADS_TRACE_FILE_H
+
+#include <string>
+#include <vector>
+
+#include "cpu/trace_source.h"
+
+namespace dstrange::workloads {
+
+/**
+ * Replays a trace file. The trace loops when exhausted (multi-programmed
+ * runs need an infinite stream), matching standard methodology.
+ */
+class TraceFileSource : public cpu::TraceSource
+{
+  public:
+    /** @throws std::runtime_error on missing/empty/malformed files. */
+    explicit TraceFileSource(const std::string &path);
+
+    cpu::TraceOp next() override;
+    const std::string &name() const override { return traceName; }
+
+    std::size_t size() const { return ops.size(); }
+
+    /** How many times the trace wrapped around. */
+    std::uint64_t loops() const { return loopCount; }
+
+  private:
+    std::string traceName;
+    std::vector<cpu::TraceOp> ops;
+    std::size_t pos = 0;
+    std::uint64_t loopCount = 0;
+};
+
+/** Record @p count operations of @p source into @p path. */
+void writeTraceFile(const std::string &path, cpu::TraceSource &source,
+                    std::size_t count);
+
+} // namespace dstrange::workloads
+
+#endif // DSTRANGE_WORKLOADS_TRACE_FILE_H

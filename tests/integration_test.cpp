@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Integration tests across the full stack: the paper's headline claims
+ * at reduced scale — DR-STRaNGe improves non-RNG performance, RNG
+ * performance, fairness, and energy over the RNG-oblivious baseline —
+ * plus cross-design and cross-mechanism sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats_util.h"
+#include "sim/runner.h"
+
+using namespace dstrange;
+using namespace dstrange::sim;
+
+namespace {
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.instrBudget = 60000;
+    return cfg;
+}
+
+workloads::WorkloadSpec
+mix(const std::string &app, double mbps = 5120.0)
+{
+    workloads::WorkloadSpec spec;
+    spec.name = app + "+rng";
+    spec.apps = {app};
+    spec.rngThroughputMbps = mbps;
+    return spec;
+}
+
+/** A small but diverse slice of the paper's 43-app pool. */
+const std::vector<std::string> kSampleApps = {
+    "ycsb2", "sphinx3", "jp2d", "cactus", "soplex", "leslie3d", "mcf",
+};
+
+} // namespace
+
+class HeadlineClaims : public ::testing::Test
+{
+  protected:
+    HeadlineClaims() : runner(smallConfig()) {}
+
+    struct Averages
+    {
+        double nonRng = 0.0;
+        double rng = 0.0;
+        double unfair = 0.0;
+        double energy = 0.0;
+        double cycles = 0.0;
+    };
+
+    Averages
+    averagesFor(SystemDesign design)
+    {
+        std::vector<double> non_rng, rng, unfair, energy, cycles;
+        for (const auto &app : kSampleApps) {
+            const auto res = runner.run(design, mix(app));
+            non_rng.push_back(res.avgNonRngSlowdown());
+            rng.push_back(res.rngSlowdown());
+            unfair.push_back(res.unfairnessIndex);
+            energy.push_back(res.energyNj);
+            cycles.push_back(static_cast<double>(res.busCycles));
+        }
+        return {mean(non_rng), mean(rng), mean(unfair), mean(energy),
+                mean(cycles)};
+    }
+
+    Runner runner;
+};
+
+TEST_F(HeadlineClaims, DrStrangeImprovesAllHeadlineMetrics)
+{
+    const Averages base = averagesFor(SystemDesign::RngOblivious);
+    const Averages dr = averagesFor(SystemDesign::DrStrange);
+
+    // Paper Section 8: non-RNG -17.9%, RNG -25.1%, fairness +32.1%,
+    // energy -21%, memory cycles -15.8% (shape, not absolute numbers).
+    EXPECT_LT(dr.nonRng, base.nonRng * 0.95);
+    EXPECT_LT(dr.rng, base.rng * 0.95);
+    EXPECT_LT(dr.unfair, base.unfair * 0.9);
+    EXPECT_LT(dr.energy, base.energy * 0.95);
+    EXPECT_LT(dr.cycles, base.cycles * 0.95);
+}
+
+TEST_F(HeadlineClaims, GreedyIdleSitsBetweenBaselineAndDrStrange)
+{
+    const Averages base = averagesFor(SystemDesign::RngOblivious);
+    const Averages greedy = averagesFor(SystemDesign::GreedyIdle);
+    const Averages dr = averagesFor(SystemDesign::DrStrange);
+
+    EXPECT_LT(greedy.nonRng, base.nonRng);
+    EXPECT_LT(greedy.rng, base.rng);
+    // DR-STRaNGe matches or beats the greedy oracle on the RNG side via
+    // its low-utilization prediction (paper Section 8.1).
+    EXPECT_LE(dr.rng, greedy.rng * 1.02);
+}
+
+TEST_F(HeadlineClaims, BufferSizeZeroDisablesBufferBenefits)
+{
+    Runner r(smallConfig());
+    r.base().bufferEntries = 0;
+    const auto no_buf = r.run(SystemDesign::DrStrange, mix("ycsb2"));
+    EXPECT_DOUBLE_EQ(no_buf.bufferServeRate, 0.0);
+
+    const auto with_buf =
+        runner.run(SystemDesign::DrStrange, mix("ycsb2"));
+    EXPECT_GT(with_buf.bufferServeRate, 0.3);
+    EXPECT_LT(with_buf.rngSlowdown(), no_buf.rngSlowdown());
+}
+
+TEST_F(HeadlineClaims, HigherRngIntensityHurtsBaselineMore)
+{
+    Runner r(smallConfig());
+    const auto low =
+        r.run(SystemDesign::RngOblivious, mix("soplex", 640.0));
+    const auto high =
+        r.run(SystemDesign::RngOblivious, mix("soplex", 5120.0));
+    EXPECT_GT(high.avgNonRngSlowdown(), low.avgNonRngSlowdown());
+    EXPECT_GE(high.unfairnessIndex, low.unfairnessIndex * 0.95);
+}
+
+TEST(Integration, QuacMechanismAlsoBenefits)
+{
+    SimConfig cfg = smallConfig();
+    cfg.mechanism = trng::TrngMechanism::quacTrng();
+    Runner runner(cfg);
+    std::vector<double> base_sd, dr_sd;
+    for (const auto &app : {"ycsb2", "cactus", "mcf"}) {
+        base_sd.push_back(runner.run(SystemDesign::RngOblivious, mix(app))
+                              .avgNonRngSlowdown());
+        dr_sd.push_back(runner.run(SystemDesign::DrStrange, mix(app))
+                            .avgNonRngSlowdown());
+    }
+    EXPECT_LT(mean(dr_sd), mean(base_sd));
+}
+
+TEST(Integration, RngAwareSchedulerAloneHelpsRngAtBoundedCost)
+{
+    // Without the buffer, the RNG-aware scheduler's batching (parking in
+    // RNG mode between request bursts) speeds up the RNG application;
+    // fairness and non-RNG performance stay within a small band of the
+    // baseline. The large fairness gains of the full design come from
+    // the random number buffer (see HeadlineClaims).
+    Runner runner(smallConfig());
+    std::vector<double> base_unf, aware_unf, base_rng, aware_rng;
+    for (const auto &app : kSampleApps) {
+        const auto base = runner.run(SystemDesign::RngOblivious, mix(app));
+        const auto aware =
+            runner.run(SystemDesign::RngAwareNoBuffer, mix(app));
+        base_unf.push_back(base.unfairnessIndex);
+        aware_unf.push_back(aware.unfairnessIndex);
+        base_rng.push_back(base.rngSlowdown());
+        aware_rng.push_back(aware.rngSlowdown());
+    }
+    EXPECT_LT(mean(aware_rng), mean(base_rng));
+    EXPECT_LT(mean(aware_unf), mean(base_unf) * 1.15);
+}
+
+TEST(Integration, PrioritizedApplicationGainsPerformance)
+{
+    SimConfig cfg = smallConfig();
+    Runner equal(cfg);
+    const auto base = equal.run(SystemDesign::DrStrange, mix("soplex"));
+
+    SimConfig pr = cfg;
+    pr.priorities = {5, 0}; // non-RNG app (core 0) prioritized
+    Runner pri(pr);
+    const auto non_rng_first =
+        pri.run(SystemDesign::DrStrange, mix("soplex"));
+    EXPECT_LE(non_rng_first.avgNonRngSlowdown(),
+              base.avgNonRngSlowdown() * 1.02);
+
+    SimConfig pr2 = cfg;
+    pr2.priorities = {0, 5}; // RNG app (core 1) prioritized
+    Runner pri2(pr2);
+    const auto rng_first = pri2.run(SystemDesign::DrStrange, mix("soplex"));
+    EXPECT_LE(rng_first.rngSlowdown(), base.rngSlowdown() * 1.02);
+}
+
+TEST(Integration, FourCoreWorkloadsRunAcrossDesigns)
+{
+    SimConfig cfg = smallConfig();
+    cfg.instrBudget = 30000;
+    Runner runner(cfg);
+    const auto groups = workloads::fourCoreGroups(3);
+    const auto &spec = groups[15]; // one LLHS workload
+    for (SystemDesign d : {SystemDesign::RngOblivious,
+                           SystemDesign::GreedyIdle,
+                           SystemDesign::DrStrange}) {
+        const auto res = runner.run(d, spec);
+        EXPECT_EQ(res.cores.size(), 4u);
+        EXPECT_GE(res.unfairnessIndex, 1.0);
+    }
+}
+
+TEST(Integration, PredictorAccuracyIsReported)
+{
+    Runner runner(smallConfig());
+    const auto res = runner.run(SystemDesign::DrStrange, mix("cactus"));
+    EXPECT_GE(res.predictorAccuracy, 0.0);
+    EXPECT_LE(res.predictorAccuracy, 1.0);
+    const auto no_pred =
+        runner.run(SystemDesign::DrStrangeNoPred, mix("cactus"));
+    EXPECT_DOUBLE_EQ(no_pred.predictorAccuracy, -1.0);
+}
+
+TEST(Integration, RlPredictorDesignRunsAndFills)
+{
+    Runner runner(smallConfig());
+    const auto res = runner.run(SystemDesign::DrStrangeRl, mix("ycsb2"));
+    EXPECT_GT(res.bufferServeRate, 0.1);
+    EXPECT_GE(res.predictorAccuracy, 0.0);
+}
+
+TEST(Integration, RequestAccountingBalances)
+{
+    Runner runner(smallConfig());
+    const auto res = runner.run(SystemDesign::DrStrange, mix("jp2d"));
+    const auto &s = res.mcStats;
+    // Every RNG request is served by exactly one of the three paths;
+    // only the handful in flight when the simulation stops may remain.
+    const std::uint64_t served = s.rngServedFromBuffer +
+                                 s.rngServedFromStaging +
+                                 s.rngJobsCompleted;
+    EXPECT_GE(s.rngRequests, served);
+    EXPECT_LE(s.rngRequests - served, 33u); // <= RNG queue capacity + 1
+}

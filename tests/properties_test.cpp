@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across the whole
+ * design/workload/configuration space, exercised with parameterized
+ * gtest sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/stats_util.h"
+#include "sim/runner.h"
+
+using namespace dstrange;
+using namespace dstrange::sim;
+
+namespace {
+
+SimConfig
+tinyConfig()
+{
+    SimConfig cfg;
+    cfg.instrBudget = 30000;
+    return cfg;
+}
+
+workloads::WorkloadSpec
+mix(const std::string &app, double mbps = 5120.0)
+{
+    workloads::WorkloadSpec spec;
+    spec.name = app + "+rng";
+    spec.apps = {app};
+    spec.rngThroughputMbps = mbps;
+    return spec;
+}
+
+std::string
+designLabel(SystemDesign d)
+{
+    std::string s = designName(d);
+    for (char &c : s)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Property: every design completes every workload type, deterministically,
+// with sane metric ranges.
+// ---------------------------------------------------------------------
+
+class DesignProperty
+    : public ::testing::TestWithParam<std::tuple<SystemDesign, const char *>>
+{
+};
+
+TEST_P(DesignProperty, RunsCompleteDeterministicallyWithSaneMetrics)
+{
+    const auto [design, app] = GetParam();
+    Runner r1(tinyConfig()), r2(tinyConfig());
+
+    const auto a = r1.run(design, mix(app));
+    const auto b = r2.run(design, mix(app));
+
+    // Determinism.
+    EXPECT_EQ(a.busCycles, b.busCycles);
+    EXPECT_DOUBLE_EQ(a.unfairnessIndex, b.unfairnessIndex);
+
+    // Sanity ranges.
+    EXPECT_GE(a.unfairnessIndex, 1.0);
+    EXPECT_GE(a.bufferServeRate, 0.0);
+    EXPECT_LE(a.bufferServeRate, 1.0);
+    EXPECT_GT(a.busCycles, 0u);
+    for (const auto &core : a.cores) {
+        EXPECT_GT(core.slowdown, 0.1) << core.app;
+        EXPECT_LT(core.slowdown, 100.0) << core.app;
+        EXPECT_GT(core.ipcShared, 0.0) << core.app;
+        EXPECT_LE(core.ipcShared, 3.0) << core.app;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesignsAndApps, DesignProperty,
+    ::testing::Combine(
+        ::testing::Values(SystemDesign::RngOblivious,
+                          SystemDesign::GreedyIdle,
+                          SystemDesign::DrStrange,
+                          SystemDesign::DrStrangeNoPred,
+                          SystemDesign::DrStrangeRl,
+                          SystemDesign::DrStrangeNoLowUtil,
+                          SystemDesign::RngAwareNoBuffer,
+                          SystemDesign::FrFcfsBaseline,
+                          SystemDesign::BlissBaseline),
+        ::testing::Values("ycsb1", "soplex", "lbm", "gcc")),
+    [](const auto &info) {
+        return designLabel(std::get<0>(info.param)) + "_" +
+               std::get<1>(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Property: buffer serve rate grows (weakly) with buffer size, and every
+// size is functional (Fig. 10's underlying invariant).
+// ---------------------------------------------------------------------
+
+class BufferSizeProperty : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BufferSizeProperty, ServeRateWeaklyIncreasesWithBufferSize)
+{
+    const std::string app = GetParam();
+    double last_rate = -0.05;
+    for (unsigned entries : {1u, 4u, 16u, 64u}) {
+        SimConfig cfg = tinyConfig();
+        cfg.bufferEntries = entries;
+        Runner runner(cfg);
+        const auto res = runner.run(SystemDesign::DrStrangeNoPred, mix(app));
+        EXPECT_GE(res.bufferServeRate, last_rate - 0.05)
+            << app << " entries=" << entries;
+        last_rate = res.bufferServeRate;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, BufferSizeProperty,
+                         ::testing::Values("ycsb2", "cactus", "zeusmp"));
+
+// ---------------------------------------------------------------------
+// Property: RNG intensity monotonically pressures the baseline system
+// (Fig. 1's underlying invariant).
+// ---------------------------------------------------------------------
+
+class IntensityProperty : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(IntensityProperty, BaselineSlowdownGrowsWithRngThroughput)
+{
+    const std::string app = GetParam();
+    Runner runner(tinyConfig());
+    double last = 0.0;
+    for (double mbps : {640.0, 1280.0, 2560.0, 5120.0}) {
+        const auto res =
+            runner.run(SystemDesign::RngOblivious, mix(app, mbps));
+        // Weakly monotone: interference saturates at high intensity,
+        // so allow small regressions within noise.
+        const double sd = res.avgNonRngSlowdown();
+        EXPECT_GE(sd, last * 0.95) << app << " " << mbps;
+        last = sd;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, IntensityProperty,
+                         ::testing::Values("sphinx3", "soplex", "mcf"));
+
+// ---------------------------------------------------------------------
+// Property: TRNG mechanism throughput sweep behaves like Fig. 2 — more
+// TRNG throughput never makes the baseline dramatically worse, and the
+// low end is clearly worse than the high end.
+// ---------------------------------------------------------------------
+
+TEST(ThroughputSweepProperty, LowCapacityHurtsMost)
+{
+    std::vector<double> slowdowns;
+    for (double mbps : {200.0, 800.0, 3200.0, 6400.0}) {
+        SimConfig cfg = tinyConfig();
+        cfg.mechanism = trng::TrngMechanism::withSystemThroughput(mbps, 4);
+        Runner runner(cfg);
+        const auto res =
+            runner.run(SystemDesign::RngOblivious, mix("soplex"));
+        slowdowns.push_back(res.avgNonRngSlowdown());
+    }
+    EXPECT_GT(slowdowns.front(), slowdowns.back());
+}
+
+// ---------------------------------------------------------------------
+// Property: the starvation-prevention stall limit is respected for any
+// priority assignment.
+// ---------------------------------------------------------------------
+
+class PriorityProperty
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(PriorityProperty, AllCoresFinishUnderAnyPriorityAssignment)
+{
+    const auto [p0, p1] = GetParam();
+    SimConfig cfg = tinyConfig();
+    cfg.priorities = {p0, p1};
+    Runner runner(cfg);
+    const auto res = runner.run(SystemDesign::DrStrange, mix("tpch2"));
+    // Both applications made it to their budget: nobody starved.
+    for (const auto &core : res.cores)
+        EXPECT_LT(core.slowdown, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assignments, PriorityProperty,
+                         ::testing::Values(std::make_pair(0, 0),
+                                           std::make_pair(5, 0),
+                                           std::make_pair(0, 5),
+                                           std::make_pair(3, 3)));
+
+// ---------------------------------------------------------------------
+// Property: bit conservation — served random bits never exceed harvested
+// bits plus buffered/staged credit (no random numbers out of thin air).
+// ---------------------------------------------------------------------
+
+class ConservationProperty : public ::testing::TestWithParam<SystemDesign>
+{
+};
+
+TEST_P(ConservationProperty, ServedBitsAreBackedByGeneratedBits)
+{
+    Runner runner(tinyConfig());
+    const auto res = runner.run(GetParam(), mix("ycsb0"));
+    const auto &s = res.mcStats;
+    const double served_bits =
+        64.0 * (s.rngServedFromBuffer + s.rngServedFromStaging +
+                s.rngJobsCompleted);
+    // Engine-produced bits + oracle deposits must cover all serves. The
+    // greedy design's deposits are free, so only check non-greedy ones.
+    if (GetParam() != SystemDesign::GreedyIdle) {
+        EXPECT_GT(served_bits, 0.0);
+        EXPECT_GE(static_cast<double>(res.mcStats.rngRequests) * 64.0,
+                  served_bits);
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ConservationProperty,
+                         ::testing::Values(SystemDesign::RngOblivious,
+                                           SystemDesign::DrStrange,
+                                           SystemDesign::DrStrangeRl),
+                         [](const auto &info) {
+                             return designLabel(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Property: multi-core scaling — unfairness and slowdown metrics stay
+// well-formed from 2 to 8 cores for each design.
+// ---------------------------------------------------------------------
+
+class ScalingProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ScalingProperty, MetricsWellFormedAtScale)
+{
+    const unsigned cores = GetParam();
+    SimConfig cfg = tinyConfig();
+    cfg.instrBudget = 20000;
+    Runner runner(cfg);
+    const auto groups = workloads::multiCoreCategoryGroup(cores, 'M', 7);
+    const auto res = runner.run(SystemDesign::DrStrange, groups[0]);
+    EXPECT_EQ(res.cores.size(), cores);
+    EXPECT_GE(res.unfairnessIndex, 1.0);
+    EXPECT_GT(res.weightedSpeedupNonRng, 0.0);
+    EXPECT_LE(res.weightedSpeedupNonRng,
+              static_cast<double>(cores - 1) + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, ScalingProperty,
+                         ::testing::Values(2u, 4u, 8u));
+
+// ---------------------------------------------------------------------
+// Property: an independent shadow validator finds no JEDEC timing
+// violations in the command streams of full end-to-end runs, for every
+// system design.
+// ---------------------------------------------------------------------
+
+#include "timing_checker.h"
+#include "workloads/rng_benchmark.h"
+#include "workloads/synthetic_trace.h"
+
+class TimingComplianceProperty
+    : public ::testing::TestWithParam<SystemDesign>
+{
+};
+
+TEST_P(TimingComplianceProperty, NoViolationsInEndToEndRun)
+{
+    SimConfig cfg = tinyConfig();
+    cfg.design = GetParam();
+
+    std::vector<std::unique_ptr<dstrange::cpu::TraceSource>> traces;
+    traces.push_back(std::make_unique<workloads::SyntheticTrace>(
+        workloads::appByName("soplex"), cfg.geometry, 0, cfg.seed));
+    traces.push_back(std::make_unique<workloads::RngBenchmark>(
+        5120.0, cfg.geometry, cfg.seed + 1));
+    System sys(cfg, std::move(traces));
+
+    std::vector<std::unique_ptr<testutil::TimingChecker>> checkers;
+    for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
+        checkers.push_back(std::make_unique<testutil::TimingChecker>(
+            cfg.timings, cfg.geometry.banksPerRank));
+        checkers.back()->attach(sys.mc().channelMutable(ch));
+    }
+
+    sys.run();
+
+    std::uint64_t total = 0;
+    for (const auto &checker : checkers) {
+        for (const std::string &violation : checker->violations())
+            ADD_FAILURE() << violation;
+        total += checker->commandsChecked();
+    }
+    EXPECT_GT(total, 1000u); // the run exercised real traffic
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, TimingComplianceProperty,
+                         ::testing::Values(SystemDesign::RngOblivious,
+                                           SystemDesign::GreedyIdle,
+                                           SystemDesign::DrStrange,
+                                           SystemDesign::BlissBaseline,
+                                           SystemDesign::FrFcfsBaseline),
+                         [](const auto &info) {
+                             return designLabel(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Property: refresh happens on schedule in long runs (the interval
+// between REF commands never exceeds ~2x tREFI even under RNG load).
+// ---------------------------------------------------------------------
+
+TEST(RefreshProperty, RefreshKeepsPaceUnderRngLoad)
+{
+    SimConfig cfg = tinyConfig();
+    cfg.design = SystemDesign::RngOblivious;
+    cfg.instrBudget = 100000;
+
+    std::vector<std::unique_ptr<dstrange::cpu::TraceSource>> traces;
+    traces.push_back(std::make_unique<workloads::RngBenchmark>(
+        5120.0, cfg.geometry, cfg.seed));
+    System sys(cfg, std::move(traces));
+
+    std::vector<Cycle> ref_times;
+    sys.mc().channelMutable(0).setCommandObserver(
+        [&](dstrange::dram::DramCmd cmd, unsigned, Cycle now,
+            std::int64_t) {
+            if (cmd == dstrange::dram::DramCmd::Ref)
+                ref_times.push_back(now);
+        });
+    sys.run();
+
+    ASSERT_GE(ref_times.size(), 2u);
+    for (std::size_t i = 1; i < ref_times.size(); ++i) {
+        EXPECT_LT(ref_times[i] - ref_times[i - 1],
+                  2 * cfg.timings.tREFI)
+            << "refresh " << i << " late";
+    }
+}

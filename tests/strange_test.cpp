@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the DR-STRaNGe mechanisms: the random number buffer and the
+ * two DRAM idleness predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "strange/random_buffer.h"
+#include "strange/rl_predictor.h"
+#include "strange/simple_predictor.h"
+
+using namespace dstrange;
+using namespace dstrange::strange;
+
+TEST(RandomNumberBuffer, DepositAndServeAccounting)
+{
+    RandomNumberBuffer buf(2); // 128 bits
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.canServe64());
+    EXPECT_DOUBLE_EQ(buf.deposit(64.0), 64.0);
+    EXPECT_TRUE(buf.canServe64());
+    buf.serve64();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.servedCount(), 1u);
+    EXPECT_DOUBLE_EQ(buf.totalDeposited(), 64.0);
+}
+
+TEST(RandomNumberBuffer, OverflowIsDiscarded)
+{
+    RandomNumberBuffer buf(1); // 64 bits
+    EXPECT_DOUBLE_EQ(buf.deposit(100.0), 64.0);
+    EXPECT_TRUE(buf.full());
+    EXPECT_DOUBLE_EQ(buf.deposit(8.0), 0.0);
+    EXPECT_DOUBLE_EQ(buf.totalOverflowed(), 44.0);
+}
+
+TEST(RandomNumberBuffer, FractionalBitsAccumulate)
+{
+    RandomNumberBuffer buf(1);
+    for (int i = 0; i < 128; ++i)
+        buf.deposit(0.5);
+    EXPECT_TRUE(buf.canServe64());
+}
+
+TEST(RandomNumberBuffer, ZeroEntryBufferNeverServes)
+{
+    RandomNumberBuffer buf(0);
+    EXPECT_DOUBLE_EQ(buf.deposit(64.0), 0.0);
+    EXPECT_FALSE(buf.canServe64());
+    EXPECT_TRUE(buf.full());
+}
+
+class SimplePredictorTest : public ::testing::Test
+{
+  protected:
+    SimpleIdlenessPredictor::Config cfg{};
+    SimpleIdlenessPredictor pred{cfg};
+    static constexpr Addr kAddr = 0x1000;
+};
+
+TEST_F(SimplePredictorTest, StartsWeaklyLong)
+{
+    EXPECT_TRUE(pred.predictLong(kAddr));
+    EXPECT_EQ(pred.counterValue(kAddr), 2u);
+}
+
+TEST_F(SimplePredictorTest, LearnsShortAfterOneShortPeriod)
+{
+    pred.periodEnded(kAddr, 1);
+    EXPECT_EQ(pred.counterValue(kAddr), 1u);
+    EXPECT_FALSE(pred.predictLong(kAddr));
+}
+
+TEST_F(SimplePredictorTest, CounterSaturatesAtThreeAndZero)
+{
+    for (int i = 0; i < 10; ++i)
+        pred.periodEnded(kAddr, cfg.periodThreshold + 5);
+    EXPECT_EQ(pred.counterValue(kAddr), 3u);
+    for (int i = 0; i < 10; ++i)
+        pred.periodEnded(kAddr, 1);
+    EXPECT_EQ(pred.counterValue(kAddr), 0u);
+}
+
+TEST_F(SimplePredictorTest, HysteresisRequiresTwoShortsToFlip)
+{
+    for (int i = 0; i < 4; ++i)
+        pred.periodEnded(kAddr, cfg.periodThreshold); // saturate at 3
+    pred.periodEnded(kAddr, 1);                       // counter -> 2
+    EXPECT_TRUE(pred.predictLong(kAddr));
+    pred.periodEnded(kAddr, 1); // counter -> 1
+    EXPECT_FALSE(pred.predictLong(kAddr));
+}
+
+TEST_F(SimplePredictorTest, AccuracyTracksOutcomes)
+{
+    // Prediction long (initial), outcome long: correct.
+    pred.predictLong(kAddr);
+    pred.periodEnded(kAddr, cfg.periodThreshold);
+    // Train to short, then predict short, outcome long: false negative.
+    pred.periodEnded(kAddr, 1);
+    pred.periodEnded(kAddr, 1);
+    pred.predictLong(kAddr);
+    pred.periodEnded(kAddr, cfg.periodThreshold);
+    const PredictorStats &s = pred.stats();
+    EXPECT_EQ(s.predictions, 2u);
+    EXPECT_EQ(s.correct, 1u);
+    EXPECT_EQ(s.falsePositives, 0u);
+    EXPECT_EQ(s.falseNegatives, 1u);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.5);
+}
+
+TEST_F(SimplePredictorTest, PeekDoesNotRegisterAPrediction)
+{
+    pred.peekLong(kAddr);
+    pred.periodEnded(kAddr, 100);
+    EXPECT_EQ(pred.stats().predictions, 0u);
+}
+
+TEST_F(SimplePredictorTest, TrainingWithoutPredictionIsUnscored)
+{
+    pred.periodEnded(kAddr, 100);
+    pred.periodEnded(kAddr, 1);
+    EXPECT_EQ(pred.stats().predictions, 0u);
+}
+
+TEST_F(SimplePredictorTest, DistinctRegionsUseDistinctCounters)
+{
+    // The table is indexed at 4 MB region granularity; addresses in
+    // different regions train independent counters.
+    const Addr other = Addr(5) << 22;
+    pred.periodEnded(kAddr, 1);
+    pred.periodEnded(kAddr, 1);
+    EXPECT_FALSE(pred.predictLong(kAddr));
+    EXPECT_TRUE(pred.predictLong(other));
+}
+
+TEST_F(SimplePredictorTest, SameRegionSharesACounter)
+{
+    const Addr nearby = kAddr + 64 * 1024; // same 4 MB region
+    pred.periodEnded(kAddr, 1);
+    pred.periodEnded(kAddr, 1);
+    EXPECT_FALSE(pred.predictLong(nearby));
+}
+
+class RlPredictorTest : public ::testing::Test
+{
+  protected:
+    RlIdlenessPredictor::Config cfg{};
+    static constexpr Addr kAddr = 0x40;
+};
+
+TEST_F(RlPredictorTest, LearnsToGenerateUnderAllLongPeriods)
+{
+    RlIdlenessPredictor pred(cfg);
+    for (int i = 0; i < 400; ++i) {
+        pred.predictLong(kAddr);
+        pred.periodEnded(kAddr, cfg.periodThreshold + 10);
+    }
+    // After convergence the agent should predict long almost always.
+    int generate = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (pred.predictLong(kAddr))
+            ++generate;
+        pred.periodEnded(kAddr, cfg.periodThreshold + 10);
+    }
+    EXPECT_GE(generate, 90);
+    EXPECT_GT(pred.stats().accuracy(), 0.8);
+}
+
+TEST_F(RlPredictorTest, LearnsToWaitUnderAllShortPeriods)
+{
+    RlIdlenessPredictor pred(cfg);
+    for (int i = 0; i < 400; ++i) {
+        pred.predictLong(kAddr);
+        pred.periodEnded(kAddr, 1);
+    }
+    int generate = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (pred.predictLong(kAddr))
+            ++generate;
+        pred.periodEnded(kAddr, 1);
+    }
+    EXPECT_LE(generate, 10);
+}
+
+TEST_F(RlPredictorTest, QValueUpdateFollowsLearningRule)
+{
+    RlIdlenessPredictor::Config c = cfg;
+    c.epsilon = 0.0; // deterministic
+    c.alpha = 0.5;
+    RlIdlenessPredictor pred(c);
+    // Force one observed (state, action, reward) transition.
+    const bool action = pred.predictLong(kAddr);
+    pred.periodEnded(kAddr, c.periodThreshold + 1); // long
+    // Q(s,a) = (1-alpha)*0 + alpha*r, r = +1 if generate else -0.5 (FN).
+    const double expected = action ? 0.5 * c.rewardCorrectGenerate
+                                   : 0.5 * c.penaltyFalseNegative;
+    // The state used at prediction time had empty history (0): the
+    // high-order address bits, mixed (see rl_predictor.cpp).
+    const unsigned state = static_cast<unsigned>(
+        mix64(kAddr >> 22) & ((1u << c.stateBits) - 1));
+    EXPECT_DOUBLE_EQ(pred.qValue(state, action), expected);
+}
+
+TEST_F(RlPredictorTest, HistoryShiftsLongShortBits)
+{
+    RlIdlenessPredictor pred(cfg);
+    pred.periodEnded(kAddr, cfg.periodThreshold); // long -> 1
+    pred.periodEnded(kAddr, 1);                   // short -> 0
+    pred.periodEnded(kAddr, cfg.periodThreshold); // long -> 1
+    EXPECT_EQ(pred.history(), 0b101u);
+}
+
+TEST_F(RlPredictorTest, DeterministicForSameSeed)
+{
+    RlIdlenessPredictor a(cfg), b(cfg);
+    for (int i = 0; i < 200; ++i) {
+        const Addr addr = (i % 7) * kLineBytes;
+        ASSERT_EQ(a.predictLong(addr), b.predictLong(addr));
+        const Cycle len = (i % 3 == 0) ? 100 : 2;
+        a.periodEnded(addr, len);
+        b.periodEnded(addr, len);
+    }
+}
+
+TEST_F(RlPredictorTest, PeekIsSideEffectFree)
+{
+    RlIdlenessPredictor pred(cfg);
+    pred.peekLong(kAddr);
+    pred.periodEnded(kAddr, 100);
+    EXPECT_EQ(pred.stats().predictions, 0u);
+}
