@@ -7,10 +7,16 @@
 #ifndef DSTRANGE_BENCH_BENCH_UTIL_H
 #define DSTRANGE_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/env_util.h"
+#include "common/json_writer.h"
 #include "drstrange.h"
 
 namespace bench {
@@ -24,9 +30,7 @@ inline dstrange::sim::SimConfig
 baseConfig()
 {
     dstrange::sim::SimConfig cfg;
-    cfg.instrBudget = 200000;
-    if (const char *env = std::getenv("DS_INSTR_BUDGET"))
-        cfg.instrBudget = std::strtoull(env, nullptr, 10);
+    cfg.instrBudget = dstrange::envU64("DS_INSTR_BUDGET", 200000);
     return cfg;
 }
 
@@ -43,6 +47,91 @@ banner(const std::string &what, const std::string &paper_ref)
 {
     std::cout << "=== " << what << " ===\n"
               << "Reproduces: " << paper_ref << "\n\n";
+}
+
+/** Wall-clock stopwatch for perf records. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds elapsed since construction (or the last reset). */
+    double elapsedMs() const
+    {
+        const auto d = std::chrono::steady_clock::now() - start;
+        return std::chrono::duration<double, std::milli>(d).count();
+    }
+
+    void reset() { start = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * One benchmark execution in a machine-readable result file: the bench
+ * name, how long it ran, whether it succeeded, and any named metrics
+ * the bench chose to report.
+ */
+struct BenchRecord {
+    std::string name;
+    double wallMs = 0.0;
+    int exitCode = 0;
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/**
+ * Directory for BENCH_*.json output. Defaults to the current working
+ * directory; override with DS_BENCH_OUT.
+ */
+inline std::string
+benchOutputDir()
+{
+    if (const char *env = std::getenv("DS_BENCH_OUT"))
+        return env;
+    return ".";
+}
+
+/**
+ * Write a BENCH_<harness>.json perf record for a set of benchmark
+ * executions. Returns the path written, or an empty string on I/O
+ * failure. The schema is intentionally flat so the perf-trajectory
+ * tooling can diff runs across commits.
+ */
+inline std::string
+writeBenchJson(const std::string &harness,
+               const std::vector<BenchRecord> &records,
+               const std::string &out_dir = benchOutputDir())
+{
+    dstrange::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("drstrange-bench-v1");
+    w.key("harness").value(harness);
+    w.key("instr_budget").value(
+        static_cast<std::uint64_t>(baseConfig().instrBudget));
+    w.key("results").beginArray();
+    for (const BenchRecord &rec : records) {
+        w.beginObject();
+        w.key("name").value(rec.name);
+        w.key("wall_ms").value(rec.wallMs);
+        w.key("exit_code").value(rec.exitCode);
+        w.key("ok").value(rec.exitCode == 0);
+        w.key("metrics").beginObject();
+        for (const auto &[metric, value] : rec.metrics)
+            w.key(metric).value(value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    const std::string path = out_dir + "/BENCH_" + harness + ".json";
+    std::ofstream out(path);
+    if (!out)
+        return "";
+    out << w.str() << "\n";
+    out.flush(); // surface disk-full/IO errors before the success check
+    return out ? path : "";
 }
 
 } // namespace bench

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <iostream>
 
+#include "common/env_util.h"
 #include "drstrange.h"
 
 using namespace dstrange;
@@ -48,7 +49,10 @@ estimatePi(api::RandomDevice &dev, unsigned samples, double &rng_time_ns)
 int
 main()
 {
-    constexpr unsigned kSamples = 20000;
+    // Default matches the paper-scale demo; DS_MC_SAMPLES lets CI smoke
+    // tests run a reduced draw count.
+    const unsigned kSamples =
+        static_cast<unsigned>(envU64("DS_MC_SAMPLES", 20000));
 
     TablePrinter t;
     t.setHeader({"design", "pi estimate", "total RNG wait (us)",

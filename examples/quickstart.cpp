@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "common/env_util.h"
 #include "drstrange.h"
 
 using namespace dstrange;
@@ -15,7 +16,7 @@ int
 main()
 {
     sim::SimConfig base;
-    base.instrBudget = 200000;
+    base.instrBudget = envU64("DS_INSTR_BUDGET", 200000);
     sim::Runner runner(base);
 
     workloads::WorkloadSpec spec;

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Environment-variable parsing shared by the bench harness and the
+ * examples, so every DS_* override applies the same typo-safety policy.
+ */
+
+#ifndef DSTRANGE_COMMON_ENV_UTIL_H
+#define DSTRANGE_COMMON_ENV_UTIL_H
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace dstrange {
+
+/**
+ * Read an unsigned integer from the environment. Keeps the fallback on
+ * an unset, unparseable, or zero value so a typo'd override cannot
+ * silently produce a degenerate run.
+ */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    return v > 0 ? v : fallback;
+}
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_ENV_UTIL_H

@@ -90,8 +90,22 @@ class Xoshiro256ss
     {
         // Lemire-style multiply-shift reduction; the tiny bias is
         // irrelevant for simulation and keeps the draw branch-free.
+#if defined(__SIZEOF_INT128__)
+        __extension__ typedef unsigned __int128 uint128;
         return static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+            (static_cast<uint128>(next()) * bound) >> 64);
+#else
+        // No 128-bit type: compute the high 64 bits of the 64x64
+        // product from 32-bit halves (same result as the int128 path).
+        const std::uint64_t x = next();
+        const std::uint64_t x_lo = x & 0xffffffffu;
+        const std::uint64_t x_hi = x >> 32;
+        const std::uint64_t b_lo = bound & 0xffffffffu;
+        const std::uint64_t b_hi = bound >> 32;
+        const std::uint64_t mid = x_hi * b_lo + ((x_lo * b_lo) >> 32);
+        return x_hi * b_hi + (mid >> 32) +
+               ((x_lo * b_hi + (mid & 0xffffffffu)) >> 32);
+#endif
     }
 
     /**

@@ -1,19 +1,38 @@
 #include "trng/bit_quality.h"
 
 #include <array>
-#include <bit>
 #include <cmath>
+
+#if defined(__has_include)
+#if __has_include(<bit>)
+#include <bit>
+#endif
+#endif
 
 namespace dstrange::trng {
 
 namespace {
+
+int
+popcount8(std::uint8_t b)
+{
+#if defined(__cpp_lib_bitops) && __cpp_lib_bitops >= 201907L
+    return std::popcount(b);
+#else
+    // Pre-C++20 toolchains lack std::popcount: SWAR count on one byte.
+    unsigned v = b;
+    v = v - ((v >> 1) & 0x55u);
+    v = (v & 0x33u) + ((v >> 2) & 0x33u);
+    return static_cast<int>((v + (v >> 4)) & 0x0Fu);
+#endif
+}
 
 std::uint64_t
 countOnes(const std::vector<std::uint8_t> &bytes)
 {
     std::uint64_t ones = 0;
     for (std::uint8_t b : bytes)
-        ones += std::popcount(b);
+        ones += static_cast<std::uint64_t>(popcount8(b));
     return ones;
 }
 
