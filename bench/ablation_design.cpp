@@ -44,7 +44,7 @@ Outcome
 run(const Variant &v, const workloads::WorkloadSpec &spec)
 {
     sim::SimConfig cfg = bench::baseConfig();
-    cfg.design = sim::SystemDesign::DrStrange;
+    sim::applyDesign(cfg, sim::SystemDesign::DrStrange);
 
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     traces.push_back(std::make_unique<workloads::SyntheticTrace>(

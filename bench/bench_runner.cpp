@@ -12,9 +12,12 @@
  *   run_all --only fig1     # run benches whose name contains "fig1"
  *   run_all --list          # print the known bench names and exit
  *   run_all --out DIR       # write BENCH_run_all.json into DIR
+ *   run_all --config TEXT   # key=value config text forwarded to every
+ *                           # bench via DS_CONFIG (see sim/config_text.h)
  *
  * Environment:
  *   DS_INSTR_BUDGET  per-core instruction budget forwarded to benches
+ *   DS_CONFIG        base-config key=value overrides forwarded to benches
  *   DS_BENCH_OUT     default output directory for BENCH_*.json
  */
 
@@ -84,7 +87,8 @@ void
 usage(const char *prog)
 {
     std::cout << "usage: " << prog
-              << " [--all] [--only SUBSTR] [--list] [--out DIR]\n";
+              << " [--all] [--only SUBSTR] [--list] [--out DIR]"
+                 " [--config TEXT]\n";
 }
 
 /** Decode a std::system() status into the child's exit code. */
@@ -107,6 +111,18 @@ exitCodeOf(int status)
 int
 main(int argc, char **argv)
 {
+    // An inherited malformed DS_CONFIG would otherwise fail every child
+    // bench and then kill the final writeBenchJson (which parses it
+    // too, via bench::baseConfig()) — reject it up front.
+    if (const char *inherited = std::getenv("DS_CONFIG")) {
+        try {
+            dstrange::sim::SimulationBuilder::fromText(inherited);
+        } catch (const std::exception &e) {
+            std::cerr << "DS_CONFIG: " << e.what() << "\n";
+            return 2;
+        }
+    }
+
     const std::vector<std::string> all_benches = allBenches();
     std::vector<std::string> selected = quickBenches(all_benches);
     std::string out_dir = bench::benchOutputDir();
@@ -139,6 +155,24 @@ main(int argc, char **argv)
                 return 2;
             }
             out_dir = argv[++i];
+        } else if (arg == "--config") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            const std::string text = argv[++i];
+            try {
+                // Validate before fanning out to every child bench.
+                dstrange::sim::SimulationBuilder::fromText(text);
+            } catch (const std::exception &e) {
+                std::cerr << "--config: " << e.what() << "\n";
+                return 2;
+            }
+#ifdef _WIN32
+            _putenv_s("DS_CONFIG", text.c_str());
+#else
+            setenv("DS_CONFIG", text.c_str(), /*overwrite=*/1);
+#endif
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;

@@ -22,16 +22,35 @@
 namespace bench {
 
 /**
- * Base configuration for all figure benches. The per-core instruction
+ * Base configuration builder for all figure benches, the single entry
+ * point shared with the CLI and run_all. The per-core instruction
  * budget is scaled down from the paper's 200M-instruction SimPoints so
  * the whole harness runs in minutes; override with DS_INSTR_BUDGET.
+ * DS_CONFIG may hold extra key=value config text (see
+ * sim/config_text.h) applied on top — e.g.
+ * DS_CONFIG="mechanism=quac buffer-entries=32".
  */
+inline dstrange::sim::SimulationBuilder
+baseBuilder()
+{
+    dstrange::sim::SimulationBuilder b;
+    b.instrBudget(dstrange::envU64("DS_INSTR_BUDGET", 200000));
+    if (const char *text = std::getenv("DS_CONFIG")) {
+        try {
+            b.applyText(text);
+        } catch (const std::exception &e) {
+            std::cerr << "DS_CONFIG: " << e.what() << "\n";
+            std::exit(2);
+        }
+    }
+    return b;
+}
+
+/** Base configuration for all figure benches (baseBuilder()'s config). */
 inline dstrange::sim::SimConfig
 baseConfig()
 {
-    dstrange::sim::SimConfig cfg;
-    cfg.instrBudget = dstrange::envU64("DS_INSTR_BUDGET", 200000);
-    return cfg;
+    return baseBuilder().config();
 }
 
 /** Format a ratio with 3 decimals. */
@@ -107,8 +126,10 @@ writeBenchJson(const std::string &harness,
     w.beginObject();
     w.key("schema").value("drstrange-bench-v1");
     w.key("harness").value(harness);
+    const dstrange::sim::SimConfig base = baseConfig();
     w.key("instr_budget").value(
-        static_cast<std::uint64_t>(baseConfig().instrBudget));
+        static_cast<std::uint64_t>(base.instrBudget));
+    w.key("config").value(dstrange::sim::serializeConfig(base));
     w.key("results").beginArray();
     for (const BenchRecord &rec : records) {
         w.beginObject();

@@ -19,11 +19,9 @@ main()
                   "non-RNG (top) and RNG (bottom) slowdowns vs. running "
                   "alone; 5 Gb/s RNG app");
 
-    sim::Runner runner(bench::baseConfig());
+    sim::Runner runner = bench::baseBuilder().buildRunner();
     const auto mixes = workloads::dualCorePlottedMixes(5120.0);
-    const sim::SystemDesign designs[] = {sim::SystemDesign::RngOblivious,
-                                         sim::SystemDesign::GreedyIdle,
-                                         sim::SystemDesign::DrStrange};
+    const char *designs[] = {"oblivious", "greedy", "drstrange"};
 
     TablePrinter table;
     table.setHeader({"workload", "obliv nonRNG", "greedy nonRNG",

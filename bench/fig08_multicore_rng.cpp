@@ -22,12 +22,9 @@ addGroupRow(TablePrinter &t, sim::Runner &runner,
     for (const auto &mix : mixes) {
         if (mix.group != group)
             continue;
-        obliv.push_back(runner.run(sim::SystemDesign::RngOblivious, mix)
-                            .rngSlowdown());
-        greedy.push_back(runner.run(sim::SystemDesign::GreedyIdle, mix)
-                             .rngSlowdown());
-        dr.push_back(runner.run(sim::SystemDesign::DrStrange, mix)
-                         .rngSlowdown());
+        obliv.push_back(runner.run("oblivious", mix).rngSlowdown());
+        greedy.push_back(runner.run("greedy", mix).rngSlowdown());
+        dr.push_back(runner.run("drstrange", mix).rngSlowdown());
     }
     t.addRow({group, bench::num(mean(obliv)), bench::num(mean(greedy)),
               bench::num(mean(dr))});
@@ -43,7 +40,7 @@ main()
 
     sim::SimConfig cfg = bench::baseConfig();
     cfg.instrBudget = std::min<std::uint64_t>(cfg.instrBudget, 60000);
-    sim::Runner runner(cfg);
+    sim::Runner runner{cfg};
 
     TablePrinter t;
     t.setHeader({"group", "RNG-Oblivious", "Greedy", "DR-STRANGE"});

@@ -17,20 +17,16 @@ main()
     bench::banner("Figure 9: dual-core system fairness",
                   "unfairness index per workload, three designs");
 
-    sim::Runner runner(bench::baseConfig());
+    sim::Runner runner = bench::baseBuilder().buildRunner();
 
     TablePrinter t;
     t.setHeader({"workload", "RNG-Oblivious", "Greedy", "DR-STRANGE"});
     std::vector<double> obliv, greedy, dr;
 
     for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        const double o =
-            runner.run(sim::SystemDesign::RngOblivious, mix)
-                .unfairnessIndex;
-        const double g =
-            runner.run(sim::SystemDesign::GreedyIdle, mix).unfairnessIndex;
-        const double d =
-            runner.run(sim::SystemDesign::DrStrange, mix).unfairnessIndex;
+        const double o = runner.run("oblivious", mix).unfairnessIndex;
+        const double g = runner.run("greedy", mix).unfairnessIndex;
+        const double d = runner.run("drstrange", mix).unfairnessIndex;
         obliv.push_back(o);
         greedy.push_back(g);
         dr.push_back(d);

@@ -17,11 +17,11 @@ main()
     bench::banner("Figure 11: memory request scheduler comparison",
                   "FR-FCFS+Cap vs BLISS vs RNG-aware (no buffer)");
 
-    sim::Runner runner(bench::baseConfig());
-    const sim::SystemDesign designs[] = {
-        sim::SystemDesign::RngOblivious, // FR-FCFS+Cap baseline
-        sim::SystemDesign::BlissBaseline,
-        sim::SystemDesign::RngAwareNoBuffer,
+    sim::Runner runner = bench::baseBuilder().buildRunner();
+    const char *designs[] = {
+        "oblivious", // FR-FCFS+Cap baseline
+        "bliss",
+        "rng-aware",
     };
     const char *names[] = {"FR-FCFS+Cap", "BLISS", "RNG-Aware"};
 

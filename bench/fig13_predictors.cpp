@@ -18,12 +18,12 @@ main()
     bench::banner("Figure 13: DRAM idleness predictor ablation",
                   "non-RNG and RNG slowdowns for four designs");
 
-    sim::Runner runner(bench::baseConfig());
-    const sim::SystemDesign designs[] = {
-        sim::SystemDesign::RngOblivious,
-        sim::SystemDesign::DrStrangeNoPred,
-        sim::SystemDesign::DrStrange,
-        sim::SystemDesign::DrStrangeRl,
+    sim::Runner runner = bench::baseBuilder().buildRunner();
+    const char *designs[] = {
+        "oblivious",
+        "drstrange-nopred",
+        "drstrange",
+        "drstrange-rl",
     };
     const char *labels[] = {"RNG-Oblivious", "DR-STRANGE(NoPred)",
                             "DR-STRANGE", "DR-STRANGE+RL"};

@@ -17,15 +17,10 @@ main()
     bench::banner("Figure 16: QUAC-TRNG end-to-end",
                   "DR-STRaNGe compatibility with a second TRNG mechanism");
 
-    sim::SimConfig cfg = bench::baseConfig();
-    cfg.mechanism = trng::TrngMechanism::quacTrng();
-    sim::Runner runner(cfg);
+    sim::Runner runner =
+        bench::baseBuilder().mechanism("quac").buildRunner();
 
-    const sim::SystemDesign designs[] = {
-        sim::SystemDesign::RngOblivious,
-        sim::SystemDesign::GreedyIdle,
-        sim::SystemDesign::DrStrange,
-    };
+    const char *designs[] = {"oblivious", "greedy", "drstrange"};
 
     std::vector<double> non_rng[3], rng[3], unf[3];
     TablePrinter t;

@@ -44,7 +44,7 @@ main()
                             cfg.geometry, i, cfg.seed));
                 }
                 sim::SimConfig run_cfg = cfg;
-                run_cfg.design = sim::SystemDesign::RngOblivious;
+                sim::applyDesign(run_cfg, sim::SystemDesign::RngOblivious);
                 sim::System sys(run_cfg, std::move(traces));
                 sys.run();
                 for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {

@@ -157,7 +157,7 @@ static void
 BM_SystemBusCycle(benchmark::State &state)
 {
     sim::SimConfig cfg;
-    cfg.design = sim::SystemDesign::DrStrange;
+    sim::applyDesign(cfg, sim::SystemDesign::DrStrange);
     cfg.instrBudget = 1u << 30;
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     traces.push_back(std::make_unique<workloads::SyntheticTrace>(

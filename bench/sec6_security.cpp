@@ -30,7 +30,7 @@ class Channel
     explicit Channel(unsigned partitions)
     {
         sim::SimConfig sc;
-        sc.design = sim::SystemDesign::DrStrange;
+        sim::applyDesign(sc, sim::SystemDesign::DrStrange);
         sc.bufferPartitions = partitions;
         mem::McConfig mc_cfg = sim::mcConfigFor(sc);
         mc = std::make_unique<mem::MemoryController>(

@@ -39,14 +39,15 @@ main()
                  "unfairness", "serve rate"});
 
     for (const Combo &combo : combos) {
-        sim::SimConfig cfg = bench::baseConfig();
-        cfg.mechanism = combo.demand;
-        cfg.fillMechanism = combo.fill;
-        sim::Runner runner(cfg);
+        sim::SimulationBuilder b = bench::baseBuilder();
+        b.mechanism(combo.demand);
+        if (combo.fill)
+            b.fillMechanism(*combo.fill);
+        sim::Runner runner = b.buildRunner();
 
         std::vector<double> non_rng, rng, unf, serve;
         for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-            const auto res = runner.run(sim::SystemDesign::DrStrange, mix);
+            const auto res = runner.run("drstrange", mix);
             non_rng.push_back(res.avgNonRngSlowdown());
             rng.push_back(res.rngSlowdown());
             unf.push_back(res.unfairnessIndex);

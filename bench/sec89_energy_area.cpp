@@ -17,13 +17,12 @@ main()
     bench::banner("Section 8.9: energy and area",
                   "energy/memory-cycle reduction and controller area");
 
-    sim::Runner runner(bench::baseConfig());
+    sim::Runner runner = bench::baseBuilder().buildRunner();
     std::vector<double> base_energy, dr_energy, base_cycles, dr_cycles;
 
     for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        const auto base =
-            runner.run(sim::SystemDesign::RngOblivious, mix);
-        const auto dr = runner.run(sim::SystemDesign::DrStrange, mix);
+        const auto base = runner.run("oblivious", mix);
+        const auto dr = runner.run("drstrange", mix);
         base_energy.push_back(base.energyNj);
         dr_energy.push_back(dr.energyNj);
         base_cycles.push_back(static_cast<double>(base.busCycles));
@@ -58,13 +57,13 @@ main()
         pd.setHeader({"power-down", "avg energy (uJ)", "avg non-RNG sd",
                       "avg RNG sd"});
         for (Cycle threshold : {Cycle(0), Cycle(50)}) {
-            sim::SimConfig cfg = bench::baseConfig();
-            cfg.powerDownThreshold = threshold;
-            sim::Runner r(cfg);
+            sim::Runner r = bench::baseBuilder()
+                                .powerDownThreshold(threshold)
+                                .buildRunner();
             std::vector<double> energy, non_rng, rng;
             for (const auto &mix :
                  workloads::dualCorePlottedMixes(5120.0)) {
-                const auto res = r.run(sim::SystemDesign::DrStrange, mix);
+                const auto res = r.run("drstrange", mix);
                 energy.push_back(res.energyNj);
                 non_rng.push_back(res.avgNonRngSlowdown());
                 rng.push_back(res.rngSlowdown());
@@ -84,7 +83,7 @@ main()
     sim::SimConfig cfg = bench::baseConfig();
     for (sim::SystemDesign d : {sim::SystemDesign::DrStrange,
                                 sim::SystemDesign::DrStrangeRl}) {
-        cfg.design = d;
+        sim::applyDesign(cfg, d);
         const auto est =
             sim::drStrangeArea(sim::mcConfigFor(cfg),
                                cfg.geometry.channels);

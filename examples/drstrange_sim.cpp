@@ -1,13 +1,16 @@
 /**
  * @file
  * Full command-line simulator front-end: configure a workload mix,
- * system design, TRNG mechanism and controller parameters, run the
- * simulation, and print human-readable or JSON results.
+ * system design, TRNG mechanism and controller parameters through the
+ * sim::SimulationBuilder API, run the simulation, and print
+ * human-readable or JSON results.
  *
  * Usage:
  *   drstrange_sim [options]
- *     --design NAME       oblivious|greedy|drstrange|drstrange-rl|
- *                         drstrange-nopred|rng-aware|frfcfs|bliss
+ *     --design NAME       any sim::DesignRegistry key (oblivious|greedy|
+ *                         drstrange|drstrange-rl|drstrange-nopred|
+ *                         drstrange-nolowutil|rng-aware|frfcfs|bliss|
+ *                         ...user-registered)
  *     --apps a,b,c        non-RNG applications (default soplex)
  *     --trace FILE        add a core driven by a trace file (repeatable)
  *     --rng-mbps N        RNG app required throughput (default 5120; 0=off)
@@ -19,10 +22,16 @@
  *     --budget N          instructions per core (default 200000)
  *     --priorities a,b,.. per-core OS priorities
  *     --seed N            master seed (default 1)
+ *     --set key=value     set any config-text knob (repeatable; see
+ *                         sim/config_text.h for the grammar)
+ *     --print-config      print the canonical config text and exit
  *     --json              machine-readable output
+ *
+ * Flags are applied in order, so `--design drstrange --set predictor=rl`
+ * overrides the preset's predictor while `--set predictor=rl --design
+ * drstrange` does not.
  */
 
-#include <cstring>
 #include <iostream>
 #include <sstream>
 
@@ -46,40 +55,29 @@ splitCsv(const std::string &csv)
     return out;
 }
 
-bool
-parseDesign(const std::string &name, sim::SystemDesign &out)
+/**
+ * Display name of the registered design whose policy knobs match
+ * @p cfg ("custom" when overrides left no preset matching), so the
+ * reported label stays correct however the knobs were reached
+ * (--design, --set design=..., --set scheduler=...).
+ */
+std::string
+designLabelFor(const sim::SimConfig &cfg)
 {
-    if (name == "oblivious")
-        out = sim::SystemDesign::RngOblivious;
-    else if (name == "greedy")
-        out = sim::SystemDesign::GreedyIdle;
-    else if (name == "drstrange")
-        out = sim::SystemDesign::DrStrange;
-    else if (name == "drstrange-rl")
-        out = sim::SystemDesign::DrStrangeRl;
-    else if (name == "drstrange-nopred")
-        out = sim::SystemDesign::DrStrangeNoPred;
-    else if (name == "rng-aware")
-        out = sim::SystemDesign::RngAwareNoBuffer;
-    else if (name == "frfcfs")
-        out = sim::SystemDesign::FrFcfsBaseline;
-    else if (name == "bliss")
-        out = sim::SystemDesign::BlissBaseline;
-    else
-        return false;
-    return true;
-}
-
-bool
-parseMechanism(const std::string &name, trng::TrngMechanism &out)
-{
-    if (name == "drange")
-        out = trng::TrngMechanism::dRange();
-    else if (name == "quac")
-        out = trng::TrngMechanism::quacTrng();
-    else
-        return false;
-    return true;
+    const auto &registry = sim::DesignRegistry::instance();
+    for (const std::string &key : registry.keys()) {
+        sim::SimConfig probe = cfg;
+        registry.apply(key, probe);
+        if (probe.scheduler == cfg.scheduler &&
+            probe.rngAwareQueueing == cfg.rngAwareQueueing &&
+            probe.buffering == cfg.buffering &&
+            probe.fillPolicy == cfg.fillPolicy &&
+            probe.predictor == cfg.predictor &&
+            probe.lowUtilFill == cfg.lowUtilFill) {
+            return registry.displayName(key);
+        }
+    }
+    return "custom";
 }
 
 } // namespace
@@ -87,13 +85,13 @@ parseMechanism(const std::string &name, trng::TrngMechanism &out)
 int
 main(int argc, char **argv)
 {
-    sim::SimConfig cfg;
-    cfg.instrBudget = 200000;
-    sim::SystemDesign design = sim::SystemDesign::DrStrange;
+    sim::SimulationBuilder builder;
+    builder.design(sim::SystemDesign::DrStrange).instrBudget(200000);
     std::vector<std::string> apps;
     std::vector<std::string> trace_files;
     double rng_mbps = 5120.0;
     bool json = false;
+    bool print_config = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -104,60 +102,66 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (arg == "--design") {
-            if (!parseDesign(next_arg("--design"), design)) {
-                std::cerr << "unknown design\n";
+        try {
+            if (arg == "--design") {
+                builder.design(next_arg("--design"));
+            } else if (arg == "--apps") {
+                apps = splitCsv(next_arg("--apps"));
+            } else if (arg == "--trace") {
+                trace_files.push_back(next_arg("--trace"));
+            } else if (arg == "--rng-mbps") {
+                rng_mbps = std::stod(next_arg("--rng-mbps"));
+            } else if (arg == "--mechanism") {
+                builder.mechanism(next_arg("--mechanism"));
+            } else if (arg == "--hybrid-fill") {
+                builder.fillMechanism(next_arg("--hybrid-fill"));
+            } else if (arg == "--buffer") {
+                builder.bufferEntries(static_cast<unsigned>(
+                    std::stoul(next_arg("--buffer"))));
+            } else if (arg == "--partitions") {
+                builder.bufferPartitions(static_cast<unsigned>(
+                    std::stoul(next_arg("--partitions"))));
+            } else if (arg == "--powerdown") {
+                builder.powerDownThreshold(
+                    std::stoull(next_arg("--powerdown")));
+            } else if (arg == "--budget") {
+                builder.instrBudget(std::stoull(next_arg("--budget")));
+            } else if (arg == "--priorities") {
+                std::vector<int> prios;
+                for (const auto &p : splitCsv(next_arg("--priorities")))
+                    prios.push_back(std::stoi(p));
+                builder.priorities(std::move(prios));
+            } else if (arg == "--seed") {
+                builder.seed(std::stoull(next_arg("--seed")));
+            } else if (arg == "--set") {
+                builder.applyText(next_arg("--set"));
+            } else if (arg == "--print-config") {
+                print_config = true;
+            } else if (arg == "--json") {
+                json = true;
+            } else if (arg == "--help" || arg == "-h") {
+                std::cout << "see the header comment of examples/"
+                             "drstrange_sim.cpp for options\n";
+                return 0;
+            } else {
+                std::cerr << "unknown option: " << arg << "\n";
                 return 1;
             }
-        } else if (arg == "--apps") {
-            apps = splitCsv(next_arg("--apps"));
-        } else if (arg == "--trace") {
-            trace_files.push_back(next_arg("--trace"));
-        } else if (arg == "--rng-mbps") {
-            rng_mbps = std::stod(next_arg("--rng-mbps"));
-        } else if (arg == "--mechanism") {
-            if (!parseMechanism(next_arg("--mechanism"), cfg.mechanism)) {
-                std::cerr << "unknown mechanism\n";
-                return 1;
-            }
-        } else if (arg == "--hybrid-fill") {
-            trng::TrngMechanism fill;
-            if (!parseMechanism(next_arg("--hybrid-fill"), fill)) {
-                std::cerr << "unknown fill mechanism\n";
-                return 1;
-            }
-            cfg.fillMechanism = fill;
-        } else if (arg == "--buffer") {
-            cfg.bufferEntries =
-                static_cast<unsigned>(std::stoul(next_arg("--buffer")));
-        } else if (arg == "--partitions") {
-            cfg.bufferPartitions = static_cast<unsigned>(
-                std::stoul(next_arg("--partitions")));
-        } else if (arg == "--powerdown") {
-            cfg.powerDownThreshold = std::stoull(next_arg("--powerdown"));
-        } else if (arg == "--budget") {
-            cfg.instrBudget = std::stoull(next_arg("--budget"));
-        } else if (arg == "--priorities") {
-            for (const auto &p : splitCsv(next_arg("--priorities")))
-                cfg.priorities.push_back(std::stoi(p));
-        } else if (arg == "--seed") {
-            cfg.seed = std::stoull(next_arg("--seed"));
-        } else if (arg == "--json") {
-            json = true;
-        } else if (arg == "--help" || arg == "-h") {
-            std::cout << "see the header comment of examples/"
-                         "drstrange_sim.cpp for options\n";
-            return 0;
-        } else {
-            std::cerr << "unknown option: " << arg << "\n";
+        } catch (const std::exception &e) {
+            std::cerr << arg << ": " << e.what() << "\n";
             return 1;
         }
+    }
+    if (print_config) {
+        std::cout << builder.toText() << "\n";
+        return 0;
     }
     if (apps.empty() && trace_files.empty())
         apps = {"soplex"};
 
     // Build the system directly so trace-file cores can join.
-    cfg.design = design;
+    const sim::SimConfig &cfg = builder.config();
+    const std::string design_label = designLabelFor(cfg);
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     CoreId core = 0;
     for (const std::string &app : apps) {
@@ -186,7 +190,7 @@ main(int argc, char **argv)
             rng_mbps, cfg.geometry, cfg.seed + core));
     }
 
-    sim::System sys(cfg, std::move(traces));
+    sim::System sys = builder.buildSystem(std::move(traces));
     sys.run();
 
     double energy_nj = 0.0;
@@ -200,8 +204,9 @@ main(int argc, char **argv)
     if (json) {
         JsonWriter w;
         w.beginObject();
-        w.key("design").value(sim::designName(design));
+        w.key("design").value(design_label);
         w.key("mechanism").value(cfg.mechanism.name);
+        w.key("config").value(builder.toText());
         w.key("busCycles").value(sys.busCycles());
         w.key("energy_nJ").value(energy_nj);
         w.key("bufferServeRate").value(mcs.bufferServeRate());
@@ -226,7 +231,7 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::cout << "design: " << sim::designName(design)
+    std::cout << "design: " << design_label
               << "  mechanism: " << cfg.mechanism.name;
     if (cfg.fillMechanism)
         std::cout << " (fill: " << cfg.fillMechanism->name << ")";

@@ -61,7 +61,7 @@ main()
     for (sim::SystemDesign design : {sim::SystemDesign::RngOblivious,
                                      sim::SystemDesign::DrStrange}) {
         api::RandomDevice::Config cfg;
-        cfg.design = design;
+        sim::applyDesign(cfg.sim, design);
         api::RandomDevice dev(cfg);
         double rng_ns = 0.0;
         const double pi = estimatePi(dev, kSamples, rng_ns);

@@ -1,8 +1,11 @@
 /**
  * @file
  * Quickstart: simulate one RNG application (5 Gb/s requirement) running
- * next to one memory-intensive application under the three system
- * designs, and print the paper's headline metrics for the mix.
+ * next to one memory-intensive application under the three headline
+ * system designs, and print the paper's headline metrics for the mix.
+ *
+ * This is the canonical SimulationBuilder snippet: configure once with
+ * the fluent API, then sweep design presets through the Runner.
  */
 
 #include <iostream>
@@ -15,9 +18,12 @@ using namespace dstrange;
 int
 main()
 {
-    sim::SimConfig base;
-    base.instrBudget = envU64("DS_INSTR_BUDGET", 200000);
-    sim::Runner runner(base);
+    // One builder configures the whole experiment; buildRunner() hands
+    // back a Runner whose alone-run baselines are cached across sweeps.
+    sim::Runner runner = sim::SimulationBuilder()
+                             .instrBudget(envU64("DS_INSTR_BUDGET", 200000))
+                             .seed(1)
+                             .buildRunner();
 
     workloads::WorkloadSpec spec;
     spec.name = "mcf+rng5120";
@@ -28,11 +34,11 @@ main()
     table.setHeader({"design", "non-RNG slowdown", "RNG slowdown",
                      "unfairness", "buffer serve rate", "bus cycles"});
 
-    for (sim::SystemDesign design : {sim::SystemDesign::RngOblivious,
-                                     sim::SystemDesign::GreedyIdle,
-                                     sim::SystemDesign::DrStrange}) {
+    // Design presets are registry keys; user-registered designs sweep
+    // the same way (see examples/scheduler_explorer.cpp).
+    for (const std::string design : {"oblivious", "greedy", "drstrange"}) {
         const auto res = runner.run(design, spec);
-        table.addRow({sim::designName(design),
+        table.addRow({sim::DesignRegistry::instance().displayName(design),
                       TablePrinter::num(res.avgNonRngSlowdown()),
                       TablePrinter::num(res.rngSlowdown()),
                       TablePrinter::num(res.unfairnessIndex),

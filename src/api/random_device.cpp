@@ -9,15 +9,11 @@ RandomDevice::RandomDevice() : RandomDevice(Config{})
 }
 
 RandomDevice::RandomDevice(const Config &config)
-    : cfg(config), entropy(mix64(config.seed) ^ 0xfeed)
+    : cfg(config), entropy(mix64(config.sim.seed) ^ 0xfeed)
 {
-    sim::SimConfig sc;
-    sc.design = cfg.design;
-    sc.mechanism = cfg.mechanism;
-    sc.bufferEntries = cfg.bufferEntries;
-    sc.seed = cfg.seed;
     mc = std::make_unique<mem::MemoryController>(
-        sim::mcConfigFor(sc), timings, geometry, cfg.mechanism,
+        sim::mcConfigFor(cfg.sim), cfg.sim.timings, cfg.sim.geometry,
+        cfg.sim.mechanism,
         /*num_cores=*/1);
     mc->setCompletionCallback(
         [this](CoreId, std::uint64_t, mem::ReqType) { completions++; });
@@ -59,7 +55,7 @@ RandomDevice::getRandom(std::size_t n_bytes)
 
     res.bytes = entropy.nextBytes(n_bytes);
     res.latencyNs =
-        static_cast<double>(now - start) * timings.tCKns;
+        static_cast<double>(now - start) * cfg.sim.timings.tCKns;
     res.servedFromBuffer =
         mc->stats().rngServedFromBuffer - buffer_hits_before == words;
     return res;
@@ -69,7 +65,7 @@ void
 RandomDevice::idle(double ns)
 {
     const auto cycles =
-        static_cast<Cycle>(std::ceil(ns / timings.tCKns));
+        static_cast<Cycle>(std::ceil(ns / cfg.sim.timings.tCKns));
     for (Cycle i = 0; i < cycles; ++i)
         tick();
 }
@@ -84,7 +80,7 @@ RandomDevice::bufferLevelBits() const
 double
 RandomDevice::elapsedNs() const
 {
-    return static_cast<double>(now) * timings.tCKns;
+    return static_cast<double>(now) * cfg.sim.timings.tCKns;
 }
 
 } // namespace dstrange::api

@@ -31,10 +31,16 @@ class RandomDevice
   public:
     struct Config
     {
-        sim::SystemDesign design = sim::SystemDesign::DrStrange;
-        trng::TrngMechanism mechanism = trng::TrngMechanism::dRange();
-        unsigned bufferEntries = 16;
-        std::uint64_t seed = 42;
+        /**
+         * Full policy/parameter configuration of the backing memory
+         * system. Defaults to the DR-STRaNGe design (SimConfig's
+         * default) with the device's historical seed; select another
+         * design with sim::applyDesign / sim::SimulationBuilder, or
+         * flip individual policy knobs directly.
+         */
+        sim::SimConfig sim;
+
+        Config() { sim.seed = 42; }
     };
 
     explicit RandomDevice(const Config &config);
@@ -69,8 +75,6 @@ class RandomDevice
     void tick();
 
     Config cfg;
-    dram::DramTimings timings;
-    dram::DramGeometry geometry;
     std::unique_ptr<mem::MemoryController> mc;
     trng::EntropySource entropy;
     Cycle now = 0;

@@ -1,0 +1,207 @@
+#include "api/simulation_builder.h"
+
+#include <stdexcept>
+
+#include "mem/scheduler_registry.h"
+#include "sim/config_text.h"
+#include "sim/design_registry.h"
+#include "strange/predictor_registry.h"
+
+namespace dstrange::sim {
+
+SimulationBuilder
+SimulationBuilder::fromText(const std::string &text)
+{
+    return SimulationBuilder().applyText(text);
+}
+
+SimulationBuilder &
+SimulationBuilder::design(SystemDesign d)
+{
+    applyDesign(cfg, d);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::design(const std::string &name)
+{
+    DesignRegistry::instance().apply(name, cfg);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::scheduler(std::string registry_key)
+{
+    if (!mem::SchedulerRegistry::instance().contains(registry_key))
+        throw std::out_of_range("unknown scheduler '" + registry_key +
+                                "' (register it first)");
+    cfg.scheduler = std::move(registry_key);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::rngAwareQueueing(bool on)
+{
+    cfg.rngAwareQueueing = on;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::buffering(bool on)
+{
+    cfg.buffering = on;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::fillPolicy(std::string mode)
+{
+    mem::fillModeFromName(mode); // validate early
+    cfg.fillPolicy = std::move(mode);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::predictor(std::string registry_key)
+{
+    if (!strange::PredictorRegistry::instance().contains(registry_key))
+        throw std::out_of_range("unknown predictor '" + registry_key +
+                                "' (register it first)");
+    cfg.predictor = std::move(registry_key);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::lowUtilFill(bool on)
+{
+    cfg.lowUtilFill = on;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::mechanism(const trng::TrngMechanism &m)
+{
+    cfg.mechanism = m;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::mechanism(const std::string &name)
+{
+    const auto m = trng::TrngMechanism::byName(name);
+    if (!m)
+        throw std::out_of_range("unknown TRNG mechanism '" + name +
+                                "' (known: drange, quac)");
+    cfg.mechanism = *m;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::fillMechanism(const trng::TrngMechanism &m)
+{
+    cfg.fillMechanism = m;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::fillMechanism(const std::string &name)
+{
+    const auto m = trng::TrngMechanism::byName(name);
+    if (!m)
+        throw std::out_of_range("unknown TRNG mechanism '" + name +
+                                "' (known: drange, quac)");
+    cfg.fillMechanism = *m;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::noFillMechanism()
+{
+    cfg.fillMechanism.reset();
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::timings(const dram::DramTimings &t)
+{
+    cfg.timings = t;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::geometry(const dram::DramGeometry &g)
+{
+    cfg.geometry = g;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::bufferEntries(unsigned entries)
+{
+    cfg.bufferEntries = entries;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::bufferPartitions(unsigned partitions)
+{
+    cfg.bufferPartitions = partitions;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::lowUtilThreshold(unsigned occupancy)
+{
+    cfg.lowUtilThreshold = occupancy;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::powerDownThreshold(Cycle cycles)
+{
+    cfg.powerDownThreshold = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::instrBudget(std::uint64_t instructions)
+{
+    cfg.instrBudget = instructions;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::maxBusCycles(Cycle cycles)
+{
+    cfg.maxBusCycles = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::priorities(std::vector<int> per_core)
+{
+    cfg.priorities = std::move(per_core);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::seed(std::uint64_t s)
+{
+    cfg.seed = s;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::applyText(const std::string &text)
+{
+    applyConfigText(cfg, text);
+    return *this;
+}
+
+std::string
+SimulationBuilder::toText() const
+{
+    return serializeConfig(cfg);
+}
+
+} // namespace dstrange::sim

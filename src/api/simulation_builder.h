@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fluent facade over the composable configuration API. One builder
+ * covers the whole construction surface: select a named design preset
+ * (built-in or registered in sim::DesignRegistry), override individual
+ * policy knobs (scheduler / predictor registry keys, buffering, fill,
+ * low-utilization mode) and numeric parameters, serialize the result to
+ * canonical key=value text (sim/config_text.h), and produce System,
+ * Runner, or api::RandomDevice instances.
+ *
+ *   auto runner = sim::SimulationBuilder()
+ *                     .design(sim::SystemDesign::DrStrange)
+ *                     .mechanism("quac")
+ *                     .bufferEntries(32)
+ *                     .instrBudget(200000)
+ *                     .buildRunner();
+ */
+
+#ifndef DSTRANGE_API_SIMULATION_BUILDER_H
+#define DSTRANGE_API_SIMULATION_BUILDER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "sim/sim_config.h"
+#include "sim/system.h"
+
+namespace dstrange::sim {
+
+class SimulationBuilder
+{
+  public:
+    /** Starts from SimConfig{} defaults (the DR-STRaNGe design). */
+    SimulationBuilder() = default;
+
+    /** Starts from an existing configuration. */
+    explicit SimulationBuilder(SimConfig base) : cfg(std::move(base)) {}
+
+    /**
+     * Parse a builder from canonical key=value text (the format
+     * toText() emits; also accepts design=KEY presets).
+     * @throws std::invalid_argument on malformed text.
+     */
+    static SimulationBuilder fromText(const std::string &text);
+
+    // --- Design presets ----------------------------------------------
+    /** Reset the policy knobs to a paper design. */
+    SimulationBuilder &design(SystemDesign d);
+    /**
+     * Reset the policy knobs to a design registered in
+     * sim::DesignRegistry (key or display name; covers user-registered
+     * designs). @throws std::out_of_range when unknown.
+     */
+    SimulationBuilder &design(const std::string &name);
+
+    // --- Policy knobs ------------------------------------------------
+    /** Registry-keyed setters validate eagerly: @throws
+     *  std::out_of_range when the key is not registered (yet). */
+    SimulationBuilder &scheduler(std::string registry_key);
+    SimulationBuilder &rngAwareQueueing(bool on);
+    SimulationBuilder &buffering(bool on);
+    SimulationBuilder &fillPolicy(std::string mode);
+    SimulationBuilder &predictor(std::string registry_key);
+    SimulationBuilder &lowUtilFill(bool on);
+
+    // --- Mechanisms and numeric parameters ---------------------------
+    SimulationBuilder &mechanism(const trng::TrngMechanism &m);
+    /** Built-in mechanism by name ("drange"/"quac").
+     *  @throws std::out_of_range when unknown. */
+    SimulationBuilder &mechanism(const std::string &name);
+    SimulationBuilder &fillMechanism(const trng::TrngMechanism &m);
+    SimulationBuilder &fillMechanism(const std::string &name);
+    SimulationBuilder &noFillMechanism();
+    SimulationBuilder &timings(const dram::DramTimings &t);
+    SimulationBuilder &geometry(const dram::DramGeometry &g);
+    SimulationBuilder &bufferEntries(unsigned entries);
+    SimulationBuilder &bufferPartitions(unsigned partitions);
+    SimulationBuilder &lowUtilThreshold(unsigned occupancy);
+    SimulationBuilder &powerDownThreshold(Cycle cycles);
+    SimulationBuilder &instrBudget(std::uint64_t instructions);
+    SimulationBuilder &maxBusCycles(Cycle cycles);
+    SimulationBuilder &priorities(std::vector<int> per_core);
+    SimulationBuilder &seed(std::uint64_t s);
+
+    // --- Text form ---------------------------------------------------
+    /** Apply key=value tokens on top of the current state.
+     *  @throws std::invalid_argument on malformed text. */
+    SimulationBuilder &applyText(const std::string &text);
+    /** Canonical key=value serialization of the current state. */
+    std::string toText() const;
+
+    // --- Products ----------------------------------------------------
+    const SimConfig &config() const { return cfg; }
+    mem::McConfig mcConfig() const { return mcConfigFor(cfg); }
+    Runner buildRunner() const { return Runner(cfg); }
+    System buildSystem(
+        std::vector<std::unique_ptr<cpu::TraceSource>> traces) const
+    {
+        return System(cfg, std::move(traces));
+    }
+
+  private:
+    SimConfig cfg;
+};
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_API_SIMULATION_BUILDER_H

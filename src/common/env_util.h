@@ -23,7 +23,14 @@ envU64(const char *name, std::uint64_t fallback)
     const char *env = std::getenv(name);
     if (!env)
         return fallback;
-    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    // strtoull would truncate "2e5" to 2 and wrap "-1" to huge; both
+    // must fall back rather than yield a degenerate run.
+    if (*env == '\0' || *env == '-' || *env == '+')
+        return fallback;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(env, &end, 10);
+    if (end == nullptr || *end != '\0')
+        return fallback;
     return v > 0 ? v : fallback;
 }
 

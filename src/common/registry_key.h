@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared key validation for the string-keyed policy registries
+ * (mem::SchedulerRegistry, strange::PredictorRegistry,
+ * sim::DesignRegistry). Keys travel through the whitespace-tokenized
+ * key=value config text (sim/config_text.h), so they must stay
+ * single-token and '='-free.
+ */
+
+#ifndef DSTRANGE_COMMON_REGISTRY_KEY_H
+#define DSTRANGE_COMMON_REGISTRY_KEY_H
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace dstrange {
+
+/** @throws std::invalid_argument on an empty or non-serializable key. */
+inline void
+validateRegistryKey(const char *what, const std::string &key)
+{
+    if (key.empty())
+        throw std::invalid_argument(std::string(what) +
+                                    " key must not be empty");
+    for (char c : key) {
+        if (c == '=' || std::isspace(static_cast<unsigned char>(c)))
+            throw std::invalid_argument(
+                std::string(what) + " key '" + key +
+                "' must not contain whitespace or '='");
+    }
+}
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_REGISTRY_KEY_H

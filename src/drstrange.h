@@ -9,13 +9,18 @@
 #define DSTRANGE_DRSTRANGE_H
 
 #include "api/random_device.h"
+#include "api/simulation_builder.h"
 #include "common/stats_util.h"
 #include "common/table_printer.h"
+#include "mem/scheduler_registry.h"
 #include "sim/area_model.h"
+#include "sim/config_text.h"
+#include "sim/design_registry.h"
 #include "sim/energy_model.h"
 #include "sim/metrics.h"
 #include "sim/runner.h"
 #include "sim/system.h"
+#include "strange/predictor_registry.h"
 #include "trng/bit_quality.h"
 #include "trng/trng_mechanism.h"
 #include "workloads/app_profile.h"

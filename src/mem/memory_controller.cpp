@@ -2,10 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
-#include "mem/bliss.h"
+#include "mem/scheduler_registry.h"
+#include "strange/predictor_registry.h"
 
 namespace dstrange::mem {
+
+FillMode
+fillModeFromName(const std::string &name)
+{
+    if (name == "none")
+        return FillMode::None;
+    if (name == "greedy-oracle")
+        return FillMode::GreedyOracle;
+    if (name == "engine")
+        return FillMode::Engine;
+    throw std::out_of_range(
+        "unknown fill mode '" + name +
+        "' (known: none, greedy-oracle, engine)");
+}
 
 MemoryController::MemoryController(const McConfig &config,
                                    const dram::DramTimings &timings,
@@ -33,47 +49,22 @@ MemoryController::MemoryController(const McConfig &config,
         cs.readQ = std::make_unique<RequestQueue>(cfg.readQueueCap);
         cs.writeQ = std::make_unique<RequestQueue>(cfg.writeQueueCap);
         if (cfg.fill == FillMode::Engine) {
-            switch (cfg.predictorKind) {
-              case PredictorKind::None:
-                break; // Simple buffering: every quiet period is "long".
-              case PredictorKind::Simple: {
-                strange::SimpleIdlenessPredictor::Config pc;
-                pc.tableEntries = cfg.predictorEntries;
-                pc.periodThreshold = cfg.periodThreshold;
-                cs.predictor =
-                    std::make_unique<strange::SimpleIdlenessPredictor>(pc);
-                break;
-              }
-              case PredictorKind::Rl: {
-                strange::RlIdlenessPredictor::Config pc = cfg.rlConfig;
-                pc.periodThreshold = cfg.periodThreshold;
-                pc.seed += ch; // Independent exploration per channel.
-                cs.predictor =
-                    std::make_unique<strange::RlIdlenessPredictor>(pc);
-                break;
-              }
-            }
+            strange::PredictorContext pctx;
+            pctx.channel = ch;
+            pctx.tableEntries = cfg.predictorEntries;
+            pctx.periodThreshold = cfg.periodThreshold;
+            pctx.rlConfig = cfg.rlConfig;
+            cs.predictor = strange::PredictorRegistry::instance().make(
+                cfg.predictor, pctx);
         }
         // Channels start empty, i.e. idle from cycle 0; the first fill
         // prediction is made lazily by manageEngine().
         cs.idleActive = true;
     }
 
-    switch (cfg.schedulerKind) {
-      case SchedulerKind::FrFcfs:
-        readSched = std::make_unique<FrFcfsScheduler>(
-            geometry.channels, geometry.banksPerRank, 0);
-        break;
-      case SchedulerKind::FrFcfsCap:
-        readSched = std::make_unique<FrFcfsScheduler>(
-            geometry.channels, geometry.banksPerRank, cfg.columnCap);
-        break;
-      case SchedulerKind::Bliss:
-        readSched = std::make_unique<BlissScheduler>(
-            geometry.channels, num_cores, cfg.blissThreshold,
-            cfg.blissClearingInterval);
-        break;
-    }
+    const SchedulerContext sctx{geometry.channels, geometry.banksPerRank,
+                                num_cores, cfg};
+    readSched = SchedulerRegistry::instance().make(cfg.scheduler, sctx);
 
     if (cfg.rngAwareQueueing) {
         RngAwarePolicy::Config pc;

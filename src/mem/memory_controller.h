@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "dram/address_mapper.h"
@@ -37,14 +38,6 @@
 
 namespace dstrange::mem {
 
-/** Intra-queue scheduler selection. */
-enum class SchedulerKind : std::uint8_t
-{
-    FrFcfs,    ///< Classic FR-FCFS.
-    FrFcfsCap, ///< FR-FCFS with a 16-column cap (baseline, Table 1).
-    Bliss,     ///< Blacklisting scheduler.
-};
-
 /** How random bits are proactively generated for the buffer. */
 enum class FillMode : std::uint8_t
 {
@@ -53,18 +46,18 @@ enum class FillMode : std::uint8_t
     Engine,       ///< Real RNG-mode fill driven by the idleness logic.
 };
 
-/** Which idleness predictor gates engine-driven fill. */
-enum class PredictorKind : std::uint8_t
-{
-    None,   ///< Simple buffering: every idle cycle is assumed long.
-    Simple, ///< 2-bit saturating counter table (Section 5.1.2).
-    Rl,     ///< Q-learning agent (Section 5.1.2).
-};
+/**
+ * Parse a fill-mode name ("none"/"greedy-oracle"/"engine") as used by
+ * SimConfig::fillPolicy and the config text format.
+ * @throws std::out_of_range on an unknown name.
+ */
+FillMode fillModeFromName(const std::string &name);
 
 /** Full memory controller configuration. */
 struct McConfig
 {
-    SchedulerKind schedulerKind = SchedulerKind::FrFcfsCap;
+    /** Intra-queue scheduler (mem::SchedulerRegistry key). */
+    std::string scheduler = "fr-fcfs-cap";
     unsigned columnCap = 16;
     unsigned blissThreshold = 4;
     Cycle blissClearingInterval = 10000;
@@ -91,7 +84,9 @@ struct McConfig
      *  design, Section 8.7 future work); demand generation always uses
      *  the mechanism passed to the controller. */
     std::optional<trng::TrngMechanism> fillMechanism;
-    PredictorKind predictorKind = PredictorKind::Simple;
+    /** Idleness predictor gating engine fill (strange::PredictorRegistry
+     *  key; "none" = simple buffering, every quiet period assumed long). */
+    std::string predictor = "simple";
     unsigned predictorEntries = 256;
     Cycle periodThreshold = 40;
     /** Read+write queue occupancy below which a channel counts as

@@ -1,0 +1,78 @@
+#include "mem/scheduler_registry.h"
+
+#include <stdexcept>
+
+#include "common/registry_key.h"
+#include "mem/bliss.h"
+#include "mem/fr_fcfs.h"
+#include "mem/memory_controller.h"
+
+namespace dstrange::mem {
+
+SchedulerRegistry::SchedulerRegistry()
+{
+    add("fr-fcfs", [](const SchedulerContext &ctx) {
+        return std::make_unique<FrFcfsScheduler>(
+            ctx.channels, ctx.banksPerChannel, /*column_cap=*/0);
+    });
+    add("fr-fcfs-cap", [](const SchedulerContext &ctx) {
+        return std::make_unique<FrFcfsScheduler>(
+            ctx.channels, ctx.banksPerChannel, ctx.cfg.columnCap);
+    });
+    add("bliss", [](const SchedulerContext &ctx) {
+        return std::make_unique<BlissScheduler>(
+            ctx.channels, ctx.cores, ctx.cfg.blissThreshold,
+            ctx.cfg.blissClearingInterval);
+    });
+}
+
+SchedulerRegistry &
+SchedulerRegistry::instance()
+{
+    static SchedulerRegistry registry;
+    return registry;
+}
+
+void
+SchedulerRegistry::add(const std::string &key, SchedulerFactory factory)
+{
+    validateRegistryKey("scheduler", key);
+    if (!factory)
+        throw std::invalid_argument("scheduler factory for '" + key +
+                                    "' must not be empty");
+    if (!factories.emplace(key, std::move(factory)).second)
+        throw std::invalid_argument("scheduler '" + key +
+                                    "' is already registered");
+}
+
+std::unique_ptr<Scheduler>
+SchedulerRegistry::make(const std::string &key,
+                        const SchedulerContext &ctx) const
+{
+    const auto it = factories.find(key);
+    if (it == factories.end()) {
+        std::string known;
+        for (const auto &[k, f] : factories)
+            known += (known.empty() ? "" : ", ") + k;
+        throw std::out_of_range("unknown scheduler '" + key +
+                                "' (registered: " + known + ")");
+    }
+    return it->second(ctx);
+}
+
+bool
+SchedulerRegistry::contains(const std::string &key) const
+{
+    return factories.count(key) != 0;
+}
+
+std::vector<std::string>
+SchedulerRegistry::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, factory] : factories)
+        out.push_back(key);
+    return out;
+}
+
+} // namespace dstrange::mem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * String-keyed factory registry for intra-queue memory schedulers. The
+ * memory controller instantiates its scheduler through this registry, so
+ * a new scheduling policy becomes available to every design sweep, the
+ * CLI, and the benches by registering a factory — no switch statement to
+ * extend, and registration can happen from user code outside src/mem
+ * (see examples/scheduler_explorer.cpp).
+ */
+
+#ifndef DSTRANGE_MEM_SCHEDULER_REGISTRY_H
+#define DSTRANGE_MEM_SCHEDULER_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/scheduler.h"
+
+namespace dstrange::mem {
+
+struct McConfig;
+
+/** Everything a scheduler factory may need at construction time. */
+struct SchedulerContext
+{
+    unsigned channels = 0;
+    unsigned banksPerChannel = 0;
+    unsigned cores = 0;
+    const McConfig &cfg; ///< Numeric tuning knobs (caps, thresholds).
+};
+
+/** Factory producing a scheduler for one memory controller instance. */
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(const SchedulerContext &)>;
+
+/**
+ * Process-global scheduler registry. Built-in policies are registered on
+ * first access:
+ *
+ *   "fr-fcfs"      classic FR-FCFS (row hits first, then oldest)
+ *   "fr-fcfs-cap"  FR-FCFS with the paper's 16-column streak cap
+ *   "bliss"        the BLISS blacklisting scheduler
+ */
+class SchedulerRegistry
+{
+  public:
+    static SchedulerRegistry &instance();
+
+    /**
+     * Register a factory under @p key.
+     * @throws std::invalid_argument if @p key is empty or already taken.
+     */
+    void add(const std::string &key, SchedulerFactory factory);
+
+    /**
+     * Instantiate the scheduler registered under @p key.
+     * @throws std::out_of_range if @p key is unknown (the message lists
+     *         the registered keys).
+     */
+    std::unique_ptr<Scheduler> make(const std::string &key,
+                                    const SchedulerContext &ctx) const;
+
+    bool contains(const std::string &key) const;
+
+    /** Registered keys in sorted order. */
+    std::vector<std::string> keys() const;
+
+  private:
+    SchedulerRegistry();
+
+    std::map<std::string, SchedulerFactory> factories;
+};
+
+} // namespace dstrange::mem
+
+#endif // DSTRANGE_MEM_SCHEDULER_REGISTRY_H

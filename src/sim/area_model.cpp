@@ -1,5 +1,7 @@
 #include "sim/area_model.h"
 
+#include "strange/predictor_registry.h"
+
 namespace dstrange::sim {
 
 namespace {
@@ -34,27 +36,15 @@ drStrangeArea(const mem::McConfig &cfg, unsigned channels)
     if (cfg.rngAwareQueueing)
         bits += static_cast<double>(cfg.rngQueueCap) * kRngQueueEntryBits;
 
-    // Idleness predictor.
+    // Idleness predictor: each registry entry prices its own storage
+    // (custom predictors without a storage model count as 0 bits).
     if (cfg.fill == mem::FillMode::Engine) {
-        switch (cfg.predictorKind) {
-          case mem::PredictorKind::None:
-            break;
-          case mem::PredictorKind::Simple:
-            // 2-bit counters per entry, one table per channel, plus the
-            // last-address register and idle-length counter per channel.
-            bits += static_cast<double>(cfg.predictorEntries) * 2.0 *
-                        channels +
-                    channels * (48.0 + 16.0);
-            break;
-          case mem::PredictorKind::Rl:
-            // Q table: 2 actions x 2^stateBits states x 4-byte Q values,
-            // plus the 10-bit history register per channel.
-            bits += 2.0 * static_cast<double>(
-                              1u << cfg.rlConfig.stateBits) *
-                        32.0 +
-                    channels * 10.0;
-            break;
-        }
+        strange::PredictorAreaContext actx;
+        actx.channels = channels;
+        actx.tableEntries = cfg.predictorEntries;
+        actx.rlConfig = cfg.rlConfig;
+        bits += strange::PredictorRegistry::instance().storageBits(
+            cfg.predictor, actx);
     }
     return sramMacroArea(bits);
 }

@@ -1,0 +1,341 @@
+#include "sim/config_text.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "mem/scheduler_registry.h"
+#include "sim/design_registry.h"
+#include "strange/predictor_registry.h"
+
+namespace dstrange::sim {
+
+namespace {
+
+/** Shortest round-trippable decimal form of a double. */
+std::string
+fmt(double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::uint64_t
+parseU64(const std::string &value)
+{
+    // std::stoull would wrap a leading minus instead of failing.
+    if (value.empty() || value[0] == '-' || value[0] == '+')
+        throw std::invalid_argument("expected an unsigned number");
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(value, &used);
+    if (used != value.size())
+        throw std::invalid_argument("trailing characters");
+    return v;
+}
+
+int
+parseInt(const std::string &value)
+{
+    std::size_t used = 0;
+    const int v = std::stoi(value, &used);
+    if (used != value.size())
+        throw std::invalid_argument("trailing characters");
+    return v;
+}
+
+unsigned
+parseUnsigned(const std::string &value)
+{
+    const std::uint64_t v = parseU64(value);
+    if (v > ~0u)
+        throw std::invalid_argument("value out of range");
+    return static_cast<unsigned>(v);
+}
+
+double
+parseDouble(const std::string &value)
+{
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size())
+        throw std::invalid_argument("trailing characters");
+    return v;
+}
+
+bool
+parseBool(const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on")
+        return true;
+    if (value == "0" || value == "false" || value == "off")
+        return false;
+    throw std::invalid_argument("expected a boolean (0/1/true/false)");
+}
+
+void
+serializeMechanism(std::ostringstream &out, const std::string &key,
+                   const trng::TrngMechanism &m)
+{
+    // Tokens split on whitespace, so a name containing any would break
+    // the parse round-trip; sanitize rather than emit unparseable text
+    // (serialization must stay total — it feeds the alone-run cache).
+    std::string name = m.name;
+    for (char &c : name)
+        if (std::isspace(static_cast<unsigned char>(c)))
+            c = '-';
+    out << ' ' << key << ".name=" << name;
+    out << ' ' << key << ".bits=" << fmt(m.bitsPerRound);
+    out << ' ' << key << ".round=" << m.roundLatency;
+    out << ' ' << key << ".in=" << m.switchInLatency;
+    out << ' ' << key << ".out=" << m.switchOutLatency;
+}
+
+/** Mechanism parameter keys shared by "mechanism.*"/"fill-mechanism.*". */
+bool
+applyMechanismField(trng::TrngMechanism &m, const std::string &field,
+                    const std::string &value)
+{
+    if (field == "name")
+        m.name = value;
+    else if (field == "bits")
+        m.bitsPerRound = parseDouble(value);
+    else if (field == "round")
+        m.roundLatency = parseU64(value);
+    else if (field == "in")
+        m.switchInLatency = parseU64(value);
+    else if (field == "out")
+        m.switchOutLatency = parseU64(value);
+    else
+        return false;
+    return true;
+}
+
+bool
+applyTimingsField(dram::DramTimings &t, const std::string &field,
+                  const std::string &value)
+{
+    if (field == "tck") {
+        t.tCKns = parseDouble(value);
+        return true;
+    }
+    struct Entry
+    {
+        const char *name;
+        Cycle dram::DramTimings::*member;
+    };
+    static constexpr Entry entries[] = {
+        {"trcd", &dram::DramTimings::tRCD},
+        {"tcl", &dram::DramTimings::tCL},
+        {"tcwl", &dram::DramTimings::tCWL},
+        {"trp", &dram::DramTimings::tRP},
+        {"tras", &dram::DramTimings::tRAS},
+        {"trc", &dram::DramTimings::tRC},
+        {"tbl", &dram::DramTimings::tBL},
+        {"tccd", &dram::DramTimings::tCCD},
+        {"trtp", &dram::DramTimings::tRTP},
+        {"twr", &dram::DramTimings::tWR},
+        {"twtr", &dram::DramTimings::tWTR},
+        {"trrd", &dram::DramTimings::tRRD},
+        {"tfaw", &dram::DramTimings::tFAW},
+        {"trfc", &dram::DramTimings::tRFC},
+        {"trefi", &dram::DramTimings::tREFI},
+        {"txp", &dram::DramTimings::tXP},
+    };
+    for (const Entry &e : entries) {
+        if (field == e.name) {
+            t.*(e.member) = parseU64(value);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+applyGeometryField(dram::DramGeometry &g, const std::string &field,
+                   const std::string &value)
+{
+    if (field == "channels")
+        g.channels = parseUnsigned(value);
+    else if (field == "ranks")
+        g.ranksPerChannel = parseUnsigned(value);
+    else if (field == "banks")
+        g.banksPerRank = parseUnsigned(value);
+    else if (field == "rows")
+        g.rowsPerBank = parseUnsigned(value);
+    else if (field == "rowbytes")
+        g.rowBytes = parseUnsigned(value);
+    else
+        return false;
+    return true;
+}
+
+void
+applyToken(SimConfig &cfg, const std::string &key,
+           const std::string &value)
+{
+    if (key == "design") {
+        DesignRegistry::instance().apply(value, cfg);
+    } else if (key == "scheduler") {
+        if (!mem::SchedulerRegistry::instance().contains(value))
+            throw std::invalid_argument("unknown scheduler '" + value +
+                                        "'");
+        cfg.scheduler = value;
+    } else if (key == "rng-aware") {
+        cfg.rngAwareQueueing = parseBool(value);
+    } else if (key == "buffering") {
+        cfg.buffering = parseBool(value);
+    } else if (key == "fill") {
+        mem::fillModeFromName(value); // validate
+        cfg.fillPolicy = value;
+    } else if (key == "predictor") {
+        if (!strange::PredictorRegistry::instance().contains(value))
+            throw std::invalid_argument("unknown predictor '" + value +
+                                        "'");
+        cfg.predictor = value;
+    } else if (key == "low-util") {
+        cfg.lowUtilFill = parseBool(value);
+    } else if (key == "mechanism") {
+        if (auto m = trng::TrngMechanism::byName(value))
+            cfg.mechanism = *m;
+        else
+            throw std::invalid_argument(
+                "unknown TRNG mechanism '" + value +
+                "' (known: drange, quac; use mechanism.name= and "
+                "mechanism.bits/round/in/out= for a custom one)");
+    } else if (key.rfind("mechanism.", 0) == 0) {
+        if (!applyMechanismField(cfg.mechanism, key.substr(10), value))
+            throw std::invalid_argument("unknown key");
+    } else if (key == "fill-mechanism") {
+        if (value == "-")
+            cfg.fillMechanism.reset();
+        else if (auto m = trng::TrngMechanism::byName(value))
+            cfg.fillMechanism = *m;
+        else
+            throw std::invalid_argument(
+                "unknown TRNG mechanism '" + value +
+                "' (known: drange, quac, '-'; use fill-mechanism.name= "
+                "and fill-mechanism.bits/round/in/out= for a custom "
+                "one)");
+    } else if (key.rfind("fill-mechanism.", 0) == 0) {
+        if (!cfg.fillMechanism)
+            cfg.fillMechanism = cfg.mechanism;
+        if (!applyMechanismField(*cfg.fillMechanism, key.substr(15),
+                                 value))
+            throw std::invalid_argument("unknown key");
+    } else if (key == "buffer-entries") {
+        cfg.bufferEntries = parseUnsigned(value);
+    } else if (key == "buffer-partitions") {
+        cfg.bufferPartitions = parseUnsigned(value);
+    } else if (key == "low-util-threshold") {
+        cfg.lowUtilThreshold = parseUnsigned(value);
+    } else if (key == "powerdown") {
+        cfg.powerDownThreshold = parseU64(value);
+    } else if (key == "budget") {
+        cfg.instrBudget = parseU64(value);
+    } else if (key == "max-cycles") {
+        cfg.maxBusCycles = parseU64(value);
+    } else if (key == "seed") {
+        cfg.seed = parseU64(value);
+    } else if (key == "priorities") {
+        cfg.priorities.clear();
+        if (value != "-") {
+            std::istringstream iss(value);
+            std::string item;
+            while (std::getline(iss, item, ','))
+                if (!item.empty())
+                    cfg.priorities.push_back(parseInt(item));
+        }
+    } else if (key.rfind("timings.", 0) == 0) {
+        if (!applyTimingsField(cfg.timings, key.substr(8), value))
+            throw std::invalid_argument("unknown key");
+    } else if (key.rfind("geometry.", 0) == 0) {
+        if (!applyGeometryField(cfg.geometry, key.substr(9), value))
+            throw std::invalid_argument("unknown key");
+    } else {
+        throw std::invalid_argument("unknown key");
+    }
+}
+
+} // namespace
+
+std::string
+serializeConfig(const SimConfig &cfg)
+{
+    std::ostringstream o;
+    o << "scheduler=" << cfg.scheduler;
+    o << " rng-aware=" << (cfg.rngAwareQueueing ? 1 : 0);
+    o << " buffering=" << (cfg.buffering ? 1 : 0);
+    o << " fill=" << cfg.fillPolicy;
+    o << " predictor=" << cfg.predictor;
+    o << " low-util=" << (cfg.lowUtilFill ? 1 : 0);
+    serializeMechanism(o, "mechanism", cfg.mechanism);
+    if (cfg.fillMechanism)
+        serializeMechanism(o, "fill-mechanism", *cfg.fillMechanism);
+    else
+        o << " fill-mechanism=-";
+    o << " buffer-entries=" << cfg.bufferEntries;
+    o << " buffer-partitions=" << cfg.bufferPartitions;
+    o << " low-util-threshold=" << cfg.lowUtilThreshold;
+    o << " powerdown=" << cfg.powerDownThreshold;
+    o << " budget=" << cfg.instrBudget;
+    o << " max-cycles=" << cfg.maxBusCycles;
+    o << " seed=" << cfg.seed;
+    o << " priorities=";
+    if (cfg.priorities.empty()) {
+        o << '-';
+    } else {
+        for (std::size_t i = 0; i < cfg.priorities.size(); ++i)
+            o << (i ? "," : "") << cfg.priorities[i];
+    }
+    const dram::DramTimings &t = cfg.timings;
+    o << " timings.tck=" << fmt(t.tCKns) << " timings.trcd=" << t.tRCD
+      << " timings.tcl=" << t.tCL << " timings.tcwl=" << t.tCWL
+      << " timings.trp=" << t.tRP << " timings.tras=" << t.tRAS
+      << " timings.trc=" << t.tRC << " timings.tbl=" << t.tBL
+      << " timings.tccd=" << t.tCCD << " timings.trtp=" << t.tRTP
+      << " timings.twr=" << t.tWR << " timings.twtr=" << t.tWTR
+      << " timings.trrd=" << t.tRRD << " timings.tfaw=" << t.tFAW
+      << " timings.trfc=" << t.tRFC << " timings.trefi=" << t.tREFI
+      << " timings.txp=" << t.tXP;
+    const dram::DramGeometry &g = cfg.geometry;
+    o << " geometry.channels=" << g.channels
+      << " geometry.ranks=" << g.ranksPerChannel
+      << " geometry.banks=" << g.banksPerRank
+      << " geometry.rows=" << g.rowsPerBank
+      << " geometry.rowbytes=" << g.rowBytes;
+    return o.str();
+}
+
+void
+applyConfigText(SimConfig &cfg, const std::string &text)
+{
+    std::istringstream iss(text);
+    std::string token;
+    while (iss >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw std::invalid_argument("bad config token '" + token +
+                                        "': expected key=value");
+        try {
+            applyToken(cfg, token.substr(0, eq), token.substr(eq + 1));
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument("bad config token '" + token +
+                                        "': " + e.what());
+        } catch (const std::out_of_range &e) {
+            throw std::invalid_argument("bad config token '" + token +
+                                        "': " + e.what());
+        }
+    }
+}
+
+SimConfig
+parseConfig(const std::string &text)
+{
+    SimConfig cfg;
+    applyConfigText(cfg, text);
+    return cfg;
+}
+
+} // namespace dstrange::sim

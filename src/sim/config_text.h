@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Canonical key=value text form of a SimConfig. One grammar serves the
+ * CLI (--set/--design), the bench harness (DS_CONFIG), saved experiment
+ * configs, and the Runner's alone-run cache keys.
+ *
+ * Grammar: whitespace-separated `key=value` tokens. serializeConfig()
+ * emits every knob in a fixed order, so equal strings mean equal
+ * effective configurations (the property the alone-run cache relies on)
+ * and round-tripping through applyConfigText() reproduces the config.
+ *
+ * Keys (in serialization order):
+ *   scheduler, rng-aware, buffering, fill, predictor, low-util,
+ *   mechanism.name, mechanism.bits, mechanism.round, mechanism.in,
+ *   mechanism.out, fill-mechanism=- or fill-mechanism.name, .bits,
+ *   .round, .in, .out, buffer-entries, buffer-partitions,
+ *   low-util-threshold, powerdown, budget, max-cycles, seed,
+ *   priorities, timings.<field> (tck, trcd, tcl, tcwl, trp, tras, trc,
+ *   tbl, tccd, trtp, twr, twtr, trrd, tfaw, trfc, trefi, txp),
+ *   geometry.<field> (channels, ranks, banks, rows, rowbytes)
+ *
+ * Parsing accepts two extra conveniences:
+ *   design=KEY        apply a sim::DesignRegistry preset (policy knobs)
+ *   mechanism=NAME    load a whole built-in mechanism by
+ *                     trng::TrngMechanism::byName() name ("drange",
+ *                     "quac"); unknown names are an error — custom
+ *                     mechanisms are spelled out via the
+ *                     [fill-]mechanism.* parameter keys
+ */
+
+#ifndef DSTRANGE_SIM_CONFIG_TEXT_H
+#define DSTRANGE_SIM_CONFIG_TEXT_H
+
+#include <string>
+
+#include "sim/sim_config.h"
+
+namespace dstrange::sim {
+
+/** Serialize every knob of @p cfg to canonical key=value text. */
+std::string serializeConfig(const SimConfig &cfg);
+
+/**
+ * Apply whitespace-separated key=value tokens onto @p cfg.
+ * @throws std::invalid_argument on a malformed token, unknown key, or
+ *         unparsable value (the message names the offending token).
+ */
+void applyConfigText(SimConfig &cfg, const std::string &text);
+
+/** Parse a full configuration from text over default-constructed
+ *  SimConfig (i.e. over the DR-STRaNGe preset). */
+SimConfig parseConfig(const std::string &text);
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_CONFIG_TEXT_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * String-keyed registry of named system designs (presets over the
+ * SimConfig policy knobs). The paper's nine designs are built in; user
+ * code can register additional presets — typically pairing a custom
+ * scheduler or predictor factory with the policy knobs that select it —
+ * and they become reachable from the CLI's --design flag, config text
+ * (design=KEY), and Runner::run(name) without any library edits.
+ */
+
+#ifndef DSTRANGE_SIM_DESIGN_REGISTRY_H
+#define DSTRANGE_SIM_DESIGN_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.h"
+
+namespace dstrange::sim {
+
+/**
+ * Process-global design-preset registry. Keys are the designKey()
+ * strings for the built-in designs ("oblivious", "greedy", "drstrange",
+ * "drstrange-nopred", "drstrange-rl", "drstrange-nolowutil",
+ * "rng-aware", "frfcfs", "bliss"); lookups also accept display names
+ * ("DR-STRANGE").
+ */
+class DesignRegistry
+{
+  public:
+    /** Applies a preset's policy knobs onto a configuration. */
+    using Preset = std::function<void(SimConfig &)>;
+
+    static DesignRegistry &instance();
+
+    /**
+     * Register a preset under @p key with a human-readable
+     * @p display_name (shown in tables; may equal the key).
+     * @throws std::invalid_argument if the key is empty or taken.
+     */
+    void add(const std::string &key, const std::string &display_name,
+             Preset preset);
+
+    /**
+     * Apply the preset registered under @p name (key or display name)
+     * onto @p cfg.
+     * @throws std::out_of_range if @p name is unknown (the message
+     *         lists the registered keys).
+     */
+    void apply(const std::string &name, SimConfig &cfg) const;
+
+    bool contains(const std::string &name) const;
+
+    /** Display name of a registered design. @throws std::out_of_range */
+    const std::string &displayName(const std::string &name) const;
+
+    /** Registered keys in sorted order. */
+    std::vector<std::string> keys() const;
+
+  private:
+    struct Entry
+    {
+        std::string displayName;
+        Preset preset;
+    };
+
+    DesignRegistry();
+    const Entry &at(const std::string &name) const;
+
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_DESIGN_REGISTRY_H

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/config_text.h"
+#include "sim/design_registry.h"
 #include "sim/energy_model.h"
 #include "workloads/rng_benchmark.h"
 #include "workloads/synthetic_trace.h"
@@ -36,27 +38,34 @@ Runner::Runner(SimConfig base) : baseCfg(std::move(base))
 }
 
 std::unique_ptr<cpu::TraceSource>
-Runner::makeAppTrace(const std::string &name, CoreId core) const
+Runner::makeAppTrace(const std::string &name, CoreId core,
+                     const SimConfig &cfg) const
 {
     return std::make_unique<workloads::SyntheticTrace>(
-        workloads::appByName(name), baseCfg.geometry, core, baseCfg.seed);
+        workloads::appByName(name), cfg.geometry, core, cfg.seed);
 }
 
 std::unique_ptr<cpu::TraceSource>
-Runner::makeRngTrace(double mbps, CoreId core) const
+Runner::makeRngTrace(double mbps, CoreId core,
+                     const SimConfig &cfg) const
 {
     return std::make_unique<workloads::RngBenchmark>(
-        mbps, baseCfg.geometry, baseCfg.seed + core);
+        mbps, cfg.geometry, cfg.seed + core);
+}
+
+SimConfig
+Runner::aloneConfig(const SimConfig &from, SystemDesign design)
+{
+    SimConfig cfg = from;
+    applyDesign(cfg, design);
+    cfg.priorities.clear();
+    return cfg;
 }
 
 AloneResult
 Runner::runAlone(std::unique_ptr<cpu::TraceSource> trace,
-                 SystemDesign design)
+                 const SimConfig &cfg)
 {
-    SimConfig cfg = baseCfg;
-    cfg.design = design;
-    cfg.priorities.clear();
-
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     traces.push_back(std::move(trace));
     System sys(cfg, std::move(traces));
@@ -71,55 +80,82 @@ Runner::runAlone(std::unique_ptr<cpu::TraceSource> trace,
 }
 
 const AloneResult &
-Runner::alone(const std::string &app_name, SystemDesign design)
+Runner::aloneApp(const std::string &app_name,
+                 const SimConfig &alone_cfg)
 {
-    const std::string key = app_name + "|" + baseCfg.mechanism.name + "|" +
-                            std::to_string(baseCfg.instrBudget) + "|" +
-                            std::to_string(baseCfg.seed) + "|" +
-                            designName(design);
+    const std::string key =
+        "app|" + app_name + "|" + serializeConfig(alone_cfg);
     auto it = aloneCache.find(key);
     if (it == aloneCache.end()) {
         it = aloneCache
-                 .emplace(key, runAlone(makeAppTrace(app_name, 0), design))
+                 .emplace(key, runAlone(makeAppTrace(app_name, 0,
+                                                     alone_cfg),
+                                        alone_cfg))
                  .first;
     }
     return it->second;
 }
 
 const AloneResult &
-Runner::aloneRng(double mbps, SystemDesign design)
+Runner::aloneRngImpl(double mbps, const SimConfig &alone_cfg)
 {
-    const std::string key = "rng" + std::to_string(mbps) + "|" +
-                            baseCfg.mechanism.name + "|" +
-                            std::to_string(baseCfg.instrBudget) + "|" +
-                            std::to_string(baseCfg.seed) + "|" +
-                            designName(design);
+    const std::string key = "rng|" + std::to_string(mbps) + "|" +
+                            serializeConfig(alone_cfg);
     auto it = aloneCache.find(key);
     if (it == aloneCache.end()) {
         it = aloneCache
-                 .emplace(key, runAlone(makeRngTrace(mbps, 0), design))
+                 .emplace(key, runAlone(makeRngTrace(mbps, 0, alone_cfg),
+                                        alone_cfg))
                  .first;
     }
     return it->second;
+}
+
+const AloneResult &
+Runner::alone(const std::string &app_name, SystemDesign design)
+{
+    return aloneApp(app_name, aloneConfig(baseCfg, design));
+}
+
+const AloneResult &
+Runner::aloneRng(double mbps, SystemDesign design)
+{
+    return aloneRngImpl(mbps, aloneConfig(baseCfg, design));
 }
 
 Runner::WorkloadResult
 Runner::run(SystemDesign design, const workloads::WorkloadSpec &spec)
 {
     SimConfig cfg = baseCfg;
-    cfg.design = design;
+    applyDesign(cfg, design);
+    return run(cfg, spec);
+}
 
+Runner::WorkloadResult
+Runner::run(const std::string &design,
+            const workloads::WorkloadSpec &spec)
+{
+    SimConfig cfg = baseCfg;
+    DesignRegistry::instance().apply(design, cfg);
+    return run(cfg, spec);
+}
+
+Runner::WorkloadResult
+Runner::run(const SimConfig &cfg, const workloads::WorkloadSpec &spec)
+{
     const bool has_rng = spec.rngThroughputMbps > 0.0;
     const unsigned n_cores =
         static_cast<unsigned>(spec.apps.size()) + (has_rng ? 1 : 0);
     assert(n_cores >= 1);
 
-    // The RNG benchmark occupies the last core.
+    // The RNG benchmark occupies the last core. Traces derive from the
+    // run's own configuration (seed/geometry), not from base().
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     for (unsigned i = 0; i < spec.apps.size(); ++i)
-        traces.push_back(makeAppTrace(spec.apps[i], i));
+        traces.push_back(makeAppTrace(spec.apps[i], i, cfg));
     if (has_rng)
-        traces.push_back(makeRngTrace(spec.rngThroughputMbps, n_cores - 1));
+        traces.push_back(
+            makeRngTrace(spec.rngThroughputMbps, n_cores - 1, cfg));
 
     System sys(cfg, std::move(traces));
     sys.run();
@@ -139,17 +175,20 @@ Runner::run(SystemDesign design, const workloads::WorkloadSpec &spec)
                 .total();
     }
 
+    // Both execution-time slowdown and the MCPI-based memory slowdown
+    // are normalized to the RNG-oblivious single-core baseline alone
+    // run (Section 7), derived from this run's own configuration.
+    const SimConfig alone_cfg =
+        aloneConfig(cfg, SystemDesign::RngOblivious);
+
     std::vector<double> mem_slowdowns;
     std::vector<double> ipc_shared, ipc_alone;
     for (unsigned i = 0; i < n_cores; ++i) {
         const bool is_rng = has_rng && i == n_cores - 1;
         const cpu::CoreStats &s = sys.coreStats(i);
-        // Both execution-time slowdown and the MCPI-based memory
-        // slowdown are normalized to the RNG-oblivious single-core
-        // baseline alone run (Section 7).
-        const AloneResult &al = is_rng
-                                    ? aloneRng(spec.rngThroughputMbps)
-                                    : alone(spec.apps[i]);
+        const AloneResult &al =
+            is_rng ? aloneRngImpl(spec.rngThroughputMbps, alone_cfg)
+                   : aloneApp(spec.apps[i], alone_cfg);
         CoreResult cr;
         cr.app = sys.traceName(i);
         cr.isRng = is_rng;

@@ -59,8 +59,27 @@ class Runner
 
     explicit Runner(SimConfig base);
 
-    /** Run one workload under the given design. */
+    /** Run one workload under the given design preset. */
     WorkloadResult run(SystemDesign design,
+                       const workloads::WorkloadSpec &spec);
+
+    /**
+     * Run one workload under a design registered in sim::DesignRegistry
+     * (built-in preset keys like "drstrange" or user-registered ones).
+     * @throws std::out_of_range on an unknown design name.
+     */
+    WorkloadResult run(const std::string &design,
+                       const workloads::WorkloadSpec &spec);
+
+    /**
+     * Run one workload under an explicit configuration (arbitrary
+     * policy-knob combinations). Execution-time slowdowns are
+     * normalized to RNG-oblivious alone runs derived from @p cfg
+     * itself (same seed, timings, geometry), so custom configurations
+     * get consistent metrics; the alone-run cache is shared across all
+     * run() overloads.
+     */
+    WorkloadResult run(const SimConfig &cfg,
                        const workloads::WorkloadSpec &spec);
 
     /**
@@ -86,13 +105,28 @@ class Runner
 
   private:
     std::unique_ptr<cpu::TraceSource>
-    makeAppTrace(const std::string &name, CoreId core) const;
-    std::unique_ptr<cpu::TraceSource> makeRngTrace(double mbps,
-                                                   CoreId core) const;
+    makeAppTrace(const std::string &name, CoreId core,
+                 const SimConfig &cfg) const;
+    std::unique_ptr<cpu::TraceSource>
+    makeRngTrace(double mbps, CoreId core, const SimConfig &cfg) const;
+    /** RNG-oblivious alone-run config over @p from (priorities cleared,
+     *  @p design policies applied). */
+    static SimConfig aloneConfig(const SimConfig &from,
+                                 SystemDesign design);
+    const AloneResult &aloneApp(const std::string &app_name,
+                                const SimConfig &alone_cfg);
+    const AloneResult &aloneRngImpl(double mbps,
+                                    const SimConfig &alone_cfg);
     AloneResult runAlone(std::unique_ptr<cpu::TraceSource> trace,
-                         SystemDesign design);
+                         const SimConfig &cfg);
 
     SimConfig baseCfg;
+    /**
+     * Alone-run baselines keyed on the trace identity plus the *full*
+     * canonical serialization of the effective configuration, so
+     * mutating base() between runs (buffer size, thresholds, timings,
+     * fill mechanism, ...) can never serve a stale baseline.
+     */
     std::map<std::string, AloneResult> aloneCache;
 };
 

@@ -1,14 +1,23 @@
 /**
  * @file
- * System-level configuration: the paper's named system designs as
- * presets over the memory controller configuration space.
+ * System-level configuration as a set of *orthogonal policy knobs* —
+ * intra-queue scheduler, RNG-queue policy, buffering, buffer-fill
+ * policy, idleness predictor, low-utilization fill — plus the numeric
+ * parameters they consume. The paper's nine named system designs are
+ * presets over this policy space (applyDesign/designConfig); nothing in
+ * the construction path switches on a design enum, so new policies
+ * registered in mem::SchedulerRegistry / strange::PredictorRegistry or
+ * sim::DesignRegistry compose with every existing sweep.
  */
 
 #ifndef DSTRANGE_SIM_SIM_CONFIG_H
 #define DSTRANGE_SIM_SIM_CONFIG_H
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "dram/address_mapper.h"
@@ -18,7 +27,7 @@
 
 namespace dstrange::sim {
 
-/** The named system designs evaluated in the paper. */
+/** The named system designs evaluated in the paper (presets). */
 enum class SystemDesign : std::uint8_t
 {
     RngOblivious,     ///< Baseline: FR-FCFS+Cap16, on-demand all-channel RNG.
@@ -32,13 +41,50 @@ enum class SystemDesign : std::uint8_t
     BlissBaseline,    ///< RNG-oblivious with the BLISS scheduler.
 };
 
-/** Short display name of a design. */
+/** All paper designs, in sweep order. */
+inline constexpr std::array<SystemDesign, 9> kAllDesigns = {
+    SystemDesign::RngOblivious,      SystemDesign::GreedyIdle,
+    SystemDesign::DrStrange,         SystemDesign::DrStrangeNoPred,
+    SystemDesign::DrStrangeRl,       SystemDesign::DrStrangeNoLowUtil,
+    SystemDesign::RngAwareNoBuffer,  SystemDesign::FrFcfsBaseline,
+    SystemDesign::BlissBaseline,
+};
+
+/** Short display name of a design (e.g. "DR-STRANGE"). */
 const char *designName(SystemDesign design);
 
-/** Full simulation configuration. */
+/** Stable machine-readable key of a design (e.g. "drstrange"), as used
+ *  by the CLI's --design flag, config text, and sim::DesignRegistry. */
+const char *designKey(SystemDesign design);
+
+/** Parse a design from its key or display name; nullopt when unknown. */
+std::optional<SystemDesign> designFromString(std::string_view name);
+
+/**
+ * Full simulation configuration. The first block is the composable
+ * policy space; a default-constructed SimConfig selects the full
+ * DR-STRaNGe design (the same default the legacy design enum had).
+ */
 struct SimConfig
 {
-    SystemDesign design = SystemDesign::DrStrange;
+    // --- Policy knobs ------------------------------------------------
+    /** Intra-queue scheduler (mem::SchedulerRegistry key). */
+    std::string scheduler = "fr-fcfs-cap";
+    /** Separate RNG queue + RNG-aware arbitration (vs. oblivious
+     *  all-channel preemption on RNG arrival). */
+    bool rngAwareQueueing = true;
+    /** Random number buffer on/off (bufferEntries sizes it when on). */
+    bool buffering = true;
+    /** Buffer-fill policy when buffering: "none", "greedy-oracle", or
+     *  "engine" (see mem::FillMode). */
+    std::string fillPolicy = "engine";
+    /** Idleness predictor gating engine fill
+     *  (strange::PredictorRegistry key; "none" = simple buffering). */
+    std::string predictor = "simple";
+    /** Also fill during low-utilization (not just idle) periods. */
+    bool lowUtilFill = true;
+
+    // --- Mechanisms and hardware parameters --------------------------
     trng::TrngMechanism mechanism = trng::TrngMechanism::dRange();
     /** Optional distinct buffer-fill mechanism (hybrid TRNG design,
      *  Section 8.7); empty = same mechanism for demand and fill. */
@@ -50,7 +96,7 @@ struct SimConfig
     /** Per-application buffer partitions (Section 6 countermeasure);
      *  0/1 = one shared buffer. */
     unsigned bufferPartitions = 0;
-    unsigned lowUtilThreshold = 4; ///< DR-STRaNGe designs only.
+    unsigned lowUtilThreshold = 4; ///< Queue occupancy bound (lowUtilFill).
     /** Precharge power-down after this many idle cycles (0 = off). */
     Cycle powerDownThreshold = 0;
 
@@ -63,7 +109,17 @@ struct SimConfig
     std::uint64_t seed = 1; ///< Master seed for traces and entropy.
 };
 
-/** Expand a design preset into the memory controller configuration. */
+/**
+ * Reset the policy knobs of @p cfg to the named paper design. Numeric
+ * parameters (buffer size, thresholds, mechanism, budget, seed, ...)
+ * are left untouched.
+ */
+void applyDesign(SimConfig &cfg, SystemDesign design);
+
+/** A default SimConfig with the named design's policy knobs applied. */
+SimConfig designConfig(SystemDesign design);
+
+/** Map the policy knobs onto the memory controller configuration. */
 mem::McConfig mcConfigFor(const SimConfig &cfg);
 
 } // namespace dstrange::sim

@@ -1,113 +1,8 @@
 #include "sim/system.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace dstrange::sim {
-
-const char *
-designName(SystemDesign design)
-{
-    switch (design) {
-      case SystemDesign::RngOblivious:
-        return "RNG-Oblivious";
-      case SystemDesign::GreedyIdle:
-        return "Greedy";
-      case SystemDesign::DrStrange:
-        return "DR-STRANGE";
-      case SystemDesign::DrStrangeNoPred:
-        return "DR-STRANGE(NoPred)";
-      case SystemDesign::DrStrangeRl:
-        return "DR-STRANGE+RL";
-      case SystemDesign::DrStrangeNoLowUtil:
-        return "DR-STRANGE(Thr=0)";
-      case SystemDesign::RngAwareNoBuffer:
-        return "RNG-Aware";
-      case SystemDesign::FrFcfsBaseline:
-        return "FR-FCFS";
-      case SystemDesign::BlissBaseline:
-        return "BLISS";
-    }
-    return "?";
-}
-
-mem::McConfig
-mcConfigFor(const SimConfig &cfg)
-{
-    mem::McConfig mc;
-    mc.schedulerKind = mem::SchedulerKind::FrFcfsCap;
-    mc.rngAwareQueueing = false;
-    mc.bufferEntries = 0;
-    mc.fill = mem::FillMode::None;
-    mc.lowUtilThreshold = 0;
-
-    // A fill session cannot abort once a round starts, so an idle period
-    // only counts as "long" if it covers a whole session of the
-    // mechanism used for filling. For D-RaNGe this resolves to the
-    // paper's 40-cycle PeriodThreshold; QUAC-TRNG's long rounds need
-    // more room.
-    const trng::TrngMechanism &fill_mech =
-        cfg.fillMechanism.value_or(cfg.mechanism);
-    mc.fillMechanism = cfg.fillMechanism;
-    mc.periodThreshold = std::max<Cycle>(
-        40, fill_mech.switchInLatency + fill_mech.roundLatency +
-                fill_mech.switchOutLatency);
-    mc.powerDownThreshold = cfg.powerDownThreshold;
-
-    switch (cfg.design) {
-      case SystemDesign::RngOblivious:
-        break;
-      case SystemDesign::FrFcfsBaseline:
-        mc.schedulerKind = mem::SchedulerKind::FrFcfs;
-        break;
-      case SystemDesign::BlissBaseline:
-        mc.schedulerKind = mem::SchedulerKind::Bliss;
-        break;
-      case SystemDesign::RngAwareNoBuffer:
-        mc.rngAwareQueueing = true;
-        break;
-      case SystemDesign::GreedyIdle:
-        mc.rngAwareQueueing = true;
-        mc.bufferEntries = cfg.bufferEntries;
-        mc.bufferPartitions = cfg.bufferPartitions;
-        mc.fill = mem::FillMode::GreedyOracle;
-        break;
-      case SystemDesign::DrStrangeNoPred:
-        mc.rngAwareQueueing = true;
-        mc.bufferEntries = cfg.bufferEntries;
-        mc.bufferPartitions = cfg.bufferPartitions;
-        mc.fill = mem::FillMode::Engine;
-        mc.predictorKind = mem::PredictorKind::None;
-        mc.lowUtilThreshold = 0;
-        break;
-      case SystemDesign::DrStrange:
-        mc.rngAwareQueueing = true;
-        mc.bufferEntries = cfg.bufferEntries;
-        mc.bufferPartitions = cfg.bufferPartitions;
-        mc.fill = mem::FillMode::Engine;
-        mc.predictorKind = mem::PredictorKind::Simple;
-        mc.lowUtilThreshold = cfg.lowUtilThreshold;
-        break;
-      case SystemDesign::DrStrangeNoLowUtil:
-        mc.rngAwareQueueing = true;
-        mc.bufferEntries = cfg.bufferEntries;
-        mc.bufferPartitions = cfg.bufferPartitions;
-        mc.fill = mem::FillMode::Engine;
-        mc.predictorKind = mem::PredictorKind::Simple;
-        mc.lowUtilThreshold = 0;
-        break;
-      case SystemDesign::DrStrangeRl:
-        mc.rngAwareQueueing = true;
-        mc.bufferEntries = cfg.bufferEntries;
-        mc.bufferPartitions = cfg.bufferPartitions;
-        mc.fill = mem::FillMode::Engine;
-        mc.predictorKind = mem::PredictorKind::Rl;
-        mc.lowUtilThreshold = cfg.lowUtilThreshold;
-        mc.rlConfig.seed = cfg.seed * 7919 + 17;
-        break;
-    }
-    return mc;
-}
 
 System::System(const SimConfig &config,
                std::vector<std::unique_ptr<cpu::TraceSource>> traces)

@@ -29,6 +29,16 @@ TrngMechanism::demandLatency(unsigned bits, unsigned channels) const
     return switchInLatency + rounds * roundLatency + switchOutLatency;
 }
 
+std::optional<TrngMechanism>
+TrngMechanism::byName(std::string_view name)
+{
+    if (name == "drange" || name == "D-RaNGe")
+        return dRange();
+    if (name == "quac" || name == "QUAC-TRNG")
+        return quacTrng();
+    return std::nullopt;
+}
+
 TrngMechanism
 TrngMechanism::dRange()
 {

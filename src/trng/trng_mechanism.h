@@ -10,7 +10,9 @@
 #ifndef DSTRANGE_TRNG_TRNG_MECHANISM_H
 #define DSTRANGE_TRNG_TRNG_MECHANISM_H
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/types.h"
 
@@ -56,6 +58,12 @@ struct TrngMechanism
      * including both mode switches.
      */
     Cycle demandLatency(unsigned bits, unsigned channels) const;
+
+    /**
+     * Look up a built-in mechanism by CLI key or display name:
+     * "drange"/"D-RaNGe" or "quac"/"QUAC-TRNG". nullopt when unknown.
+     */
+    static std::optional<TrngMechanism> byName(std::string_view name);
 
     /** The D-RaNGe mechanism model. */
     static TrngMechanism dRange();

@@ -23,7 +23,7 @@ TEST(RandomDevice, ReturnsRequestedBytes)
 TEST(RandomDevice, ColdStartGeneratesOnDemand)
 {
     RandomDevice::Config cfg;
-    cfg.design = sim::SystemDesign::RngOblivious;
+    sim::applyDesign(cfg.sim, sim::SystemDesign::RngOblivious);
     RandomDevice dev(cfg);
     const auto res = dev.getRandom(8);
     EXPECT_FALSE(res.servedFromBuffer);
@@ -47,7 +47,7 @@ TEST(RandomDevice, IdleTimeFillsBufferAndSpeedsUpServes)
 TEST(RandomDevice, ObliviousDesignNeverBuffers)
 {
     RandomDevice::Config cfg;
-    cfg.design = sim::SystemDesign::RngOblivious;
+    sim::applyDesign(cfg.sim, sim::SystemDesign::RngOblivious);
     RandomDevice dev(cfg);
     dev.idle(10000.0);
     EXPECT_DOUBLE_EQ(dev.bufferLevelBits(), 0.0);
@@ -79,7 +79,7 @@ TEST(RandomDevice, OutputPassesBasicQualityChecks)
 TEST(RandomDevice, DeterministicForSameSeed)
 {
     RandomDevice::Config cfg;
-    cfg.seed = 123;
+    cfg.sim.seed = 123;
     RandomDevice a(cfg), b(cfg);
     const auto ra = a.getRandom(64);
     const auto rb = b.getRandom(64);

@@ -1,0 +1,673 @@
+/**
+ * @file
+ * Tests for the composable policy API: design presets vs. the legacy
+ * enum expansion (frozen here as reference data), the scheduler /
+ * predictor / design registries, the SimulationBuilder facade, the
+ * key=value config text format, and the Runner's configuration-keyed
+ * alone-run cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "drstrange.h"
+#include "workloads/rng_benchmark.h"
+#include "workloads/synthetic_trace.h"
+
+using namespace dstrange;
+using namespace dstrange::sim;
+
+namespace {
+
+/**
+ * The pre-refactor SystemDesign switch, frozen verbatim (modulo the
+ * enum-to-registry-key renames) as the reference expansion. Every
+ * preset built on the policy knobs must keep reproducing it exactly.
+ */
+mem::McConfig
+legacyMcConfigFor(SystemDesign design, const SimConfig &cfg)
+{
+    mem::McConfig mc;
+    mc.scheduler = "fr-fcfs-cap";
+    mc.rngAwareQueueing = false;
+    mc.bufferEntries = 0;
+    mc.fill = mem::FillMode::None;
+    mc.lowUtilThreshold = 0;
+
+    const trng::TrngMechanism &fill_mech =
+        cfg.fillMechanism.value_or(cfg.mechanism);
+    mc.fillMechanism = cfg.fillMechanism;
+    mc.periodThreshold = std::max<Cycle>(
+        40, fill_mech.switchInLatency + fill_mech.roundLatency +
+                fill_mech.switchOutLatency);
+    mc.powerDownThreshold = cfg.powerDownThreshold;
+
+    switch (design) {
+      case SystemDesign::RngOblivious:
+        break;
+      case SystemDesign::FrFcfsBaseline:
+        mc.scheduler = "fr-fcfs";
+        break;
+      case SystemDesign::BlissBaseline:
+        mc.scheduler = "bliss";
+        break;
+      case SystemDesign::RngAwareNoBuffer:
+        mc.rngAwareQueueing = true;
+        break;
+      case SystemDesign::GreedyIdle:
+        mc.rngAwareQueueing = true;
+        mc.bufferEntries = cfg.bufferEntries;
+        mc.bufferPartitions = cfg.bufferPartitions;
+        mc.fill = mem::FillMode::GreedyOracle;
+        break;
+      case SystemDesign::DrStrangeNoPred:
+        mc.rngAwareQueueing = true;
+        mc.bufferEntries = cfg.bufferEntries;
+        mc.bufferPartitions = cfg.bufferPartitions;
+        mc.fill = mem::FillMode::Engine;
+        mc.predictor = "none";
+        mc.lowUtilThreshold = 0;
+        break;
+      case SystemDesign::DrStrange:
+        mc.rngAwareQueueing = true;
+        mc.bufferEntries = cfg.bufferEntries;
+        mc.bufferPartitions = cfg.bufferPartitions;
+        mc.fill = mem::FillMode::Engine;
+        mc.predictor = "simple";
+        mc.lowUtilThreshold = cfg.lowUtilThreshold;
+        break;
+      case SystemDesign::DrStrangeNoLowUtil:
+        mc.rngAwareQueueing = true;
+        mc.bufferEntries = cfg.bufferEntries;
+        mc.bufferPartitions = cfg.bufferPartitions;
+        mc.fill = mem::FillMode::Engine;
+        mc.predictor = "simple";
+        mc.lowUtilThreshold = 0;
+        break;
+      case SystemDesign::DrStrangeRl:
+        mc.rngAwareQueueing = true;
+        mc.bufferEntries = cfg.bufferEntries;
+        mc.bufferPartitions = cfg.bufferPartitions;
+        mc.fill = mem::FillMode::Engine;
+        mc.predictor = "rl";
+        mc.lowUtilThreshold = cfg.lowUtilThreshold;
+        mc.rlConfig.seed = cfg.seed * 7919 + 17;
+        break;
+    }
+    return mc;
+}
+
+void
+expectSameMcConfig(const mem::McConfig &a, const mem::McConfig &b)
+{
+    EXPECT_EQ(a.scheduler, b.scheduler);
+    EXPECT_EQ(a.columnCap, b.columnCap);
+    EXPECT_EQ(a.blissThreshold, b.blissThreshold);
+    EXPECT_EQ(a.blissClearingInterval, b.blissClearingInterval);
+    EXPECT_EQ(a.readQueueCap, b.readQueueCap);
+    EXPECT_EQ(a.writeQueueCap, b.writeQueueCap);
+    EXPECT_EQ(a.rngQueueCap, b.rngQueueCap);
+    EXPECT_EQ(a.writeDrainHigh, b.writeDrainHigh);
+    EXPECT_EQ(a.writeDrainLow, b.writeDrainLow);
+    EXPECT_EQ(a.rngAwareQueueing, b.rngAwareQueueing);
+    EXPECT_EQ(a.stallLimit, b.stallLimit);
+    EXPECT_EQ(a.bufferEntries, b.bufferEntries);
+    EXPECT_EQ(a.bufferPartitions, b.bufferPartitions);
+    EXPECT_EQ(a.bufferServeLatency, b.bufferServeLatency);
+    EXPECT_EQ(a.fill, b.fill);
+    EXPECT_EQ(a.fillMechanism.has_value(), b.fillMechanism.has_value());
+    if (a.fillMechanism && b.fillMechanism) {
+        EXPECT_EQ(a.fillMechanism->name, b.fillMechanism->name);
+        EXPECT_EQ(a.fillMechanism->bitsPerRound,
+                  b.fillMechanism->bitsPerRound);
+        EXPECT_EQ(a.fillMechanism->roundLatency,
+                  b.fillMechanism->roundLatency);
+    }
+    EXPECT_EQ(a.predictor, b.predictor);
+    EXPECT_EQ(a.predictorEntries, b.predictorEntries);
+    EXPECT_EQ(a.periodThreshold, b.periodThreshold);
+    EXPECT_EQ(a.lowUtilThreshold, b.lowUtilThreshold);
+    EXPECT_EQ(a.powerDownThreshold, b.powerDownThreshold);
+    EXPECT_EQ(a.enableParking, b.enableParking);
+    EXPECT_EQ(a.enableFillAbort, b.enableFillAbort);
+    EXPECT_EQ(a.fillChannelLimit, b.fillChannelLimit);
+    EXPECT_EQ(a.rlConfig.seed, b.rlConfig.seed);
+    EXPECT_EQ(a.rlConfig.stateBits, b.rlConfig.stateBits);
+}
+
+workloads::WorkloadSpec
+dualMix(const std::string &app, double mbps = 5120.0)
+{
+    workloads::WorkloadSpec spec;
+    spec.name = app;
+    spec.apps = {app};
+    spec.rngThroughputMbps = mbps;
+    return spec;
+}
+
+void
+expectSameResult(const Runner::WorkloadResult &a,
+                 const Runner::WorkloadResult &b)
+{
+    EXPECT_EQ(a.busCycles, b.busCycles);
+    EXPECT_EQ(a.mcStats.readRequests, b.mcStats.readRequests);
+    EXPECT_EQ(a.mcStats.rngRequests, b.mcStats.rngRequests);
+    EXPECT_EQ(a.mcStats.rngServedFromBuffer,
+              b.mcStats.rngServedFromBuffer);
+    EXPECT_EQ(a.mcStats.sumReadLatency, b.mcStats.sumReadLatency);
+    EXPECT_EQ(a.mcStats.sumRngLatency, b.mcStats.sumRngLatency);
+    EXPECT_EQ(a.unfairnessIndex, b.unfairnessIndex); // bit-identical
+    EXPECT_EQ(a.bufferServeRate, b.bufferServeRate);
+    EXPECT_EQ(a.energyNj, b.energyNj);
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+        EXPECT_EQ(a.cores[i].slowdown, b.cores[i].slowdown);
+        EXPECT_EQ(a.cores[i].memSlowdown, b.cores[i].memSlowdown);
+        EXPECT_EQ(a.cores[i].ipcShared, b.cores[i].ipcShared);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Preset equivalence: builder presets == legacy enum expansion.
+// ---------------------------------------------------------------------
+
+TEST(PresetEquivalence, McConfigMatchesLegacyExpansionForAllDesigns)
+{
+    for (SystemDesign d : kAllDesigns) {
+        SimConfig base;
+        base.bufferEntries = 8;
+        base.bufferPartitions = 2;
+        base.lowUtilThreshold = 6;
+        base.powerDownThreshold = 50;
+        base.seed = 3;
+        SCOPED_TRACE(designName(d));
+
+        SimConfig preset = base;
+        applyDesign(preset, d);
+        expectSameMcConfig(mcConfigFor(preset),
+                           legacyMcConfigFor(d, base));
+    }
+}
+
+TEST(PresetEquivalence, McConfigMatchesLegacyExpansionWithHybridFill)
+{
+    for (SystemDesign d :
+         {SystemDesign::DrStrange, SystemDesign::DrStrangeRl}) {
+        SimConfig base;
+        base.mechanism = trng::TrngMechanism::dRange();
+        base.fillMechanism = trng::TrngMechanism::quacTrng();
+        SCOPED_TRACE(designName(d));
+
+        SimConfig preset = base;
+        applyDesign(preset, d);
+        expectSameMcConfig(mcConfigFor(preset),
+                           legacyMcConfigFor(d, base));
+    }
+}
+
+TEST(PresetEquivalence, RunnerMetricsIdenticalAcrossEnumKeyAndBuilder)
+{
+    SimConfig base;
+    base.instrBudget = 20000;
+    const auto spec = dualMix("soplex");
+
+    for (SystemDesign d : kAllDesigns) {
+        SCOPED_TRACE(designName(d));
+        Runner by_enum(base);
+        const auto a = by_enum.run(d, spec);
+
+        Runner by_key(base);
+        const auto b = by_key.run(designKey(d), spec);
+
+        Runner by_builder(base);
+        const auto c = by_builder.run(
+            SimulationBuilder(base).design(d).config(), spec);
+
+        expectSameResult(a, b);
+        expectSameResult(a, c);
+    }
+}
+
+/**
+ * End-to-end: a System built from a preset must behave cycle-for-cycle
+ * like a hand-driven MemoryController configured with the frozen legacy
+ * expansion (the strongest "same seed, same metrics" guarantee).
+ */
+TEST(PresetEquivalence, SystemMatchesHandDrivenLegacyController)
+{
+    for (SystemDesign d :
+         {SystemDesign::DrStrange, SystemDesign::GreedyIdle,
+          SystemDesign::BlissBaseline, SystemDesign::DrStrangeRl}) {
+        SCOPED_TRACE(designName(d));
+        SimConfig base;
+        base.instrBudget = 15000;
+
+        auto make_traces = [&] {
+            std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+            traces.push_back(std::make_unique<workloads::SyntheticTrace>(
+                workloads::appByName("soplex"), base.geometry, 0,
+                base.seed));
+            traces.push_back(std::make_unique<workloads::RngBenchmark>(
+                5120.0, base.geometry, base.seed + 1));
+            return traces;
+        };
+
+        // New API path.
+        SimConfig preset = base;
+        applyDesign(preset, d);
+        auto sys_traces = make_traces();
+        System sys(preset, std::move(sys_traces));
+        sys.run();
+
+        // Hand-driven legacy path (the pre-refactor expansion).
+        auto traces = make_traces();
+        mem::MemoryController mc(legacyMcConfigFor(d, base),
+                                 base.timings, base.geometry,
+                                 base.mechanism, 2);
+        std::vector<std::unique_ptr<cpu::Core>> cores;
+        cpu::Core::Config core_cfg;
+        core_cfg.instrBudget = base.instrBudget;
+        for (unsigned i = 0; i < 2; ++i) {
+            cores.push_back(std::make_unique<cpu::Core>(
+                static_cast<CoreId>(i), core_cfg, *traces[i], mc));
+        }
+        mc.setCompletionCallback(
+            [&](CoreId core, std::uint64_t token, mem::ReqType) {
+                cores[core]->onCompletion(token);
+            });
+        Cycle now = 0;
+        auto all_done = [&] {
+            return std::all_of(cores.begin(), cores.end(),
+                               [](const auto &c) { return c->finished(); });
+        };
+        while (!all_done() && now < base.maxBusCycles) {
+            mc.tick(now);
+            for (auto &c : cores)
+                c->tickBusCycle(now);
+            ++now;
+        }
+
+        EXPECT_EQ(sys.busCycles(), now);
+        for (unsigned i = 0; i < 2; ++i) {
+            EXPECT_EQ(sys.coreStats(i).finishCycle,
+                      cores[i]->stats().finishCycle);
+            EXPECT_EQ(sys.coreStats(i).instrRetired,
+                      cores[i]->stats().instrRetired);
+        }
+        EXPECT_EQ(sys.mc().stats().rngRequests, mc.stats().rngRequests);
+        EXPECT_EQ(sys.mc().stats().rngServedFromBuffer,
+                  mc.stats().rngServedFromBuffer);
+        EXPECT_EQ(sys.mc().stats().sumReadLatency,
+                  mc.stats().sumReadLatency);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry behaviour: duplicate/unknown keys, custom registration.
+// ---------------------------------------------------------------------
+
+TEST(Registries, UnknownKeysThrowWithKnownKeysListed)
+{
+    SimConfig cfg;
+    try {
+        mem::SchedulerRegistry::instance().make(
+            "no-such-sched",
+            mem::SchedulerContext{4, 8, 2, mcConfigFor(cfg)});
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("fr-fcfs-cap"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(strange::PredictorRegistry::instance().make(
+                     "no-such-pred", strange::PredictorContext{}),
+                 std::out_of_range);
+    EXPECT_THROW(DesignRegistry::instance().apply("no-such-design", cfg),
+                 std::out_of_range);
+}
+
+TEST(Registries, DuplicateRegistrationThrows)
+{
+    EXPECT_THROW(mem::SchedulerRegistry::instance().add(
+                     "fr-fcfs",
+                     [](const mem::SchedulerContext &)
+                         -> std::unique_ptr<mem::Scheduler> {
+                         return nullptr;
+                     }),
+                 std::invalid_argument);
+    EXPECT_THROW(strange::PredictorRegistry::instance().add(
+                     "simple",
+                     [](const strange::PredictorContext &)
+                         -> std::unique_ptr<strange::IdlenessPredictor> {
+                         return nullptr;
+                     }),
+                 std::invalid_argument);
+    EXPECT_THROW(DesignRegistry::instance().add("drstrange", "dup",
+                                                [](SimConfig &) {}),
+                 std::invalid_argument);
+    EXPECT_THROW(DesignRegistry::instance().add("", "empty",
+                                                [](SimConfig &) {}),
+                 std::invalid_argument);
+    // Keys must survive the whitespace-tokenized config text format.
+    EXPECT_THROW(DesignRegistry::instance().add("has space", "bad",
+                                                [](SimConfig &) {}),
+                 std::invalid_argument);
+    EXPECT_THROW(mem::SchedulerRegistry::instance().add(
+                     "has=equals",
+                     [](const mem::SchedulerContext &)
+                         -> std::unique_ptr<mem::Scheduler> {
+                         return nullptr;
+                     }),
+                 std::invalid_argument);
+}
+
+TEST(Registries, BuiltinsArePresent)
+{
+    const auto sched = mem::SchedulerRegistry::instance().keys();
+    for (const char *k : {"fr-fcfs", "fr-fcfs-cap", "bliss"})
+        EXPECT_NE(std::find(sched.begin(), sched.end(), k), sched.end());
+
+    const auto pred = strange::PredictorRegistry::instance().keys();
+    for (const char *k : {"none", "simple", "rl"})
+        EXPECT_NE(std::find(pred.begin(), pred.end(), k), pred.end());
+
+    for (SystemDesign d : kAllDesigns) {
+        EXPECT_TRUE(DesignRegistry::instance().contains(designKey(d)));
+        EXPECT_EQ(DesignRegistry::instance().displayName(designKey(d)),
+                  designName(d));
+    }
+}
+
+TEST(Registries, NonePredictorFactoryReturnsNull)
+{
+    EXPECT_EQ(strange::PredictorRegistry::instance().make(
+                  "none", strange::PredictorContext{}),
+              nullptr);
+}
+
+TEST(Registries, UnknownSchedulerSurfacesAtSystemConstruction)
+{
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+    SimConfig cfg;
+    traces.push_back(std::make_unique<workloads::RngBenchmark>(
+        640.0, cfg.geometry, cfg.seed));
+    cfg.scheduler = "definitely-not-registered";
+    EXPECT_THROW(System(cfg, std::move(traces)), std::out_of_range);
+}
+
+namespace {
+
+/** Trivial custom scheduler: oldest issuable request, no row-hit pass. */
+class OldestFirstScheduler : public mem::Scheduler
+{
+  public:
+    explicit OldestFirstScheduler(std::uint64_t *pick_counter)
+        : picks(pick_counter)
+    {
+    }
+
+    int
+    pick(const mem::SchedContext &ctx) override
+    {
+        const auto &entries = ctx.queue.all();
+        int best = mem::kNoPick;
+        std::uint64_t best_seq = 0;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const mem::Request &req = entries[i];
+            const dram::DramCmd cmd =
+                mem::nextCommandFor(req, ctx.channel);
+            if (!ctx.channel.canIssue(cmd, req.coord.bank, ctx.now))
+                continue;
+            if (best == mem::kNoPick || req.seq < best_seq) {
+                best = static_cast<int>(i);
+                best_seq = req.seq;
+            }
+        }
+        if (best != mem::kNoPick && picks)
+            ++(*picks);
+        return best;
+    }
+
+    void
+    onColumnIssued(const mem::Request &, unsigned) override
+    {
+    }
+
+  private:
+    std::uint64_t *picks;
+};
+
+std::uint64_t g_oldest_first_picks = 0;
+
+/** One-time registration shared by the round-trip tests below. */
+void
+registerOldestFirst()
+{
+    static bool once = [] {
+        mem::SchedulerRegistry::instance().add(
+            "test-oldest-first", [](const mem::SchedulerContext &) {
+                return std::make_unique<OldestFirstScheduler>(
+                    &g_oldest_first_picks);
+            });
+        DesignRegistry::instance().add(
+            "test-oldest-baseline", "OldestFirst", [](SimConfig &cfg) {
+                applyDesign(cfg, SystemDesign::RngOblivious);
+                cfg.scheduler = "test-oldest-first";
+            });
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
+/**
+ * Acceptance check: a scheduler registered from test code (no src/mem
+ * edits) runs end-to-end through the same design-name path the CLI's
+ * --design flag uses (SimulationBuilder::design(name)).
+ */
+TEST(Registries, CustomSchedulerRunsThroughDesignNamePath)
+{
+    registerOldestFirst();
+
+    SimulationBuilder builder;
+    builder.design("test-oldest-baseline").instrBudget(8000);
+    EXPECT_EQ(builder.config().scheduler, "test-oldest-first");
+
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+    traces.push_back(std::make_unique<workloads::SyntheticTrace>(
+        workloads::appByName("soplex"), builder.config().geometry, 0, 1));
+    traces.push_back(std::make_unique<workloads::RngBenchmark>(
+        5120.0, builder.config().geometry, 2));
+
+    const std::uint64_t picks_before = g_oldest_first_picks;
+    System sys = builder.buildSystem(std::move(traces));
+    sys.run();
+
+    EXPECT_TRUE(sys.allFinished());
+    EXPECT_GT(g_oldest_first_picks, picks_before); // it actually ran
+    EXPECT_GT(sys.mc().stats().readsCompleted, 0u);
+}
+
+TEST(Registries, CustomDesignRunsThroughRunnerAndConfigText)
+{
+    registerOldestFirst();
+
+    SimConfig base;
+    base.instrBudget = 8000;
+    Runner runner(base);
+    const auto res = runner.run("test-oldest-baseline", dualMix("mcf"));
+    EXPECT_GT(res.busCycles, 0u);
+
+    // The config-text design= key resolves through the same registry.
+    SimConfig cfg = parseConfig("design=test-oldest-baseline");
+    EXPECT_EQ(cfg.scheduler, "test-oldest-first");
+    EXPECT_FALSE(cfg.buffering);
+}
+
+// ---------------------------------------------------------------------
+// Config text: round-trip and error reporting.
+// ---------------------------------------------------------------------
+
+TEST(ConfigText, SerializeParseRoundTripsDefaults)
+{
+    const SimConfig def;
+    const std::string text = serializeConfig(def);
+    const SimConfig back = parseConfig(text);
+    EXPECT_EQ(serializeConfig(back), text);
+}
+
+TEST(ConfigText, SerializeParseRoundTripsCustomConfig)
+{
+    SimulationBuilder b;
+    b.design(SystemDesign::GreedyIdle)
+        .mechanism("quac")
+        .fillMechanism(trng::TrngMechanism::withSystemThroughput(640.0, 4))
+        .bufferEntries(32)
+        .bufferPartitions(4)
+        .lowUtilThreshold(7)
+        .powerDownThreshold(50)
+        .instrBudget(12345)
+        .seed(99)
+        .priorities({2, 1, 1});
+    SimConfig cfg = b.config();
+    cfg.timings.tRCD = 13;
+    cfg.geometry.channels = 2;
+
+    const std::string text = serializeConfig(cfg);
+    const SimConfig back = parseConfig(text);
+    EXPECT_EQ(serializeConfig(back), text);
+    EXPECT_EQ(back.fillPolicy, "greedy-oracle");
+    EXPECT_EQ(back.mechanism.name, "QUAC-TRNG");
+    ASSERT_TRUE(back.fillMechanism.has_value());
+    EXPECT_EQ(back.fillMechanism->bitsPerRound,
+              cfg.fillMechanism->bitsPerRound);
+    EXPECT_EQ(back.timings.tRCD, 13u);
+    EXPECT_EQ(back.geometry.channels, 2u);
+    EXPECT_EQ(back.priorities, (std::vector<int>{2, 1, 1}));
+    EXPECT_EQ(back.instrBudget, 12345u);
+}
+
+TEST(ConfigText, EquivalentToBuilderPresets)
+{
+    for (SystemDesign d : kAllDesigns) {
+        SCOPED_TRACE(designName(d));
+        const SimConfig via_text =
+            parseConfig(std::string("design=") + designKey(d));
+        const SimConfig via_enum = designConfig(d);
+        EXPECT_EQ(serializeConfig(via_text), serializeConfig(via_enum));
+    }
+}
+
+TEST(ConfigText, RejectsMalformedInput)
+{
+    SimConfig cfg;
+    EXPECT_THROW(applyConfigText(cfg, "no-equals-sign"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "unknown-key=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "buffer-entries=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "buffer-entries=12x"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "scheduler=not-registered"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "predictor=not-registered"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "fill=sideways"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "mechanism=quacc"), // typo of quac
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "fill-mechanism=dranje"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "design=not-registered"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "rng-aware=maybe"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "timings.bogus=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "seed=-1"), // stoull would wrap
+                 std::invalid_argument);
+    EXPECT_THROW(applyConfigText(cfg, "priorities=1x,2"),
+                 std::invalid_argument);
+}
+
+TEST(ConfigText, WhitespaceMechanismNameStaysParseable)
+{
+    SimConfig cfg;
+    cfg.mechanism.name = "my custom mech";
+    const SimConfig back = parseConfig(serializeConfig(cfg));
+    EXPECT_EQ(back.mechanism.name, "my-custom-mech");
+}
+
+TEST(ConfigText, BuilderFromTextMatchesFluentCalls)
+{
+    const SimulationBuilder fluent =
+        SimulationBuilder().design(SystemDesign::DrStrangeRl).seed(7);
+    const SimulationBuilder parsed =
+        SimulationBuilder::fromText("design=drstrange-rl seed=7");
+    EXPECT_EQ(fluent.toText(), parsed.toText());
+}
+
+// ---------------------------------------------------------------------
+// Runner alone-run cache: keyed on the full effective configuration.
+// ---------------------------------------------------------------------
+
+TEST(RunnerCache, RunWithExplicitConfigHonoursItsSeed)
+{
+    SimConfig base;
+    base.instrBudget = 10000;
+    Runner runner(base);
+    const auto spec = dualMix("soplex");
+
+    SimConfig reseeded = base;
+    applyDesign(reseeded, SystemDesign::DrStrange);
+    reseeded.seed = 1234; // must reseed the generated traces too
+    const auto a = runner.run(reseeded, spec);
+    const auto b = runner.run(SystemDesign::DrStrange, spec);
+    EXPECT_NE(a.busCycles, b.busCycles);
+}
+
+TEST(RunnerCache, AloneRunRecomputedWhenTimingsChange)
+{
+    SimConfig base;
+    base.instrBudget = 10000;
+    Runner runner(base);
+
+    const double before = runner.alone("soplex").execCpuCycles;
+    runner.base().timings.tRCD = 22; // was 11; memory gets slower
+    runner.base().timings.tRC = 50;
+    const double after = runner.alone("soplex").execCpuCycles;
+    EXPECT_GT(after, before); // a stale cache would return `before`
+}
+
+TEST(RunnerCache, AloneRngRecomputedWhenBufferConfigChanges)
+{
+    SimConfig base;
+    base.instrBudget = 10000;
+    Runner runner(base);
+
+    const double with_buffer =
+        runner.aloneRng(5120.0, SystemDesign::DrStrange).execCpuCycles;
+    runner.base().bufferEntries = 1;
+    const double tiny_buffer =
+        runner.aloneRng(5120.0, SystemDesign::DrStrange).execCpuCycles;
+    EXPECT_NE(with_buffer, tiny_buffer);
+}
+
+TEST(RunnerCache, AloneRunRecomputedWhenFillMechanismChanges)
+{
+    SimConfig base;
+    base.instrBudget = 10000;
+    Runner runner(base);
+
+    const double drange =
+        runner.aloneRng(5120.0, SystemDesign::DrStrange).execCpuCycles;
+    runner.base().fillMechanism = trng::TrngMechanism::quacTrng();
+    const double hybrid =
+        runner.aloneRng(5120.0, SystemDesign::DrStrange).execCpuCycles;
+    EXPECT_NE(drange, hybrid);
+}

@@ -296,7 +296,7 @@ TEST(PowerDown, ReducesEnergyForIdleWorkload)
     auto energy_with_pd = [](Cycle threshold) {
         sim::SimConfig cfg;
         cfg.instrBudget = 30000;
-        cfg.design = sim::SystemDesign::RngOblivious;
+        sim::applyDesign(cfg, sim::SystemDesign::RngOblivious);
         cfg.powerDownThreshold = threshold;
         sim::Runner runner(cfg);
         workloads::WorkloadSpec spec;
@@ -467,7 +467,7 @@ serveRateWith(unsigned fill_channel_limit, bool parking, bool abort_in)
 {
     sim::SimConfig cfg;
     cfg.instrBudget = 30000;
-    cfg.design = sim::SystemDesign::DrStrange;
+    sim::applyDesign(cfg, sim::SystemDesign::DrStrange);
 
     mem::McConfig mc_cfg = sim::mcConfigFor(cfg);
     mc_cfg.fillChannelLimit = fill_channel_limit;

@@ -409,7 +409,7 @@ TEST_F(MemoryControllerTest, BufferServesWhenFilled)
     cfg.rngAwareQueueing = true;
     cfg.bufferEntries = 16;
     cfg.fill = FillMode::Engine;
-    cfg.predictorKind = PredictorKind::None; // fill on every idle cycle
+    cfg.predictor = "none"; // fill on every idle cycle
     build(cfg);
 
     // Let the idle system fill its buffer.
@@ -434,7 +434,7 @@ TEST_F(MemoryControllerTest, BufferFillStopsWhenFull)
     cfg.rngAwareQueueing = true;
     cfg.bufferEntries = 4;
     cfg.fill = FillMode::Engine;
-    cfg.predictorKind = PredictorKind::None;
+    cfg.predictor = "none";
     build(cfg);
     tickN(5000);
     EXPECT_GE(mc->buffer()->levelBits(), 4 * 64.0 - 8.0);
@@ -544,7 +544,7 @@ TEST_F(MemoryControllerTest, PredictorStatsExposedOnlyWithPredictor)
     cfg.rngAwareQueueing = true;
     cfg.bufferEntries = 16;
     cfg.fill = FillMode::Engine;
-    cfg.predictorKind = PredictorKind::Simple;
+    cfg.predictor = "simple";
     build(cfg);
     EXPECT_TRUE(mc->predictorStats().has_value());
 }

@@ -283,7 +283,7 @@ class TimingComplianceProperty
 TEST_P(TimingComplianceProperty, NoViolationsInEndToEndRun)
 {
     SimConfig cfg = tinyConfig();
-    cfg.design = GetParam();
+    applyDesign(cfg, GetParam());
 
     std::vector<std::unique_ptr<dstrange::cpu::TraceSource>> traces;
     traces.push_back(std::make_unique<workloads::SyntheticTrace>(
@@ -328,7 +328,7 @@ INSTANTIATE_TEST_SUITE_P(Designs, TimingComplianceProperty,
 TEST(RefreshProperty, RefreshKeepsPaceUnderRngLoad)
 {
     SimConfig cfg = tinyConfig();
-    cfg.design = SystemDesign::RngOblivious;
+    applyDesign(cfg, SystemDesign::RngOblivious);
     cfg.instrBudget = 100000;
 
     std::vector<std::unique_ptr<dstrange::cpu::TraceSource>> traces;

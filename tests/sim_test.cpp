@@ -22,42 +22,63 @@ TEST(SimConfigPresets, DesignsMapToExpectedMcConfigs)
 {
     SimConfig cfg;
 
-    cfg.design = SystemDesign::RngOblivious;
+    applyDesign(cfg, SystemDesign::RngOblivious);
     auto mc = mcConfigFor(cfg);
     EXPECT_FALSE(mc.rngAwareQueueing);
     EXPECT_EQ(mc.bufferEntries, 0u);
-    EXPECT_EQ(mc.schedulerKind, mem::SchedulerKind::FrFcfsCap);
+    EXPECT_EQ(mc.scheduler, "fr-fcfs-cap");
 
-    cfg.design = SystemDesign::DrStrange;
+    applyDesign(cfg, SystemDesign::DrStrange);
     mc = mcConfigFor(cfg);
     EXPECT_TRUE(mc.rngAwareQueueing);
     EXPECT_EQ(mc.bufferEntries, 16u);
     EXPECT_EQ(mc.fill, mem::FillMode::Engine);
-    EXPECT_EQ(mc.predictorKind, mem::PredictorKind::Simple);
+    EXPECT_EQ(mc.predictor, "simple");
     EXPECT_EQ(mc.lowUtilThreshold, 4u);
 
-    cfg.design = SystemDesign::DrStrangeNoLowUtil;
+    applyDesign(cfg, SystemDesign::DrStrangeNoLowUtil);
     EXPECT_EQ(mcConfigFor(cfg).lowUtilThreshold, 0u);
 
-    cfg.design = SystemDesign::DrStrangeNoPred;
-    EXPECT_EQ(mcConfigFor(cfg).predictorKind, mem::PredictorKind::None);
+    applyDesign(cfg, SystemDesign::DrStrangeNoPred);
+    EXPECT_EQ(mcConfigFor(cfg).predictor, "none");
 
-    cfg.design = SystemDesign::DrStrangeRl;
-    EXPECT_EQ(mcConfigFor(cfg).predictorKind, mem::PredictorKind::Rl);
+    applyDesign(cfg, SystemDesign::DrStrangeRl);
+    EXPECT_EQ(mcConfigFor(cfg).predictor, "rl");
 
-    cfg.design = SystemDesign::GreedyIdle;
+    applyDesign(cfg, SystemDesign::GreedyIdle);
     EXPECT_EQ(mcConfigFor(cfg).fill, mem::FillMode::GreedyOracle);
 
-    cfg.design = SystemDesign::RngAwareNoBuffer;
+    applyDesign(cfg, SystemDesign::RngAwareNoBuffer);
     mc = mcConfigFor(cfg);
     EXPECT_TRUE(mc.rngAwareQueueing);
     EXPECT_EQ(mc.bufferEntries, 0u);
 
-    cfg.design = SystemDesign::BlissBaseline;
-    EXPECT_EQ(mcConfigFor(cfg).schedulerKind, mem::SchedulerKind::Bliss);
+    applyDesign(cfg, SystemDesign::BlissBaseline);
+    EXPECT_EQ(mcConfigFor(cfg).scheduler, "bliss");
 
-    cfg.design = SystemDesign::FrFcfsBaseline;
-    EXPECT_EQ(mcConfigFor(cfg).schedulerKind, mem::SchedulerKind::FrFcfs);
+    applyDesign(cfg, SystemDesign::FrFcfsBaseline);
+    EXPECT_EQ(mcConfigFor(cfg).scheduler, "fr-fcfs");
+}
+
+TEST(SimConfigPresets, DefaultConfigIsTheDrStrangeDesign)
+{
+    const SimConfig def;
+    const SimConfig dr = designConfig(SystemDesign::DrStrange);
+    EXPECT_EQ(def.scheduler, dr.scheduler);
+    EXPECT_EQ(def.rngAwareQueueing, dr.rngAwareQueueing);
+    EXPECT_EQ(def.buffering, dr.buffering);
+    EXPECT_EQ(def.fillPolicy, dr.fillPolicy);
+    EXPECT_EQ(def.predictor, dr.predictor);
+    EXPECT_EQ(def.lowUtilFill, dr.lowUtilFill);
+}
+
+TEST(SimConfigPresets, DesignNameKeyRoundTrip)
+{
+    for (SystemDesign d : kAllDesigns) {
+        EXPECT_EQ(designFromString(designKey(d)), d);
+        EXPECT_EQ(designFromString(designName(d)), d);
+    }
+    EXPECT_FALSE(designFromString("no-such-design").has_value());
 }
 
 TEST(Metrics, SlowdownAndMemSlowdown)
@@ -149,13 +170,13 @@ TEST(EnergyModel, IdleSystemBurnsOnlyBackground)
 TEST(AreaModel, MatchesPaperCalibrationPoints)
 {
     SimConfig cfg;
-    cfg.design = SystemDesign::DrStrange;
+    applyDesign(cfg, SystemDesign::DrStrange);
     const AreaEstimate base = drStrangeArea(mcConfigFor(cfg), 4);
     // Paper: 0.0022 mm^2 at 22 nm for the base configuration.
     EXPECT_NEAR(base.mm2, 0.0022, 0.0022 * 0.25);
     EXPECT_NEAR(base.fractionOfCascadeLakeCore(), 0.0000048, 2e-6);
 
-    cfg.design = SystemDesign::DrStrangeRl;
+    applyDesign(cfg, SystemDesign::DrStrangeRl);
     const AreaEstimate rl = drStrangeArea(mcConfigFor(cfg), 4);
     // Paper: 0.012 mm^2 with the 8 KB Q-table.
     EXPECT_NEAR(rl.mm2, 0.012, 0.012 * 0.25);
@@ -165,7 +186,7 @@ TEST(AreaModel, MatchesPaperCalibrationPoints)
 TEST(AreaModel, AreaGrowsWithBufferSize)
 {
     SimConfig cfg;
-    cfg.design = SystemDesign::DrStrange;
+    applyDesign(cfg, SystemDesign::DrStrange);
     cfg.bufferEntries = 16;
     const double small = drStrangeArea(mcConfigFor(cfg), 4).mm2;
     cfg.bufferEntries = 64;
@@ -189,7 +210,7 @@ singleAppTraces(const SimConfig &cfg, const std::string &app)
 TEST(System, SingleCoreRunCompletes)
 {
     SimConfig cfg;
-    cfg.design = SystemDesign::RngOblivious;
+    applyDesign(cfg, SystemDesign::RngOblivious);
     cfg.instrBudget = 20000;
     System sys(cfg, singleAppTraces(cfg, "gcc"));
     sys.run();
@@ -201,7 +222,7 @@ TEST(System, SingleCoreRunCompletes)
 TEST(System, RunsAreDeterministic)
 {
     SimConfig cfg;
-    cfg.design = SystemDesign::DrStrange;
+    applyDesign(cfg, SystemDesign::DrStrange);
     cfg.instrBudget = 20000;
     cfg.seed = 17;
 
@@ -216,7 +237,7 @@ TEST(System, RunsAreDeterministic)
 TEST(System, MaxBusCyclesBoundsRuntime)
 {
     SimConfig cfg;
-    cfg.design = SystemDesign::RngOblivious;
+    applyDesign(cfg, SystemDesign::RngOblivious);
     cfg.instrBudget = 1u << 30; // unreachable
     cfg.maxBusCycles = 5000;
     System sys(cfg, singleAppTraces(cfg, "mcf"));
