@@ -1,10 +1,17 @@
 /**
  * @file
  * run_all: harness that executes a selection of the figure/section
- * reproduction benchmarks as subprocesses, times each one, and writes a
- * machine-readable BENCH_run_all.json perf record. This seeds the
- * perf-trajectory tracking: diffing wall_ms across commits shows which
- * PRs made the simulator faster or slower.
+ * reproduction benchmarks as subprocesses, times each one, runs an
+ * in-process design x workload sweep through sim::SweepRunner (per-cell
+ * and aggregate wall-clock plus the measured parallel speedup), and
+ * writes a machine-readable BENCH_run_all.json perf record. This seeds
+ * the perf-trajectory tracking: diffing wall_ms across commits shows
+ * which PRs made the simulator faster or slower, and the sweep record's
+ * "speedup" is the serial-vs-parallel datapoint.
+ *
+ * The sweep's metric values are bit-identical for any DS_JOBS value:
+ * each cell is a pure function of its configuration and workload spec,
+ * so only the wall-clock fields change between serial and parallel runs.
  *
  * Usage:
  *   run_all                 # run the quick default selection
@@ -14,11 +21,15 @@
  *   run_all --out DIR       # write BENCH_run_all.json into DIR
  *   run_all --config TEXT   # key=value config text forwarded to every
  *                           # bench via DS_CONFIG (see sim/config_text.h)
+ *   run_all --jobs N        # sweep worker threads (overrides DS_JOBS)
+ *   run_all --sweep-mixes N # dual-core mixes in the sweep (0 disables;
+ *                           # default 8)
  *
  * Environment:
  *   DS_INSTR_BUDGET  per-core instruction budget forwarded to benches
  *   DS_CONFIG        base-config key=value overrides forwarded to benches
  *   DS_BENCH_OUT     default output directory for BENCH_*.json
+ *   DS_JOBS          sweep worker threads (default hardware_concurrency)
  */
 
 #include <cstdlib>
@@ -88,7 +99,102 @@ usage(const char *prog)
 {
     std::cout << "usage: " << prog
               << " [--all] [--only SUBSTR] [--list] [--out DIR]"
-                 " [--config TEXT]\n";
+                 " [--config TEXT] [--jobs N] [--sweep-mixes N]\n";
+}
+
+/** The headline metric values of one sweep cell, in record order. */
+std::vector<std::pair<std::string, double>>
+cellMetrics(const dstrange::sim::Runner::WorkloadResult &res)
+{
+    return {
+        {"non_rng_slowdown", res.avgNonRngSlowdown()},
+        {"rng_slowdown", res.rngSlowdown()},
+        {"unfairness", res.unfairnessIndex},
+        {"weighted_speedup", res.weightedSpeedupNonRng},
+        {"energy_nj", res.energyNj},
+        {"bus_cycles", static_cast<double>(res.busCycles)},
+    };
+}
+
+/**
+ * In-process sweep: designs x dual-core mixes through sim::SweepRunner,
+ * timing every cell. When more than one worker is in play, a serial
+ * reference run (fresh SweepRunner, fresh alone-run cache) measures the
+ * true serial-vs-parallel speedup and cross-checks that both runs'
+ * metric values are bit-identical. Returns the number of failures
+ * (failed cells, each recorded with its error, plus a bit-identity
+ * mismatch).
+ */
+int
+runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
+{
+    const std::vector<std::string> designs = {"oblivious", "greedy",
+                                              "drstrange"};
+    auto mixes = dstrange::workloads::dualCorePlottedMixes(5120.0);
+    if (mixes.size() > n_mixes)
+        mixes.resize(n_mixes);
+
+    dstrange::sim::SweepRunner runner =
+        bench::baseBuilder().buildSweepRunner(jobs);
+    sweep.jobs = runner.jobs();
+    const auto cells = dstrange::sim::SweepRunner::grid(designs, mixes);
+
+    std::cout << "[run_all] sweep: " << designs.size() << " designs x "
+              << mixes.size() << " mixes on " << runner.jobs()
+              << " thread(s) ... " << std::flush;
+    bench::WallTimer timer;
+    const auto results = runner.run(cells);
+    sweep.wallMs = timer.elapsedMs();
+
+    int failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        bench::SweepCellRecord rec;
+        rec.name = cells[i].design + "/" + cells[i].spec.name;
+        rec.wallMs = results[i].wallMs;
+        rec.ok = results[i].ok;
+        sweep.cellsTotalMs += results[i].wallMs;
+        if (results[i].ok) {
+            rec.metrics = cellMetrics(results[i].result);
+        } else {
+            rec.error = results[i].error;
+            ++failures;
+        }
+        sweep.cells.push_back(std::move(rec));
+    }
+
+    if (sweep.jobs > 1) {
+        dstrange::sim::SweepRunner serial =
+            bench::baseBuilder().buildSweepRunner(1);
+        timer.reset();
+        const auto serial_results = serial.run(cells);
+        sweep.serialWallMs = timer.elapsedMs();
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (results[i].ok != serial_results[i].ok ||
+                (results[i].ok &&
+                 cellMetrics(results[i].result) !=
+                     cellMetrics(serial_results[i].result)))
+                sweep.bitIdentical = false;
+        }
+        if (!sweep.bitIdentical)
+            ++failures;
+    } else {
+        sweep.serialWallMs = sweep.wallMs;
+    }
+
+    std::cout << (failures == 0 ? "ok" : "FAIL") << " ("
+              << bench::num(sweep.wallMs, 1) << " ms parallel, "
+              << bench::num(sweep.serialWallMs, 1) << " ms serial, "
+              << bench::num(sweep.speedup(), 2) << "x speedup, "
+              << (sweep.bitIdentical ? "bit-identical" : "MISMATCH")
+              << ")\n";
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (!results[i].ok)
+            std::cerr << "[run_all] sweep cell '" << sweep.cells[i].name
+                      << "' failed: " << results[i].error << "\n";
+    if (!sweep.bitIdentical)
+        std::cerr << "[run_all] sweep: serial and parallel metric "
+                     "values differ — determinism bug\n";
+    return failures;
 }
 
 /** Decode a std::system() status into the child's exit code. */
@@ -126,6 +232,8 @@ main(int argc, char **argv)
     const std::vector<std::string> all_benches = allBenches();
     std::vector<std::string> selected = quickBenches(all_benches);
     std::string out_dir = bench::benchOutputDir();
+    unsigned jobs = 0;          // 0 = DS_JOBS / hardware_concurrency.
+    unsigned sweep_mixes = 8;   // 0 disables the in-process sweep.
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -173,6 +281,30 @@ main(int argc, char **argv)
 #else
             setenv("DS_CONFIG", text.c_str(), /*overwrite=*/1);
 #endif
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            char *end = nullptr;
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], &end, 10));
+            if (end == nullptr || *end != '\0') {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--sweep-mixes") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            char *end = nullptr;
+            sweep_mixes = static_cast<unsigned>(
+                std::strtoul(argv[++i], &end, 10));
+            if (end == nullptr || *end != '\0') {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -226,7 +358,16 @@ main(int argc, char **argv)
         records.push_back(rec);
     }
 
-    const std::string path = bench::writeBenchJson("run_all", records, out_dir);
+    // In-process parallel sweep. A throwing cell is recorded in the
+    // JSON (ok=false plus its error) and fails the whole run — run_all
+    // must never exit 0 over a partial record.
+    bench::SweepRecord sweep;
+    const bool ran_sweep = sweep_mixes > 0;
+    if (ran_sweep)
+        failures += runSweep(jobs, sweep_mixes, sweep);
+
+    const std::string path = bench::writeBenchJson(
+        "run_all", records, ran_sweep ? &sweep : nullptr, out_dir);
     if (path.empty()) {
         std::cerr << "failed to write BENCH_run_all.json into '" << out_dir
                   << "'\n";

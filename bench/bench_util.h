@@ -53,6 +53,68 @@ baseConfig()
     return baseBuilder().config();
 }
 
+/**
+ * Parallel sweep executor over the standard bench base configuration.
+ * Worker count comes from DS_JOBS (default: hardware_concurrency), so
+ * `DS_JOBS=1 ./figNN` reproduces the historical serial execution —
+ * with bit-identical metric values, since every cell is a pure
+ * function of its configuration and workload spec.
+ */
+inline dstrange::sim::SweepRunner
+baseSweepRunner()
+{
+    return baseBuilder().buildSweepRunner();
+}
+
+/**
+ * The multi-core sweep workload set shared by fig07/fig08: the four
+ * 4-core groups followed by every L/M/H category group at 4, 8, and 16
+ * cores. When @p group_labels is non-null it receives the label of each
+ * multi-core category group in sweep order (e.g. "L(8)"), so callers
+ * need not re-draw the groups just to name their table rows.
+ */
+inline std::vector<dstrange::workloads::WorkloadSpec>
+multiCoreSweepMixes(std::uint64_t seed,
+                    std::vector<std::string> *group_labels = nullptr)
+{
+    auto mixes = dstrange::workloads::fourCoreGroups(seed);
+    for (unsigned cores : {4u, 8u, 16u}) {
+        for (char cat : {'L', 'M', 'H'}) {
+            const auto group = dstrange::workloads::multiCoreCategoryGroup(
+                cores, cat, seed);
+            if (group_labels)
+                group_labels->push_back(group.front().group);
+            mixes.insert(mixes.end(), group.begin(), group.end());
+        }
+    }
+    return mixes;
+}
+
+/**
+ * Run a grid of cells and exit(1) on the first failed cell (after
+ * reporting every failure), so a figure bench can never print a
+ * partial table and still exit 0.
+ */
+inline std::vector<dstrange::sim::SweepRunner::CellResult>
+runCellsOrExit(dstrange::sim::SweepRunner &sweep,
+               const std::vector<dstrange::sim::SweepRunner::Cell> &cells)
+{
+    auto results = sweep.run(cells);
+    bool failed = false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok) {
+            std::cerr << "cell '" << cells[i].spec.name << "' ("
+                      << (cells[i].design.empty() ? "explicit config"
+                                                  : cells[i].design)
+                      << ") failed: " << results[i].error << "\n";
+            failed = true;
+        }
+    }
+    if (failed)
+        std::exit(1);
+    return results;
+}
+
 /** Format a ratio with 3 decimals. */
 inline std::string
 num(double v, int precision = 3)
@@ -99,6 +161,38 @@ struct BenchRecord {
     std::vector<std::pair<std::string, double>> metrics;
 };
 
+/** One sweep cell in the perf record: design x workload, its worker
+ *  wall-clock, and the metric values the bit-identity check diffs. */
+struct SweepCellRecord {
+    std::string name; ///< "<design>/<workload>".
+    double wallMs = 0.0;
+    bool ok = false;
+    std::string error; ///< Exception message when !ok.
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/**
+ * Aggregate record of run_all's in-process parallel sweep: the worker
+ * count, the parallel sweep's end-to-end wall-clock, a serial
+ * reference run's wall-clock (measured with a fresh alone-run cache,
+ * so the comparison is fair), whether the two runs' metric values were
+ * bit-identical, and the resulting measured serial-vs-parallel
+ * speedup — the perf-trajectory datapoint the roadmap asks for.
+ */
+struct SweepRecord {
+    unsigned jobs = 1;
+    double wallMs = 0.0;       ///< Parallel sweep wall-clock.
+    double serialWallMs = 0.0; ///< One-thread reference wall-clock.
+    double cellsTotalMs = 0.0; ///< Sum of per-cell wall times.
+    bool bitIdentical = true;  ///< Serial metrics == parallel metrics.
+    std::vector<SweepCellRecord> cells;
+
+    double speedup() const
+    {
+        return wallMs > 0.0 ? serialWallMs / wallMs : 0.0;
+    }
+};
+
 /**
  * Directory for BENCH_*.json output. Defaults to the current working
  * directory; override with DS_BENCH_OUT.
@@ -113,13 +207,16 @@ benchOutputDir()
 
 /**
  * Write a BENCH_<harness>.json perf record for a set of benchmark
- * executions. Returns the path written, or an empty string on I/O
- * failure. The schema is intentionally flat so the perf-trajectory
- * tooling can diff runs across commits.
+ * executions, plus an optional in-process sweep record (per-cell and
+ * aggregate wall-clock and the measured parallel speedup). Returns the
+ * path written, or an empty string on I/O failure. The schema is
+ * intentionally flat so the perf-trajectory tooling can diff runs
+ * across commits.
  */
 inline std::string
 writeBenchJson(const std::string &harness,
                const std::vector<BenchRecord> &records,
+               const SweepRecord *sweep = nullptr,
                const std::string &out_dir = benchOutputDir())
 {
     dstrange::JsonWriter w;
@@ -144,6 +241,32 @@ writeBenchJson(const std::string &harness,
         w.endObject();
     }
     w.endArray();
+    if (sweep) {
+        w.key("sweep").beginObject();
+        w.key("jobs").value(
+            static_cast<std::uint64_t>(sweep->jobs));
+        w.key("wall_ms").value(sweep->wallMs);
+        w.key("serial_wall_ms").value(sweep->serialWallMs);
+        w.key("cells_total_ms").value(sweep->cellsTotalMs);
+        w.key("speedup").value(sweep->speedup());
+        w.key("bit_identical").value(sweep->bitIdentical);
+        w.key("cells").beginArray();
+        for (const SweepCellRecord &cell : sweep->cells) {
+            w.beginObject();
+            w.key("name").value(cell.name);
+            w.key("wall_ms").value(cell.wallMs);
+            w.key("ok").value(cell.ok);
+            if (!cell.ok)
+                w.key("error").value(cell.error);
+            w.key("metrics").beginObject();
+            for (const auto &[metric, value] : cell.metrics)
+                w.key(metric).value(value);
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     w.endObject();
 
     const std::string path = out_dir + "/BENCH_" + harness + ".json";

@@ -19,9 +19,12 @@ main()
                   "non-RNG (top) and RNG (bottom) slowdowns vs. running "
                   "alone; 5 Gb/s RNG app");
 
-    sim::Runner runner = bench::baseBuilder().buildRunner();
+    sim::SweepRunner sweep = bench::baseSweepRunner();
     const auto mixes = workloads::dualCorePlottedMixes(5120.0);
-    const char *designs[] = {"oblivious", "greedy", "drstrange"};
+    const std::vector<std::string> designs = {"oblivious", "greedy",
+                                              "drstrange"};
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     TablePrinter table;
     table.setHeader({"workload", "obliv nonRNG", "greedy nonRNG",
@@ -29,11 +32,11 @@ main()
                      "drstr RNG"});
 
     std::vector<double> non_rng[3], rng[3];
-    for (const auto &mix : mixes) {
-        std::vector<std::string> row{mix.apps[0]};
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::vector<std::string> row{mixes[m].apps[0]};
         double cells[2][3];
         for (unsigned d = 0; d < 3; ++d) {
-            const auto res = runner.run(designs[d], mix);
+            const auto &res = results[m * designs.size() + d].result;
             cells[0][d] = res.avgNonRngSlowdown();
             cells[1][d] = res.rngSlowdown();
             non_rng[d].push_back(cells[0][d]);

@@ -14,26 +14,27 @@ using namespace dstrange;
 
 namespace {
 
-/** Geomean of Greedy and DR-STRaNGe WS normalized to Oblivious. */
+/**
+ * Geomean of Greedy and DR-STRaNGe WS normalized to Oblivious, over
+ * the cells of @p results whose mix belongs to @p group. Cell layout is
+ * sim::SweepRunner::grid() order: three designs (oblivious, greedy,
+ * drstrange) per mix.
+ */
 std::pair<double, double>
-normalizedWs(sim::Runner &runner,
+normalizedWs(const std::vector<sim::SweepRunner::CellResult> &results,
              const std::vector<workloads::WorkloadSpec> &mixes,
              const std::string &group)
 {
     std::vector<double> greedy, dr;
-    for (const auto &mix : mixes) {
-        if (mix.group != group)
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        if (mixes[m].group != group)
             continue;
         const double base =
-            runner.run(sim::SystemDesign::RngOblivious, mix)
-                .weightedSpeedupNonRng;
+            results[m * 3 + 0].result.weightedSpeedupNonRng;
         greedy.push_back(
-            runner.run(sim::SystemDesign::GreedyIdle, mix)
-                .weightedSpeedupNonRng /
-            base);
-        dr.push_back(runner.run(sim::SystemDesign::DrStrange, mix)
-                         .weightedSpeedupNonRng /
-                     base);
+            results[m * 3 + 1].result.weightedSpeedupNonRng / base);
+        dr.push_back(
+            results[m * 3 + 2].result.weightedSpeedupNonRng / base);
     }
     return {geomean(greedy), geomean(dr)};
 }
@@ -46,18 +47,29 @@ main()
     bench::banner("Figure 7: multi-core normalized weighted speedup",
                   "non-RNG weighted speedup vs. RNG-oblivious baseline");
 
-    sim::SimConfig cfg = bench::baseConfig();
-    cfg.instrBudget = std::min<std::uint64_t>(cfg.instrBudget, 60000);
-    sim::Runner runner(cfg);
+    sim::SimulationBuilder b = bench::baseBuilder();
+    b.instrBudget(
+        std::min<std::uint64_t>(b.config().instrBudget, 60000));
+    const std::uint64_t seed = b.config().seed;
+
+    // One flat grid over every group's mixes; cells fan out across the
+    // worker pool and come back in deterministic grid order.
+    std::vector<std::string> group_labels;
+    const std::vector<workloads::WorkloadSpec> mixes =
+        bench::multiCoreSweepMixes(seed, &group_labels);
+    const std::vector<std::string> designs = {"oblivious", "greedy",
+                                              "drstrange"};
+    sim::SweepRunner sweep = b.buildSweepRunner();
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     TablePrinter t;
     t.setHeader({"group", "Greedy", "DR-STRANGE"});
 
     // (a) Four-core groups.
-    const auto four_core = workloads::fourCoreGroups(cfg.seed);
     std::vector<double> all_greedy, all_dr;
     for (const std::string group : {"LLLS", "LLHS", "LHHS", "HHHS"}) {
-        const auto [g, d] = normalizedWs(runner, four_core, group);
+        const auto [g, d] = normalizedWs(results, mixes, group);
         t.addRow({group, bench::num(g), bench::num(d)});
         all_greedy.push_back(g);
         all_dr.push_back(d);
@@ -66,14 +78,9 @@ main()
               bench::num(geomean(all_dr))});
 
     // (b) L/M/H groups at 4, 8, 16 cores.
-    for (unsigned cores : {4u, 8u, 16u}) {
-        for (char cat : {'L', 'M', 'H'}) {
-            const auto mixes =
-                workloads::multiCoreCategoryGroup(cores, cat, cfg.seed);
-            const auto [g, d] =
-                normalizedWs(runner, mixes, mixes.front().group);
-            t.addRow({mixes.front().group, bench::num(g), bench::num(d)});
-        }
+    for (const std::string &label : group_labels) {
+        const auto [g, d] = normalizedWs(results, mixes, label);
+        t.addRow({label, bench::num(g), bench::num(d)});
     }
 
     t.print(std::cout);

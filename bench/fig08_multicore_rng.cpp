@@ -13,18 +13,21 @@ using namespace dstrange;
 
 namespace {
 
+/** Per-group mean RNG slowdown of the three designs, from cells laid
+ *  out in sim::SweepRunner::grid() order (three designs per mix). */
 void
-addGroupRow(TablePrinter &t, sim::Runner &runner,
+addGroupRow(TablePrinter &t,
+            const std::vector<sim::SweepRunner::CellResult> &results,
             const std::vector<workloads::WorkloadSpec> &mixes,
             const std::string &group)
 {
     std::vector<double> obliv, greedy, dr;
-    for (const auto &mix : mixes) {
-        if (mix.group != group)
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        if (mixes[m].group != group)
             continue;
-        obliv.push_back(runner.run("oblivious", mix).rngSlowdown());
-        greedy.push_back(runner.run("greedy", mix).rngSlowdown());
-        dr.push_back(runner.run("drstrange", mix).rngSlowdown());
+        obliv.push_back(results[m * 3 + 0].result.rngSlowdown());
+        greedy.push_back(results[m * 3 + 1].result.rngSlowdown());
+        dr.push_back(results[m * 3 + 2].result.rngSlowdown());
     }
     t.addRow({group, bench::num(mean(obliv)), bench::num(mean(greedy)),
               bench::num(mean(dr))});
@@ -38,24 +41,28 @@ main()
     bench::banner("Figure 8: multi-core RNG application slowdown",
                   "RNG app slowdown vs. single-core baseline execution");
 
-    sim::SimConfig cfg = bench::baseConfig();
-    cfg.instrBudget = std::min<std::uint64_t>(cfg.instrBudget, 60000);
-    sim::Runner runner{cfg};
+    sim::SimulationBuilder b = bench::baseBuilder();
+    b.instrBudget(
+        std::min<std::uint64_t>(b.config().instrBudget, 60000));
+    const std::uint64_t seed = b.config().seed;
+
+    std::vector<std::string> group_labels;
+    const std::vector<workloads::WorkloadSpec> mixes =
+        bench::multiCoreSweepMixes(seed, &group_labels);
+    const std::vector<std::string> designs = {"oblivious", "greedy",
+                                              "drstrange"};
+    sim::SweepRunner sweep = b.buildSweepRunner();
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     TablePrinter t;
     t.setHeader({"group", "RNG-Oblivious", "Greedy", "DR-STRANGE"});
 
-    const auto four_core = workloads::fourCoreGroups(cfg.seed);
     for (const std::string group : {"LLLS", "LLHS", "LHHS", "HHHS"})
-        addGroupRow(t, runner, four_core, group);
+        addGroupRow(t, results, mixes, group);
 
-    for (unsigned cores : {4u, 8u, 16u}) {
-        for (char cat : {'L', 'M', 'H'}) {
-            const auto mixes =
-                workloads::multiCoreCategoryGroup(cores, cat, cfg.seed);
-            addGroupRow(t, runner, mixes, mixes.front().group);
-        }
-    }
+    for (const std::string &label : group_labels)
+        addGroupRow(t, results, mixes, label);
 
     t.print(std::cout);
     std::cout << "\nPaper shape: DR-STRaNGe improves RNG-app performance "

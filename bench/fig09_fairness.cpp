@@ -17,20 +17,25 @@ main()
     bench::banner("Figure 9: dual-core system fairness",
                   "unfairness index per workload, three designs");
 
-    sim::Runner runner = bench::baseBuilder().buildRunner();
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const auto mixes = workloads::dualCorePlottedMixes(5120.0);
+    const std::vector<std::string> designs = {"oblivious", "greedy",
+                                              "drstrange"};
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     TablePrinter t;
     t.setHeader({"workload", "RNG-Oblivious", "Greedy", "DR-STRANGE"});
     std::vector<double> obliv, greedy, dr;
 
-    for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        const double o = runner.run("oblivious", mix).unfairnessIndex;
-        const double g = runner.run("greedy", mix).unfairnessIndex;
-        const double d = runner.run("drstrange", mix).unfairnessIndex;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const double o = results[m * 3 + 0].result.unfairnessIndex;
+        const double g = results[m * 3 + 1].result.unfairnessIndex;
+        const double d = results[m * 3 + 2].result.unfairnessIndex;
         obliv.push_back(o);
         greedy.push_back(g);
         dr.push_back(d);
-        t.addRow({mix.apps[0], bench::num(o), bench::num(g),
+        t.addRow({mixes[m].apps[0], bench::num(o), bench::num(g),
                   bench::num(d)});
     }
     t.addRow({"AVG", bench::num(mean(obliv)), bench::num(mean(greedy)),

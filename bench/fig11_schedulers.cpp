@@ -17,13 +17,16 @@ main()
     bench::banner("Figure 11: memory request scheduler comparison",
                   "FR-FCFS+Cap vs BLISS vs RNG-aware (no buffer)");
 
-    sim::Runner runner = bench::baseBuilder().buildRunner();
-    const char *designs[] = {
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const std::vector<std::string> designs = {
         "oblivious", // FR-FCFS+Cap baseline
         "bliss",
         "rng-aware",
     };
     const char *names[] = {"FR-FCFS+Cap", "BLISS", "RNG-Aware"};
+    const auto mixes = workloads::dualCorePlottedMixes(5120.0);
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     TablePrinter t;
     t.setHeader({"workload", "nonRNG:frfcfs", "nonRNG:bliss",
@@ -31,11 +34,11 @@ main()
                  "unf:frfcfs", "unf:bliss", "unf:aware"});
 
     std::vector<double> non_rng[3], rng[3], unf[3];
-    for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        std::vector<std::string> row{mix.apps[0]};
+    for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
+        std::vector<std::string> row{mixes[mi].apps[0]};
         double cells[3][3];
         for (unsigned d = 0; d < 3; ++d) {
-            const auto res = runner.run(designs[d], mix);
+            const auto &res = results[mi * designs.size() + d].result;
             cells[0][d] = res.avgNonRngSlowdown();
             cells[1][d] = res.rngSlowdown();
             cells[2][d] = res.unfairnessIndex;

@@ -18,8 +18,8 @@ main()
     bench::banner("Figure 13: DRAM idleness predictor ablation",
                   "non-RNG and RNG slowdowns for four designs");
 
-    sim::Runner runner = bench::baseBuilder().buildRunner();
-    const char *designs[] = {
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const std::vector<std::string> designs = {
         "oblivious",
         "drstrange-nopred",
         "drstrange",
@@ -27,6 +27,9 @@ main()
     };
     const char *labels[] = {"RNG-Oblivious", "DR-STRANGE(NoPred)",
                             "DR-STRANGE", "DR-STRANGE+RL"};
+    const auto mixes = workloads::dualCorePlottedMixes(5120.0);
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     std::vector<double> non_rng[4], rng[4];
     TablePrinter t;
@@ -34,11 +37,11 @@ main()
                  "nonRNG:simple", "nonRNG:rl", "RNG:obliv", "RNG:nopred",
                  "RNG:simple", "RNG:rl"});
 
-    for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        std::vector<std::string> row{mix.apps[0]};
+    for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
+        std::vector<std::string> row{mixes[mi].apps[0]};
         double cells[2][4];
         for (unsigned d = 0; d < 4; ++d) {
-            const auto res = runner.run(designs[d], mix);
+            const auto &res = results[mi * designs.size() + d].result;
             cells[0][d] = res.avgNonRngSlowdown();
             cells[1][d] = res.rngSlowdown();
             non_rng[d].push_back(cells[0][d]);

@@ -17,10 +17,14 @@ main()
     bench::banner("Figure 16: QUAC-TRNG end-to-end",
                   "DR-STRaNGe compatibility with a second TRNG mechanism");
 
-    sim::Runner runner =
-        bench::baseBuilder().mechanism("quac").buildRunner();
+    sim::SweepRunner sweep =
+        bench::baseBuilder().mechanism("quac").buildSweepRunner();
 
-    const char *designs[] = {"oblivious", "greedy", "drstrange"};
+    const std::vector<std::string> designs = {"oblivious", "greedy",
+                                              "drstrange"};
+    const auto mixes = workloads::dualCorePlottedMixes(5120.0);
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     std::vector<double> non_rng[3], rng[3], unf[3];
     TablePrinter t;
@@ -28,11 +32,11 @@ main()
                  "nonRNG:drstr", "RNG:obliv", "RNG:greedy", "RNG:drstr",
                  "unf:obliv", "unf:greedy", "unf:drstr"});
 
-    for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        std::vector<std::string> row{mix.apps[0]};
+    for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
+        std::vector<std::string> row{mixes[mi].apps[0]};
         double cells[3][3];
         for (unsigned d = 0; d < 3; ++d) {
-            const auto res = runner.run(designs[d], mix);
+            const auto &res = results[mi * designs.size() + d].result;
             cells[0][d] = res.avgNonRngSlowdown();
             cells[1][d] = res.rngSlowdown();
             cells[2][d] = res.unfairnessIndex;

@@ -17,12 +17,16 @@ main()
     bench::banner("Section 8.9: energy and area",
                   "energy/memory-cycle reduction and controller area");
 
-    sim::Runner runner = bench::baseBuilder().buildRunner();
-    std::vector<double> base_energy, dr_energy, base_cycles, dr_cycles;
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const auto mixes = workloads::dualCorePlottedMixes(5120.0);
+    const std::vector<std::string> designs = {"oblivious", "drstrange"};
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
-    for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        const auto base = runner.run("oblivious", mix);
-        const auto dr = runner.run("drstrange", mix);
+    std::vector<double> base_energy, dr_energy, base_cycles, dr_cycles;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &base = results[m * 2 + 0].result;
+        const auto &dr = results[m * 2 + 1].result;
         base_energy.push_back(base.energyNj);
         dr_energy.push_back(dr.energyNj);
         base_cycles.push_back(static_cast<double>(base.busCycles));
@@ -56,19 +60,28 @@ main()
         TablePrinter pd;
         pd.setHeader({"power-down", "avg energy (uJ)", "avg non-RNG sd",
                       "avg RNG sd"});
-        for (Cycle threshold : {Cycle(0), Cycle(50)}) {
-            sim::Runner r = bench::baseBuilder()
-                                .powerDownThreshold(threshold)
-                                .buildRunner();
+        // Explicit-config cells: both thresholds' mixes in one grid.
+        const std::vector<Cycle> thresholds = {Cycle(0), Cycle(50)};
+        std::vector<sim::SweepRunner::Cell> cells;
+        for (Cycle threshold : thresholds) {
+            sim::SimulationBuilder b = bench::baseBuilder();
+            b.design("drstrange");
+            b.powerDownThreshold(threshold);
+            for (const auto &mix : mixes)
+                cells.push_back(b.buildSweepCell(mix));
+        }
+        const auto pd_results = bench::runCellsOrExit(sweep, cells);
+        for (std::size_t t_i = 0; t_i < thresholds.size(); ++t_i) {
             std::vector<double> energy, non_rng, rng;
-            for (const auto &mix :
-                 workloads::dualCorePlottedMixes(5120.0)) {
-                const auto res = r.run("drstrange", mix);
+            for (std::size_t m = 0; m < mixes.size(); ++m) {
+                const auto &res =
+                    pd_results[t_i * mixes.size() + m].result;
                 energy.push_back(res.energyNj);
                 non_rng.push_back(res.avgNonRngSlowdown());
                 rng.push_back(res.rngSlowdown());
             }
-            pd.addRow({threshold == 0 ? "off" : "50-cycle threshold",
+            pd.addRow({thresholds[t_i] == 0 ? "off"
+                                            : "50-cycle threshold",
                        bench::num(mean(energy) / 1000.0, 1),
                        bench::num(mean(non_rng)), bench::num(mean(rng))});
         }

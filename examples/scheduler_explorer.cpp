@@ -107,8 +107,12 @@ main(int argc, char **argv)
         spec.apps = {"soplex"};
     spec.name = "custom";
 
-    sim::Runner runner =
-        sim::SimulationBuilder().instrBudget(150000).buildRunner();
+    // Every design runs as one cell of a parallel sweep (DS_JOBS
+    // controls the worker count); the custom "fcfs-baseline" design
+    // registered above rides along because cells resolve design keys
+    // through the same registry.
+    sim::SweepRunner sweep =
+        sim::SimulationBuilder().instrBudget(150000).buildSweepRunner();
 
     std::cout << "Workload:";
     for (const auto &a : spec.apps)
@@ -122,9 +126,17 @@ main(int argc, char **argv)
                  "serve rate", "pred acc", "energy(uJ)", "bus cycles"});
 
     const auto &designs = sim::DesignRegistry::instance();
-    for (const std::string &key : designs.keys()) {
-        const auto res = runner.run(key, spec);
-        t.addRow({designs.displayName(key),
+    const std::vector<std::string> keys = designs.keys();
+    const auto results =
+        sweep.run(sim::SweepRunner::grid(keys, {spec}));
+    for (std::size_t d = 0; d < keys.size(); ++d) {
+        if (!results[d].ok) {
+            std::cerr << "design '" << keys[d]
+                      << "' failed: " << results[d].error << "\n";
+            return 1;
+        }
+        const auto &res = results[d].result;
+        t.addRow({designs.displayName(keys[d]),
                   TablePrinter::num(res.avgNonRngSlowdown()),
                   TablePrinter::num(res.rngSlowdown()),
                   TablePrinter::num(res.unfairnessIndex),

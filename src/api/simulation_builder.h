@@ -25,6 +25,7 @@
 
 #include "sim/runner.h"
 #include "sim/sim_config.h"
+#include "sim/sweep_runner.h"
 #include "sim/system.h"
 
 namespace dstrange::sim {
@@ -99,6 +100,27 @@ class SimulationBuilder
         std::vector<std::unique_ptr<cpu::TraceSource>> traces) const
     {
         return System(cfg, std::move(traces));
+    }
+
+    /** Parallel sweep executor over this configuration (jobs == 0
+     *  selects DS_JOBS / hardware_concurrency). */
+    SweepRunner buildSweepRunner(unsigned jobs = 0) const
+    {
+        return SweepRunner(cfg, jobs);
+    }
+
+    /**
+     * One SweepRunner grid cell that runs @p spec under exactly this
+     * builder's configuration — the way to put arbitrary knob
+     * combinations (hybrid mechanisms, power-down thresholds, custom
+     * schedulers) next to design-key cells in one parallel grid.
+     */
+    SweepRunner::Cell buildSweepCell(workloads::WorkloadSpec spec) const
+    {
+        SweepRunner::Cell cell;
+        cell.config = cfg;
+        cell.spec = std::move(spec);
+        return cell;
     }
 
   private:

@@ -37,8 +37,27 @@ JsonWriter::escape(const std::string &text)
           case '\t':
             escaped += "\\t";
             break;
+          case '\r':
+            escaped += "\\r";
+            break;
+          case '\b':
+            escaped += "\\b";
+            break;
+          case '\f':
+            escaped += "\\f";
+            break;
           default:
-            escaped += c;
+            // RFC 8259: all other control characters must be escaped;
+            // emitting them raw produces unparseable BENCH_*.json.
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                escaped += buf;
+            } else {
+                escaped += c;
+            }
         }
     }
     return escaped;

@@ -19,6 +19,7 @@
 #include "sim/energy_model.h"
 #include "sim/metrics.h"
 #include "sim/runner.h"
+#include "sim/sweep_runner.h"
 #include "sim/system.h"
 #include "strange/predictor_registry.h"
 #include "trng/bit_quality.h"

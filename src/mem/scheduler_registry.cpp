@@ -1,5 +1,6 @@
 #include "mem/scheduler_registry.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "common/registry_key.h"
@@ -40,6 +41,7 @@ SchedulerRegistry::add(const std::string &key, SchedulerFactory factory)
     if (!factory)
         throw std::invalid_argument("scheduler factory for '" + key +
                                     "' must not be empty");
+    std::unique_lock<std::shared_mutex> lock(mu);
     if (!factories.emplace(key, std::move(factory)).second)
         throw std::invalid_argument("scheduler '" + key +
                                     "' is already registered");
@@ -49,26 +51,35 @@ std::unique_ptr<Scheduler>
 SchedulerRegistry::make(const std::string &key,
                         const SchedulerContext &ctx) const
 {
-    const auto it = factories.find(key);
-    if (it == factories.end()) {
-        std::string known;
-        for (const auto &[k, f] : factories)
-            known += (known.empty() ? "" : ", ") + k;
-        throw std::out_of_range("unknown scheduler '" + key +
-                                "' (registered: " + known + ")");
+    // Copy the factory out so user factories run lock-free (one that
+    // registers another policy from inside would otherwise deadlock).
+    SchedulerFactory factory;
+    {
+        std::shared_lock<std::shared_mutex> lock(mu);
+        const auto it = factories.find(key);
+        if (it == factories.end()) {
+            std::string known;
+            for (const auto &[k, f] : factories)
+                known += (known.empty() ? "" : ", ") + k;
+            throw std::out_of_range("unknown scheduler '" + key +
+                                    "' (registered: " + known + ")");
+        }
+        factory = it->second;
     }
-    return it->second(ctx);
+    return factory(ctx);
 }
 
 bool
 SchedulerRegistry::contains(const std::string &key) const
 {
+    std::shared_lock<std::shared_mutex> lock(mu);
     return factories.count(key) != 0;
 }
 
 std::vector<std::string>
 SchedulerRegistry::keys() const
 {
+    std::shared_lock<std::shared_mutex> lock(mu);
     std::vector<std::string> out;
     for (const auto &[key, factory] : factories)
         out.push_back(key);

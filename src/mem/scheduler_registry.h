@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,10 @@ using SchedulerFactory =
  *   "fr-fcfs"      classic FR-FCFS (row hits first, then oldest)
  *   "fr-fcfs-cap"  FR-FCFS with the paper's 16-column streak cap
  *   "bliss"        the BLISS blacklisting scheduler
+ *
+ * Thread-safe: lookups take a shared lock and add() an exclusive one,
+ * so parallel sweeps (sim::SweepRunner) can instantiate schedulers
+ * while user code registers new ones.
  */
 class SchedulerRegistry
 {
@@ -71,6 +76,7 @@ class SchedulerRegistry
   private:
     SchedulerRegistry();
 
+    mutable std::shared_mutex mu;
     std::map<std::string, SchedulerFactory> factories;
 };
 

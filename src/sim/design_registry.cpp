@@ -1,5 +1,6 @@
 #include "sim/design_registry.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "common/registry_key.h"
@@ -29,6 +30,7 @@ DesignRegistry::add(const std::string &key,
     if (!preset)
         throw std::invalid_argument("design preset for '" + key +
                                     "' must not be empty");
+    std::unique_lock<std::shared_mutex> lock(mu);
     if (!entries
              .emplace(key, Entry{display_name.empty() ? key : display_name,
                                  std::move(preset)})
@@ -37,9 +39,12 @@ DesignRegistry::add(const std::string &key,
                                     "' is already registered");
 }
 
-const DesignRegistry::Entry &
+DesignRegistry::Entry
 DesignRegistry::at(const std::string &name) const
 {
+    // Returns a copy so the preset runs lock-free (a preset that
+    // registers another design from inside would otherwise deadlock).
+    std::shared_lock<std::shared_mutex> lock(mu);
     auto it = entries.find(name);
     if (it == entries.end()) {
         // Fall back to display names ("DR-STRANGE" for "drstrange").
@@ -65,6 +70,7 @@ DesignRegistry::apply(const std::string &name, SimConfig &cfg) const
 bool
 DesignRegistry::contains(const std::string &name) const
 {
+    std::shared_lock<std::shared_mutex> lock(mu);
     if (entries.count(name) != 0)
         return true;
     for (const auto &[key, entry] : entries)
@@ -73,7 +79,7 @@ DesignRegistry::contains(const std::string &name) const
     return false;
 }
 
-const std::string &
+std::string
 DesignRegistry::displayName(const std::string &name) const
 {
     return at(name).displayName;
@@ -82,6 +88,7 @@ DesignRegistry::displayName(const std::string &name) const
 std::vector<std::string>
 DesignRegistry::keys() const
 {
+    std::shared_lock<std::shared_mutex> lock(mu);
     std::vector<std::string> out;
     for (const auto &[key, entry] : entries)
         out.push_back(key);

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,10 @@ namespace dstrange::sim {
  * "drstrange-nopred", "drstrange-rl", "drstrange-nolowutil",
  * "rng-aware", "frfcfs", "bliss"); lookups also accept display names
  * ("DR-STRANGE").
+ *
+ * Thread-safe: lookups take a shared lock and add() an exclusive one,
+ * so parallel sweeps (sim::SweepRunner) can apply presets while user
+ * code registers new ones.
  */
 class DesignRegistry
 {
@@ -54,7 +59,7 @@ class DesignRegistry
     bool contains(const std::string &name) const;
 
     /** Display name of a registered design. @throws std::out_of_range */
-    const std::string &displayName(const std::string &name) const;
+    std::string displayName(const std::string &name) const;
 
     /** Registered keys in sorted order. */
     std::vector<std::string> keys() const;
@@ -67,8 +72,9 @@ class DesignRegistry
     };
 
     DesignRegistry();
-    const Entry &at(const std::string &name) const;
+    Entry at(const std::string &name) const;
 
+    mutable std::shared_mutex mu;
     std::map<std::string, Entry> entries;
 };
 

@@ -64,7 +64,7 @@ Runner::aloneConfig(const SimConfig &from, SystemDesign design)
 
 AloneResult
 Runner::runAlone(std::unique_ptr<cpu::TraceSource> trace,
-                 const SimConfig &cfg)
+                 const SimConfig &cfg) const
 {
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     traces.push_back(std::move(trace));
@@ -80,20 +80,35 @@ Runner::runAlone(std::unique_ptr<cpu::TraceSource> trace,
 }
 
 const AloneResult &
+Runner::cachedAlone(const std::string &key,
+                    const std::function<AloneResult()> &compute)
+{
+    AloneShard &shard =
+        aloneCache[std::hash<std::string>{}(key) % kAloneShards];
+    AloneEntry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        std::unique_ptr<AloneEntry> &slot = shard.entries[key];
+        if (!slot)
+            slot = std::make_unique<AloneEntry>();
+        entry = slot.get();
+    }
+    // Compute outside the shard lock so unrelated keys proceed in
+    // parallel; call_once serializes same-key computations and, on an
+    // exception, leaves the flag unset so a later caller retries.
+    std::call_once(entry->once, [&] { entry->result = compute(); });
+    return entry->result;
+}
+
+const AloneResult &
 Runner::aloneApp(const std::string &app_name,
                  const SimConfig &alone_cfg)
 {
     const std::string key =
         "app|" + app_name + "|" + serializeConfig(alone_cfg);
-    auto it = aloneCache.find(key);
-    if (it == aloneCache.end()) {
-        it = aloneCache
-                 .emplace(key, runAlone(makeAppTrace(app_name, 0,
-                                                     alone_cfg),
-                                        alone_cfg))
-                 .first;
-    }
-    return it->second;
+    return cachedAlone(key, [&] {
+        return runAlone(makeAppTrace(app_name, 0, alone_cfg), alone_cfg);
+    });
 }
 
 const AloneResult &
@@ -101,14 +116,9 @@ Runner::aloneRngImpl(double mbps, const SimConfig &alone_cfg)
 {
     const std::string key = "rng|" + std::to_string(mbps) + "|" +
                             serializeConfig(alone_cfg);
-    auto it = aloneCache.find(key);
-    if (it == aloneCache.end()) {
-        it = aloneCache
-                 .emplace(key, runAlone(makeRngTrace(mbps, 0, alone_cfg),
-                                        alone_cfg))
-                 .first;
-    }
-    return it->second;
+    return cachedAlone(key, [&] {
+        return runAlone(makeRngTrace(mbps, 0, alone_cfg), alone_cfg);
+    });
 }
 
 const AloneResult &

@@ -2,14 +2,18 @@
  * @file
  * Experiment runner: builds systems from workload specs, runs them, and
  * derives the paper's metrics. Alone-run baselines are cached so sweeps
- * over designs and workload sets stay fast.
+ * over designs and workload sets stay fast; the cache is thread-safe so
+ * one Runner can serve every worker of a sim::SweepRunner fan-out.
  */
 
 #ifndef DSTRANGE_SIM_RUNNER_H
 #define DSTRANGE_SIM_RUNNER_H
 
+#include <array>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,7 +23,14 @@
 
 namespace dstrange::sim {
 
-/** Orchestrates workload execution and metric computation. */
+/**
+ * Orchestrates workload execution and metric computation.
+ *
+ * run() and the alone() accessors may be called concurrently from
+ * multiple threads; every run is a pure function of its configuration
+ * and workload spec, so results are bit-identical whether cells execute
+ * serially or in parallel. Only base() mutation is single-threaded.
+ */
 class Runner
 {
   public:
@@ -100,7 +111,11 @@ class Runner
                                 SystemDesign design =
                                     SystemDesign::RngOblivious);
 
-    /** Mutable base configuration (mechanism, budget, seed, ...). */
+    /**
+     * Mutable base configuration (mechanism, budget, seed, ...). Not
+     * thread-safe: mutate only between sweeps, never while another
+     * thread is inside run()/alone().
+     */
     SimConfig &base() { return baseCfg; }
 
   private:
@@ -117,17 +132,39 @@ class Runner
                                 const SimConfig &alone_cfg);
     const AloneResult &aloneRngImpl(double mbps,
                                     const SimConfig &alone_cfg);
+    const AloneResult &
+    cachedAlone(const std::string &key,
+                const std::function<AloneResult()> &compute);
     AloneResult runAlone(std::unique_ptr<cpu::TraceSource> trace,
-                         const SimConfig &cfg);
+                         const SimConfig &cfg) const;
 
     SimConfig baseCfg;
+
     /**
      * Alone-run baselines keyed on the trace identity plus the *full*
      * canonical serialization of the effective configuration, so
      * mutating base() between runs (buffer size, thresholds, timings,
      * fill mechanism, ...) can never serve a stale baseline.
+     *
+     * The cache is safe under concurrent run()/alone() calls (the
+     * SweepRunner fan-out): entries live behind stable pointers in a
+     * sharded mutex-guarded map, and each entry carries a once-flag so
+     * two threads needing the same baseline compute it exactly once —
+     * the loser blocks on the winner instead of duplicating a full
+     * alone simulation or racing on the slot.
      */
-    std::map<std::string, AloneResult> aloneCache;
+    struct AloneEntry
+    {
+        std::once_flag once;
+        AloneResult result;
+    };
+    struct AloneShard
+    {
+        std::mutex mu;
+        std::map<std::string, std::unique_ptr<AloneEntry>> entries;
+    };
+    static constexpr std::size_t kAloneShards = 16;
+    std::array<AloneShard, kAloneShards> aloneCache;
 };
 
 } // namespace dstrange::sim

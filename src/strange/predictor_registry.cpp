@@ -1,5 +1,6 @@
 #include "strange/predictor_registry.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "common/registry_key.h"
@@ -64,15 +65,18 @@ PredictorRegistry::add(const std::string &key, PredictorFactory factory,
     if (!factory)
         throw std::invalid_argument("predictor factory for '" + key +
                                     "' must not be empty");
+    std::unique_lock<std::shared_mutex> lock(mu);
     if (!entries.emplace(key, Entry{std::move(factory), std::move(area)})
              .second)
         throw std::invalid_argument("predictor '" + key +
                                     "' is already registered");
 }
 
-const PredictorRegistry::Entry &
+PredictorRegistry::Entry
 PredictorRegistry::at(const std::string &key) const
 {
+    // Returns a copy so the factory/area functions run lock-free.
+    std::shared_lock<std::shared_mutex> lock(mu);
     const auto it = entries.find(key);
     if (it == entries.end()) {
         std::string known;
@@ -95,19 +99,21 @@ double
 PredictorRegistry::storageBits(const std::string &key,
                                const PredictorAreaContext &ctx) const
 {
-    const Entry &entry = at(key);
+    const Entry entry = at(key);
     return entry.area ? entry.area(ctx) : 0.0;
 }
 
 bool
 PredictorRegistry::contains(const std::string &key) const
 {
+    std::shared_lock<std::shared_mutex> lock(mu);
     return entries.count(key) != 0;
 }
 
 std::vector<std::string>
 PredictorRegistry::keys() const
 {
+    std::shared_lock<std::shared_mutex> lock(mu);
     std::vector<std::string> out;
     for (const auto &[key, entry] : entries)
         out.push_back(key);

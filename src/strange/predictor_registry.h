@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,10 @@ using PredictorAreaModel =
  *   "none"    no predictor — every quiet period is assumed long
  *   "simple"  2-bit saturating counter table (Section 5.1.2)
  *   "rl"      Q-learning agent (Section 5.1.2)
+ *
+ * Thread-safe: lookups take a shared lock and add() an exclusive one,
+ * so parallel sweeps (sim::SweepRunner) can instantiate predictors
+ * while user code registers new ones.
  */
 class PredictorRegistry
 {
@@ -103,8 +108,9 @@ class PredictorRegistry
     };
 
     PredictorRegistry();
-    const Entry &at(const std::string &key) const;
+    Entry at(const std::string &key) const;
 
+    mutable std::shared_mutex mu;
     std::map<std::string, Entry> entries;
 };
 

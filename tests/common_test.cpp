@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/json_writer.h"
 #include "common/ring_buffer.h"
 #include "common/rng.h"
 #include "common/stats_util.h"
@@ -127,6 +128,26 @@ TEST(RingBuffer, WrapsAroundCorrectly)
     EXPECT_EQ(rb.at(2), 4);
 }
 
+TEST(RingBuffer, WrapAroundAtFullCapacity)
+{
+    // Rotate a full buffer through every head position: pop one, push
+    // one, so the write index crosses the wrap boundary repeatedly
+    // while the buffer stays at capacity.
+    RingBuffer<int> rb(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(rb.push(i));
+    for (int next = 4; next < 20; ++next) {
+        ASSERT_TRUE(rb.full());
+        ASSERT_FALSE(rb.push(999)); // Full buffer rejects the push...
+        ASSERT_EQ(rb.front(), next - 4);
+        rb.pop();
+        ASSERT_TRUE(rb.push(next)); // ...but accepts after one pop.
+        for (int k = 0; k < 4; ++k)
+            ASSERT_EQ(rb.at(static_cast<std::size_t>(k)), next - 3 + k);
+    }
+    EXPECT_EQ(rb.size(), 4u);
+}
+
 TEST(RingBuffer, ClearEmptiesBuffer)
 {
     RingBuffer<int> rb(2);
@@ -195,4 +216,38 @@ TEST(TablePrinter, NumFormatsFixedPrecision)
 {
     EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
     EXPECT_EQ(TablePrinter::num(2.0, 3), "2.000");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndCommonControls)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("s").value(std::string("a\"b\\c\nd\te\rf\bg\fh"));
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"s\":\"a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\"}");
+}
+
+TEST(JsonWriter, EscapesRemainingControlCharactersAsUnicode)
+{
+    // RFC 8259 requires every char < 0x20 escaped; those without a
+    // short form must come out as \u00XX.
+    JsonWriter w;
+    std::string raw;
+    raw.push_back('\x01');
+    raw.push_back('\x1f');
+    raw.push_back('A');
+    w.beginObject();
+    w.key("s").value(raw);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"s\":\"\\u0001\\u001fA\"}");
+}
+
+TEST(JsonWriter, ControlCharactersInKeysAreEscapedToo)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a\rb").value(1);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\\rb\":1}");
 }

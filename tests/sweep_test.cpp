@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: the thread-safe alone-run cache
+ * (concurrent same-key and distinct-key access), SweepRunner's
+ * deterministic grid ordering and error capture, serial-vs-parallel
+ * bit-identity of every metric, DS_JOBS handling, and the builder's
+ * buildSweepCell() convenience. Runs under the ASan/UBSan CI job like
+ * every other suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "drstrange.h"
+
+using namespace dstrange;
+
+namespace {
+
+/** Small budget so each simulated cell finishes in milliseconds. */
+sim::SimConfig
+tinyConfig()
+{
+    sim::SimConfig cfg;
+    cfg.instrBudget = 3000;
+    return cfg;
+}
+
+workloads::WorkloadSpec
+dualSpec(const std::string &app, double mbps = 5120.0)
+{
+    workloads::WorkloadSpec spec;
+    spec.name = app + "+rng";
+    spec.apps = {app};
+    spec.rngThroughputMbps = mbps;
+    return spec;
+}
+
+/** The full metric tuple of a run, for exact (==) comparisons. */
+std::vector<double>
+metricTuple(const sim::Runner::WorkloadResult &res)
+{
+    std::vector<double> out = {
+        res.unfairnessIndex,    res.weightedSpeedupNonRng,
+        res.bufferServeRate,    res.predictorAccuracy,
+        res.energyNj,           static_cast<double>(res.busCycles),
+    };
+    for (const auto &core : res.cores) {
+        out.push_back(core.slowdown);
+        out.push_back(core.memSlowdown);
+        out.push_back(core.ipcShared);
+        out.push_back(core.ipcAlone);
+        out.push_back(core.rngStallFraction);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(AloneCache, ConcurrentSameKeyComputesOnce)
+{
+    sim::Runner runner(tinyConfig());
+    constexpr int kThreads = 8;
+    std::vector<const sim::AloneResult *> seen(kThreads, nullptr);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back(
+            [&runner, &seen, t] { seen[t] = &runner.alone("mcf"); });
+    }
+    for (auto &t : pool)
+        t.join();
+    // One entry: every thread got the same stable address, and the
+    // value matches an independent serial computation.
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[0], seen[t]);
+    sim::Runner serial(tinyConfig());
+    const sim::AloneResult &ref = serial.alone("mcf");
+    EXPECT_EQ(seen[0]->execCpuCycles, ref.execCpuCycles);
+    EXPECT_EQ(seen[0]->ipc, ref.ipc);
+    EXPECT_EQ(seen[0]->mcpi, ref.mcpi);
+}
+
+TEST(AloneCache, ConcurrentDistinctKeys)
+{
+    const std::vector<std::string> apps = {"mcf",    "soplex",
+                                           "lbm",    "milc",
+                                           "gcc",    "namd"};
+    sim::Runner runner(tinyConfig());
+    std::vector<sim::AloneResult> parallel(apps.size());
+    std::vector<sim::AloneResult> rng_parallel(2);
+    std::vector<std::thread> pool;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        pool.emplace_back([&runner, &apps, &parallel, i] {
+            parallel[i] = runner.alone(apps[i]);
+        });
+    }
+    // aloneRng on the same and different throughputs, concurrently.
+    pool.emplace_back([&runner, &rng_parallel] {
+        rng_parallel[0] = runner.aloneRng(5120.0);
+    });
+    pool.emplace_back([&runner, &rng_parallel] {
+        rng_parallel[1] = runner.aloneRng(10240.0);
+    });
+    for (auto &t : pool)
+        t.join();
+
+    sim::Runner serial(tinyConfig());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const sim::AloneResult &ref = serial.alone(apps[i]);
+        EXPECT_EQ(parallel[i].execCpuCycles, ref.execCpuCycles) << apps[i];
+        EXPECT_EQ(parallel[i].ipc, ref.ipc) << apps[i];
+        EXPECT_EQ(parallel[i].mcpi, ref.mcpi) << apps[i];
+    }
+    EXPECT_EQ(rng_parallel[0].execCpuCycles,
+              serial.aloneRng(5120.0).execCpuCycles);
+    EXPECT_EQ(rng_parallel[1].execCpuCycles,
+              serial.aloneRng(10240.0).execCpuCycles);
+}
+
+TEST(SweepRunner, GridIsSpecMajorInDeterministicOrder)
+{
+    const std::vector<std::string> designs = {"oblivious", "drstrange"};
+    const std::vector<workloads::WorkloadSpec> specs = {
+        dualSpec("mcf"), dualSpec("soplex"), dualSpec("lbm")};
+    const auto cells = sim::SweepRunner::grid(designs, specs);
+    ASSERT_EQ(cells.size(), 6u);
+    EXPECT_EQ(cells[0].design, "oblivious");
+    EXPECT_EQ(cells[0].spec.name, "mcf+rng");
+    EXPECT_EQ(cells[1].design, "drstrange");
+    EXPECT_EQ(cells[1].spec.name, "mcf+rng");
+    EXPECT_EQ(cells[4].design, "oblivious");
+    EXPECT_EQ(cells[4].spec.name, "lbm+rng");
+    EXPECT_FALSE(cells[0].config.has_value());
+}
+
+TEST(SweepRunner, ParallelResultsBitIdenticalToSerialRunner)
+{
+    const std::vector<std::string> designs = {"oblivious", "greedy",
+                                              "drstrange"};
+    const std::vector<workloads::WorkloadSpec> specs = {
+        dualSpec("mcf"), dualSpec("soplex"), dualSpec("lbm"),
+        dualSpec("milc")};
+    const auto cells = sim::SweepRunner::grid(designs, specs);
+
+    sim::SweepRunner sweep(tinyConfig(), /*jobs=*/4);
+    ASSERT_EQ(sweep.jobs(), 4u);
+    const auto results = sweep.run(cells);
+    ASSERT_EQ(results.size(), cells.size());
+
+    sim::Runner serial(tinyConfig());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        ASSERT_TRUE(results[i].ok) << results[i].error;
+        const auto ref = serial.run(cells[i].design, cells[i].spec);
+        EXPECT_EQ(metricTuple(results[i].result), metricTuple(ref))
+            << "cell " << i << " (" << cells[i].design << "/"
+            << cells[i].spec.name << ")";
+        EXPECT_GE(results[i].wallMs, 0.0);
+    }
+}
+
+TEST(SweepRunner, RepeatedParallelRunsAreDeterministic)
+{
+    const auto cells = sim::SweepRunner::grid(
+        {"drstrange"}, {dualSpec("mcf"), dualSpec("soplex")});
+    sim::SweepRunner a(tinyConfig(), 2), b(tinyConfig(), 2);
+    const auto ra = a.run(cells);
+    const auto rb = b.run(cells);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        EXPECT_EQ(metricTuple(ra[i].result), metricTuple(rb[i].result));
+}
+
+TEST(SweepRunner, FailedCellCarriesErrorAndOthersStillRun)
+{
+    std::vector<sim::SweepRunner::Cell> cells =
+        sim::SweepRunner::grid({"drstrange", "no-such-design"},
+                               {dualSpec("mcf")});
+    sim::SweepRunner sweep(tinyConfig(), 2);
+    const auto results = sweep.run(cells);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("unknown design"), std::string::npos)
+        << results[1].error;
+}
+
+TEST(SweepRunner, ExplicitConfigCellOverridesBase)
+{
+    sim::SimulationBuilder b{tinyConfig()};
+    b.bufferEntries(4).seed(7);
+    sim::SweepRunner::Cell cell = b.buildSweepCell(dualSpec("mcf"));
+    ASSERT_TRUE(cell.config.has_value());
+    EXPECT_EQ(cell.config->bufferEntries, 4u);
+    EXPECT_EQ(cell.config->seed, 7u);
+
+    // The sweep's own base config (different seed) must not leak into
+    // the explicit-config cell.
+    sim::SweepRunner sweep(tinyConfig(), 1);
+    const auto results = sweep.run({cell});
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    sim::Runner serial(b.config());
+    const auto ref = serial.run(b.config(), cell.spec);
+    EXPECT_EQ(metricTuple(results[0].result), metricTuple(ref));
+}
+
+TEST(SweepRunner, DefaultJobsHonorsDsJobsEnv)
+{
+#ifndef _WIN32
+    setenv("DS_JOBS", "3", /*overwrite=*/1);
+    EXPECT_EQ(sim::SweepRunner::defaultJobs(), 3u);
+    // Unparseable and zero overrides fall back to >= 1 workers.
+    setenv("DS_JOBS", "banana", 1);
+    EXPECT_GE(sim::SweepRunner::defaultJobs(), 1u);
+    setenv("DS_JOBS", "0", 1);
+    EXPECT_GE(sim::SweepRunner::defaultJobs(), 1u);
+    unsetenv("DS_JOBS");
+#endif
+    EXPECT_GE(sim::SweepRunner::defaultJobs(), 1u);
+}
+
+TEST(SweepRunner, MoreJobsThanCellsIsFine)
+{
+    sim::SweepRunner sweep(tinyConfig(), 16);
+    const auto results =
+        sweep.run(sim::SweepRunner::grid({"drstrange"}, {dualSpec("mcf")}));
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+}
