@@ -116,32 +116,118 @@ cellMetrics(const dstrange::sim::Runner::WorkloadResult &res)
     };
 }
 
+/** Set (or clear the override of) DS_FAST_FORWARD for child systems. */
+void
+setFastForwardEnv(const char *value)
+{
+#ifdef _WIN32
+    _putenv_s("DS_FAST_FORWARD", value);
+#else
+    setenv("DS_FAST_FORWARD", value, /*overwrite=*/1);
+#endif
+}
+
 /**
- * In-process sweep: designs x dual-core mixes through sim::SweepRunner,
- * timing every cell. When more than one worker is in play, a serial
- * reference run (fresh SweepRunner, fresh alone-run cache) measures the
- * true serial-vs-parallel speedup and cross-checks that both runs'
- * metric values are bit-identical. Returns the number of failures
- * (failed cells, each recorded with its error, plus a bit-identity
- * mismatch).
+ * The sweep grid, stratified into workload tiers mirroring the bench
+ * suite: the Figure-6 heavy dual-core mixes at 5 Gb/s, the Section-8.8
+ * low-intensity duals at 640 Mb/s, and a Figure-2-style TRNG
+ * throughput tier (rng-alone cells over both mechanisms). Each cell
+ * carries its tier label for the fast-forward accounting.
+ */
+struct TieredGrid
+{
+    std::vector<dstrange::sim::SweepRunner::Cell> cells;
+    std::vector<std::string> tiers; ///< Tier label per cell.
+    std::vector<std::string> names; ///< Display name per cell.
+};
+
+TieredGrid
+buildSweepGrid(unsigned n_mixes)
+{
+    using dstrange::sim::SweepRunner;
+    TieredGrid grid;
+    const std::vector<std::string> designs = {"oblivious", "greedy",
+                                              "drstrange"};
+
+    auto addDualTier = [&](const std::string &tier, double mbps) {
+        auto mixes = dstrange::workloads::dualCorePlottedMixes(mbps);
+        if (mixes.size() > n_mixes)
+            mixes.resize(n_mixes);
+        for (const auto &mix : mixes) {
+            for (const std::string &d : designs) {
+                SweepRunner::Cell cell;
+                cell.design = d;
+                cell.spec = mix;
+                grid.cells.push_back(std::move(cell));
+                grid.tiers.push_back(tier);
+                grid.names.push_back(tier + "/" + d + "/" + mix.name);
+            }
+        }
+    };
+    addDualTier("dual-5gbps", 5120.0);
+    addDualTier("dual-lowint", 640.0);
+
+    // TRNG-throughput tier: rng-alone cells across both mechanisms and
+    // the Figure-2 intensity ladder (explicit configs, since the
+    // mechanism is not a design-registry knob).
+    for (const char *mech : {"drange", "quac"}) {
+        for (double mbps :
+             {80.0, 160.0, 320.0, 640.0, 1280.0, 2560.0, 5120.0}) {
+            for (const char *d : {"oblivious", "greedy", "drstrange"}) {
+                SweepRunner::Cell cell;
+                dstrange::sim::SimConfig cfg = bench::baseConfig();
+                cfg.mechanism =
+                    *dstrange::trng::TrngMechanism::byName(mech);
+                dstrange::sim::DesignRegistry::instance().apply(d, cfg);
+                cell.config = std::move(cfg);
+                cell.spec.name = std::string(mech) + "-rng" +
+                                 std::to_string(static_cast<int>(mbps));
+                cell.spec.rngThroughputMbps = mbps;
+                grid.names.push_back("trng-sweep/" + std::string(d) +
+                                     "/" + cell.spec.name);
+                grid.cells.push_back(std::move(cell));
+                grid.tiers.push_back("trng-sweep");
+            }
+        }
+    }
+    return grid;
+}
+
+/**
+ * In-process sweep through sim::SweepRunner, timing every cell. The
+ * parallel run (with per-cell stderr progress) measures throughput; a
+ * serial reference run (fresh SweepRunner, fresh alone-run cache)
+ * measures the true serial-vs-parallel speedup; a second serial run
+ * with DS_FAST_FORWARD=0 measures the cycle-skipping engine's
+ * wall-clock win, overall and per tier. All three runs' metric values
+ * must be bit-identical. Returns the number of failures (failed cells,
+ * each recorded with its error, plus a bit-identity mismatch).
  */
 int
 runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
 {
-    const std::vector<std::string> designs = {"oblivious", "greedy",
-                                              "drstrange"};
-    auto mixes = dstrange::workloads::dualCorePlottedMixes(5120.0);
-    if (mixes.size() > n_mixes)
-        mixes.resize(n_mixes);
+    const TieredGrid grid = buildSweepGrid(n_mixes);
+    const auto &cells = grid.cells;
+
+    // The comparison phases control DS_FAST_FORWARD themselves;
+    // remember any inherited override and restore it afterwards.
+    const char *ff_env = std::getenv("DS_FAST_FORWARD");
+    const std::string ff_orig = ff_env ? ff_env : "";
+    setFastForwardEnv("1");
 
     dstrange::sim::SweepRunner runner =
         bench::baseBuilder().buildSweepRunner(jobs);
     sweep.jobs = runner.jobs();
-    const auto cells = dstrange::sim::SweepRunner::grid(designs, mixes);
+    runner.setProgress([](std::size_t done, std::size_t total,
+                          std::size_t cell, double cell_ms) {
+        std::cerr << "[run_all] sweep " << done << "/" << total
+                  << " (cell " << cell << ": "
+                  << bench::num(cell_ms, 1) << " ms)\n";
+    });
 
-    std::cout << "[run_all] sweep: " << designs.size() << " designs x "
-              << mixes.size() << " mixes on " << runner.jobs()
-              << " thread(s) ... " << std::flush;
+    std::cout << "[run_all] sweep: " << cells.size() << " cells in 3 "
+              << "tiers on " << runner.jobs() << " thread(s) ... "
+              << std::flush;
     bench::WallTimer timer;
     const auto results = runner.run(cells);
     sweep.wallMs = timer.elapsedMs();
@@ -149,7 +235,7 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
     int failures = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         bench::SweepCellRecord rec;
-        rec.name = cells[i].design + "/" + cells[i].spec.name;
+        rec.name = grid.names[i];
         rec.wallMs = results[i].wallMs;
         rec.ok = results[i].ok;
         sweep.cellsTotalMs += results[i].wallMs;
@@ -162,37 +248,83 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
         sweep.cells.push_back(std::move(rec));
     }
 
+    // Serial reference (fast-forward on): the parallel-speedup
+    // denominator and the fast-forward-speedup numerator's partner.
+    // With one worker the run above already is that reference.
+    std::vector<dstrange::sim::SweepRunner::CellResult> serial_owned;
     if (sweep.jobs > 1) {
         dstrange::sim::SweepRunner serial =
             bench::baseBuilder().buildSweepRunner(1);
         timer.reset();
-        const auto serial_results = serial.run(cells);
+        serial_owned = serial.run(cells);
         sweep.serialWallMs = timer.elapsedMs();
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            if (results[i].ok != serial_results[i].ok ||
-                (results[i].ok &&
-                 cellMetrics(results[i].result) !=
-                     cellMetrics(serial_results[i].result)))
-                sweep.bitIdentical = false;
-        }
-        if (!sweep.bitIdentical)
-            ++failures;
     } else {
         sweep.serialWallMs = sweep.wallMs;
     }
+    const auto &serial_results = sweep.jobs > 1 ? serial_owned : results;
+
+    // Step-1 reference: the same serial sweep ticking every bus cycle.
+    setFastForwardEnv("0");
+    dstrange::sim::SweepRunner step1 =
+        bench::baseBuilder().buildSweepRunner(1);
+    timer.reset();
+    const auto step1_results = step1.run(cells);
+    sweep.step1WallMs = timer.elapsedMs();
+    if (ff_env)
+        setFastForwardEnv(ff_orig.c_str());
+    else
+        setFastForwardEnv("1");
+
+    // Per-tier fast-forward accounting from the two serial runs.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        bench::FfTierRecord *tier = nullptr;
+        for (auto &t : sweep.ffTiers)
+            if (t.name == grid.tiers[i])
+                tier = &t;
+        if (!tier) {
+            sweep.ffTiers.push_back({grid.tiers[i], 0.0, 0.0});
+            tier = &sweep.ffTiers.back();
+        }
+        tier->step1Ms += step1_results[i].wallMs;
+        tier->ffMs += serial_results[i].wallMs;
+    }
+
+    // Bit-identity across the (up to) three runs.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto check = [&](const auto &other) {
+            if (results[i].ok != other[i].ok ||
+                (results[i].ok &&
+                 cellMetrics(results[i].result) !=
+                     cellMetrics(other[i].result)))
+                sweep.bitIdentical = false;
+        };
+        if (sweep.jobs > 1)
+            check(serial_results);
+        check(step1_results);
+    }
+    if (!sweep.bitIdentical)
+        ++failures;
 
     std::cout << (failures == 0 ? "ok" : "FAIL") << " ("
               << bench::num(sweep.wallMs, 1) << " ms parallel, "
               << bench::num(sweep.serialWallMs, 1) << " ms serial, "
-              << bench::num(sweep.speedup(), 2) << "x speedup, "
+              << bench::num(sweep.speedup(), 2) << "x parallel speedup, "
+              << bench::num(sweep.step1WallMs, 1) << " ms step-1, "
+              << bench::num(sweep.ffSpeedup(), 2) << "x ff speedup, "
               << (sweep.bitIdentical ? "bit-identical" : "MISMATCH")
               << ")\n";
+    for (const bench::FfTierRecord &t : sweep.ffTiers) {
+        std::cout << "[run_all]   tier " << t.name << ": "
+                  << bench::num(t.step1Ms, 1) << " ms step-1 -> "
+                  << bench::num(t.ffMs, 1) << " ms ff ("
+                  << bench::num(t.speedup(), 2) << "x)\n";
+    }
     for (std::size_t i = 0; i < results.size(); ++i)
         if (!results[i].ok)
             std::cerr << "[run_all] sweep cell '" << sweep.cells[i].name
                       << "' failed: " << results[i].error << "\n";
     if (!sweep.bitIdentical)
-        std::cerr << "[run_all] sweep: serial and parallel metric "
+        std::cerr << "[run_all] sweep: serial/parallel/step-1 metric "
                      "values differ — determinism bug\n";
     return failures;
 }

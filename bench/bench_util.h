@@ -171,6 +171,15 @@ struct SweepCellRecord {
     std::vector<std::pair<std::string, double>> metrics;
 };
 
+/** Fast-forward speedup of one workload tier of the sweep grid. */
+struct FfTierRecord {
+    std::string name;       ///< Tier label (e.g. "trng-sweep").
+    double step1Ms = 0.0;   ///< Serial wall, cycle-by-cycle stepping.
+    double ffMs = 0.0;      ///< Serial wall, event-driven fast-forward.
+
+    double speedup() const { return ffMs > 0.0 ? step1Ms / ffMs : 0.0; }
+};
+
 /**
  * Aggregate record of run_all's in-process parallel sweep: the worker
  * count, the parallel sweep's end-to-end wall-clock, a serial
@@ -178,18 +187,32 @@ struct SweepCellRecord {
  * so the comparison is fair), whether the two runs' metric values were
  * bit-identical, and the resulting measured serial-vs-parallel
  * speedup — the perf-trajectory datapoint the roadmap asks for.
+ *
+ * The fast-forward comparison re-runs the sweep serially with
+ * DS_FAST_FORWARD=0 (cycle-by-cycle stepping): step1WallMs vs
+ * serialWallMs is the cycle-skipping engine's wall-clock win, overall
+ * and per workload tier, and its metric values must also be
+ * bit-identical (they feed the same bitIdentical verdict).
  */
 struct SweepRecord {
     unsigned jobs = 1;
     double wallMs = 0.0;       ///< Parallel sweep wall-clock.
     double serialWallMs = 0.0; ///< One-thread reference wall-clock.
+    double step1WallMs = 0.0;  ///< One-thread wall with DS_FAST_FORWARD=0.
     double cellsTotalMs = 0.0; ///< Sum of per-cell wall times.
-    bool bitIdentical = true;  ///< Serial metrics == parallel metrics.
+    bool bitIdentical = true;  ///< Serial == parallel == step-1 metrics.
+    std::vector<FfTierRecord> ffTiers; ///< Per-tier ff speedups.
     std::vector<SweepCellRecord> cells;
 
     double speedup() const
     {
         return wallMs > 0.0 ? serialWallMs / wallMs : 0.0;
+    }
+
+    /** Fast-forward wall-clock speedup on the (serial) sweep phase. */
+    double ffSpeedup() const
+    {
+        return serialWallMs > 0.0 ? step1WallMs / serialWallMs : 0.0;
     }
 };
 
@@ -250,6 +273,21 @@ writeBenchJson(const std::string &harness,
         w.key("cells_total_ms").value(sweep->cellsTotalMs);
         w.key("speedup").value(sweep->speedup());
         w.key("bit_identical").value(sweep->bitIdentical);
+        w.key("fastforward").beginObject();
+        w.key("step1_wall_ms").value(sweep->step1WallMs);
+        w.key("ff_wall_ms").value(sweep->serialWallMs);
+        w.key("speedup").value(sweep->ffSpeedup());
+        w.key("tiers").beginArray();
+        for (const FfTierRecord &tier : sweep->ffTiers) {
+            w.beginObject();
+            w.key("name").value(tier.name);
+            w.key("step1_wall_ms").value(tier.step1Ms);
+            w.key("ff_wall_ms").value(tier.ffMs);
+            w.key("speedup").value(tier.speedup());
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
         w.key("cells").beginArray();
         for (const SweepCellRecord &cell : sweep->cells) {
             w.beginObject();

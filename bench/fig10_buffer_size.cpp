@@ -19,6 +19,27 @@ main()
                   "simple buffering");
 
     const unsigned sizes[] = {0, 1, 4, 16, 64};
+    const auto mixes = workloads::dualCorePlottedMixes(5120.0);
+
+    // One grid over all buffer sizes: every (size, mix) pair is an
+    // explicit-config cell, fanned out through the shared SweepRunner.
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    std::vector<sim::SweepRunner::Cell> cells;
+    for (unsigned entries : sizes) {
+        sim::SimConfig cfg = bench::baseConfig();
+        cfg.bufferEntries = entries;
+        // "No buffer" means the RNG-aware design without buffering.
+        sim::applyDesign(cfg, entries == 0
+                                  ? sim::SystemDesign::RngAwareNoBuffer
+                                  : sim::SystemDesign::DrStrangeNoPred);
+        for (const auto &mix : mixes) {
+            sim::SweepRunner::Cell cell;
+            cell.config = cfg;
+            cell.spec = mix;
+            cells.push_back(std::move(cell));
+        }
+    }
+    const auto results = bench::runCellsOrExit(sweep, cells);
 
     TablePrinter t;
     t.setHeader({"entries", "avg non-RNG slowdown", "avg RNG slowdown",
@@ -28,23 +49,17 @@ main()
     per_app.setHeader(
         {"workload(16)", "non-RNG", "RNG", "serve rate"});
 
-    for (unsigned entries : sizes) {
-        sim::SimConfig cfg = bench::baseConfig();
-        cfg.bufferEntries = entries;
-        sim::Runner runner(cfg);
-
+    for (std::size_t s = 0; s < std::size(sizes); ++s) {
+        const unsigned entries = sizes[s];
         std::vector<double> non_rng, rng, serve;
-        for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-            // "No buffer" means the RNG-aware design without buffering.
-            const sim::SystemDesign design =
-                entries == 0 ? sim::SystemDesign::RngAwareNoBuffer
-                             : sim::SystemDesign::DrStrangeNoPred;
-            const auto res = runner.run(design, mix);
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            const auto &res = results[s * mixes.size() + m].result;
             non_rng.push_back(res.avgNonRngSlowdown());
             rng.push_back(res.rngSlowdown());
             serve.push_back(res.bufferServeRate);
             if (entries == 16) {
-                per_app.addRow({mix.apps[0], bench::num(non_rng.back()),
+                per_app.addRow({mixes[m].apps[0],
+                                bench::num(non_rng.back()),
                                 bench::num(rng.back()),
                                 bench::num(serve.back())});
             }

@@ -27,32 +27,46 @@ main()
                  "RNGsd oblivious", "RNGsd drstr(nonRNG-prio)",
                  "RNGsd drstr(RNG-prio)"});
 
+    // Three explicit-config cells per mix (baseline, non-RNG
+    // prioritized, RNG prioritized), fanned out per core-count group
+    // through the shared SweepRunner.
+    sim::SweepRunner sweep = bench::baseSweepRunner();
     std::vector<double> gm_ws_non, gm_ws_rng;
     for (unsigned cores : {4u, 8u, 16u}) {
         std::vector<double> ws_non, ws_rng, sd_base, sd_non, sd_rng;
         const auto mixes =
             workloads::multiCoreCategoryGroup(cores, 'M', cfg.seed);
+
+        std::vector<sim::SweepRunner::Cell> cells;
         for (const auto &mix : mixes) {
-            sim::Runner base_runner(cfg);
-            const auto base =
-                base_runner.run(sim::SystemDesign::RngOblivious, mix);
+            sim::SimConfig base_cfg = cfg;
+            sim::applyDesign(base_cfg, sim::SystemDesign::RngOblivious);
 
             // Non-RNG applications prioritized (priority 5 vs 0).
             sim::SimConfig non_cfg = cfg;
+            sim::applyDesign(non_cfg, sim::SystemDesign::DrStrange);
             non_cfg.priorities.assign(cores, 5);
             non_cfg.priorities.back() = 0; // the RNG core
-            sim::Runner non_runner(non_cfg);
-            const auto non_prio =
-                non_runner.run(sim::SystemDesign::DrStrange, mix);
 
             // RNG application prioritized.
             sim::SimConfig rng_cfg = cfg;
+            sim::applyDesign(rng_cfg, sim::SystemDesign::DrStrange);
             rng_cfg.priorities.assign(cores, 0);
             rng_cfg.priorities.back() = 5;
-            sim::Runner rng_runner(rng_cfg);
-            const auto rng_prio =
-                rng_runner.run(sim::SystemDesign::DrStrange, mix);
 
+            for (const sim::SimConfig &c : {base_cfg, non_cfg, rng_cfg}) {
+                sim::SweepRunner::Cell cell;
+                cell.config = c;
+                cell.spec = mix;
+                cells.push_back(std::move(cell));
+            }
+        }
+        const auto results = bench::runCellsOrExit(sweep, cells);
+
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            const auto &base = results[m * 3 + 0].result;
+            const auto &non_prio = results[m * 3 + 1].result;
+            const auto &rng_prio = results[m * 3 + 2].result;
             ws_non.push_back(non_prio.weightedSpeedupNonRng /
                              base.weightedSpeedupNonRng);
             ws_rng.push_back(rng_prio.weightedSpeedupNonRng /

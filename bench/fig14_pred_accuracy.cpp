@@ -18,29 +18,32 @@ main()
                   "percentage of correctly predicted idle periods");
 
     sim::SimConfig cfg = bench::baseConfig();
-    sim::Runner runner(cfg);
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const std::vector<std::string> designs = {
+        sim::designKey(sim::SystemDesign::DrStrange),
+        sim::designKey(sim::SystemDesign::DrStrangeRl)};
 
     TablePrinter t;
     t.setHeader({"workload", "DR-STRANGE", "DR-STRANGE+RL"});
     std::vector<double> simple_acc, rl_acc;
 
-    for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        const double s =
-            runner.run(sim::SystemDesign::DrStrange, mix)
-                .predictorAccuracy;
-        const double r =
-            runner.run(sim::SystemDesign::DrStrangeRl, mix)
-                .predictorAccuracy;
+    const auto dual_mixes = workloads::dualCorePlottedMixes(5120.0);
+    const auto dual_results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, dual_mixes));
+    for (std::size_t i = 0; i < dual_mixes.size(); ++i) {
+        const double s = dual_results[i * 2 + 0].result.predictorAccuracy;
+        const double r = dual_results[i * 2 + 1].result.predictorAccuracy;
         simple_acc.push_back(s);
         rl_acc.push_back(r);
-        t.addRow({mix.apps[0], bench::num(s * 100.0, 1),
+        t.addRow({dual_mixes[i].apps[0], bench::num(s * 100.0, 1),
                   bench::num(r * 100.0, 1)});
     }
     t.addRow({"AVG", bench::num(mean(simple_acc) * 100.0, 1),
               bench::num(mean(rl_acc) * 100.0, 1)});
     t.print(std::cout);
 
-    // Right panel: multicore geometric means.
+    // Right panel: multicore geometric means. The reduced-budget cells
+    // carry their configuration explicitly.
     std::cout << "\nMulticore workload groups:\n";
     TablePrinter m;
     m.setHeader({"cores", "DR-STRANGE", "DR-STRANGE+RL"});
@@ -49,20 +52,27 @@ main()
 
     sim::SimConfig mcfg = cfg;
     mcfg.instrBudget = std::min<std::uint64_t>(cfg.instrBudget, 50000);
-    sim::Runner mrunner(mcfg);
     for (unsigned cores : {4u, 8u, 16u}) {
-        std::vector<double> s_acc, r_acc;
+        std::vector<sim::SweepRunner::Cell> cells;
         for (char cat : {'L', 'M', 'H'}) {
             const auto mixes =
                 workloads::multiCoreCategoryGroup(cores, cat, cfg.seed);
             for (unsigned i = 0; i < 3; ++i) { // 3 mixes per category
-                s_acc.push_back(
-                    mrunner.run(sim::SystemDesign::DrStrange, mixes[i])
-                        .predictorAccuracy);
-                r_acc.push_back(
-                    mrunner.run(sim::SystemDesign::DrStrangeRl, mixes[i])
-                        .predictorAccuracy);
+                for (const std::string &d : designs) {
+                    sim::SweepRunner::Cell cell;
+                    sim::SimConfig c = mcfg;
+                    sim::DesignRegistry::instance().apply(d, c);
+                    cell.config = std::move(c);
+                    cell.spec = mixes[i];
+                    cells.push_back(std::move(cell));
+                }
             }
+        }
+        const auto results = bench::runCellsOrExit(sweep, cells);
+        std::vector<double> s_acc, r_acc;
+        for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+            s_acc.push_back(results[i].result.predictorAccuracy);
+            r_acc.push_back(results[i + 1].result.predictorAccuracy);
         }
         m.addRow({std::to_string(cores) + "-core",
                   bench::num(mean(s_acc) * 100.0, 1),

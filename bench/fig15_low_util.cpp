@@ -17,23 +17,26 @@ main()
     bench::banner("Figure 15: low-utilization prediction",
                   "threshold 0 (idle-only fill) vs threshold 4");
 
-    sim::Runner runner(bench::baseConfig());
-    const sim::SystemDesign designs[] = {
-        sim::SystemDesign::RngOblivious,
-        sim::SystemDesign::DrStrangeNoLowUtil,
-        sim::SystemDesign::DrStrange,
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const std::vector<std::string> designs = {
+        sim::designKey(sim::SystemDesign::RngOblivious),
+        sim::designKey(sim::SystemDesign::DrStrangeNoLowUtil),
+        sim::designKey(sim::SystemDesign::DrStrange),
     };
+    const auto mixes = workloads::dualCorePlottedMixes(5120.0);
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     std::vector<double> non_rng[3], rng[3];
     TablePrinter t;
     t.setHeader({"workload", "nonRNG:obliv", "nonRNG:thr0",
                  "nonRNG:thr4", "RNG:obliv", "RNG:thr0", "RNG:thr4"});
 
-    for (const auto &mix : workloads::dualCorePlottedMixes(5120.0)) {
-        std::vector<std::string> row{mix.apps[0]};
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        std::vector<std::string> row{mixes[i].apps[0]};
         double cells[2][3];
         for (unsigned d = 0; d < 3; ++d) {
-            const auto res = runner.run(designs[d], mix);
+            const auto &res = results[i * designs.size() + d].result;
             cells[0][d] = res.avgNonRngSlowdown();
             cells[1][d] = res.rngSlowdown();
             non_rng[d].push_back(cells[0][d]);

@@ -16,12 +16,15 @@ main()
     bench::banner("Figure 17: 10 Gb/s RNG applications",
                   "slowdowns and unfairness at a 10 Gb/s requirement");
 
-    sim::Runner runner(bench::baseConfig());
-    const sim::SystemDesign designs[] = {
-        sim::SystemDesign::RngOblivious,
-        sim::SystemDesign::GreedyIdle,
-        sim::SystemDesign::DrStrange,
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const std::vector<std::string> designs = {
+        sim::designKey(sim::SystemDesign::RngOblivious),
+        sim::designKey(sim::SystemDesign::GreedyIdle),
+        sim::designKey(sim::SystemDesign::DrStrange),
     };
+    const auto mixes = workloads::dualCorePlottedMixes(10240.0);
+    const auto results = bench::runCellsOrExit(
+        sweep, sim::SweepRunner::grid(designs, mixes));
 
     std::vector<double> non_rng[3], rng[3], unf[3];
     TablePrinter t;
@@ -29,11 +32,11 @@ main()
                  "nonRNG:drstr", "RNG:obliv", "RNG:greedy", "RNG:drstr",
                  "unf:obliv", "unf:greedy", "unf:drstr"});
 
-    for (const auto &mix : workloads::dualCorePlottedMixes(10240.0)) {
-        std::vector<std::string> row{mix.apps[0]};
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        std::vector<std::string> row{mixes[i].apps[0]};
         double cells[3][3];
         for (unsigned d = 0; d < 3; ++d) {
-            const auto res = runner.run(designs[d], mix);
+            const auto &res = results[i * designs.size() + d].result;
             cells[0][d] = res.avgNonRngSlowdown();
             cells[1][d] = res.rngSlowdown();
             cells[2][d] = res.unfairnessIndex;

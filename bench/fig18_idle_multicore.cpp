@@ -27,44 +27,56 @@ main()
     t.setHeader({"group", "min", "q1", "median", "q3", "max",
                  "% < gen64"});
 
+    // Grid cells over all groups; the shared runner collects each
+    // run's idle-period distribution into the cell result.
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    sweep.runner().setCollectIdlePeriods(true);
+    sim::SimConfig run_cfg = cfg;
+    sim::applyDesign(run_cfg, sim::SystemDesign::RngOblivious);
+
+    struct Group
+    {
+        unsigned cores;
+        char cat;
+    };
+    std::vector<Group> groups;
+    std::vector<sim::SweepRunner::Cell> cells;
     for (unsigned cores : {4u, 8u, 16u}) {
         for (char cat : {'L', 'M', 'H'}) {
+            groups.push_back({cores, cat});
             auto mixes =
                 workloads::multiCoreCategoryGroup(cores, cat, cfg.seed);
-            std::vector<double> lengths;
-            std::uint64_t below = 0;
             for (unsigned m = 0; m < 4; ++m) { // 4 mixes per group
-                workloads::WorkloadSpec spec = mixes[m];
-                spec.rngThroughputMbps = 0.0; // non-RNG workloads only
-                std::vector<std::unique_ptr<cpu::TraceSource>> traces;
-                for (unsigned i = 0; i < spec.apps.size(); ++i) {
-                    traces.push_back(
-                        std::make_unique<workloads::SyntheticTrace>(
-                            workloads::appByName(spec.apps[i]),
-                            cfg.geometry, i, cfg.seed));
-                }
-                sim::SimConfig run_cfg = cfg;
-                sim::applyDesign(run_cfg, sim::SystemDesign::RngOblivious);
-                sim::System sys(run_cfg, std::move(traces));
-                sys.run();
-                for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
-                    for (std::uint32_t len : sys.mc().idlePeriods(ch)) {
-                        lengths.push_back(len);
-                        below += len < gen64;
-                    }
-                }
+                sim::SweepRunner::Cell cell;
+                cell.config = run_cfg;
+                cell.spec = mixes[m];
+                cell.spec.rngThroughputMbps = 0.0; // non-RNG only
+                cells.push_back(std::move(cell));
             }
-            const BoxSummary box = boxSummary(lengths);
-            t.addRow({std::string(1, cat) + "(" + std::to_string(cores) +
-                          ")",
-                      bench::num(box.min, 0), bench::num(box.q1, 0),
-                      bench::num(box.median, 0), bench::num(box.q3, 0),
-                      bench::num(box.max, 0),
-                      bench::num(lengths.empty() ? 0.0
-                                                 : 100.0 * below /
-                                                       lengths.size(),
-                                 1)});
         }
+    }
+    const auto results = bench::runCellsOrExit(sweep, cells);
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        std::vector<double> lengths;
+        std::uint64_t below = 0;
+        for (unsigned m = 0; m < 4; ++m) {
+            const auto &res = results[g * 4 + m].result;
+            for (std::uint32_t len : res.idlePeriods) {
+                lengths.push_back(len);
+                below += len < gen64;
+            }
+        }
+        const BoxSummary box = boxSummary(lengths);
+        t.addRow({std::string(1, groups[g].cat) + "(" +
+                      std::to_string(groups[g].cores) + ")",
+                  bench::num(box.min, 0), bench::num(box.q1, 0),
+                  bench::num(box.median, 0), bench::num(box.q3, 0),
+                  bench::num(box.max, 0),
+                  bench::num(lengths.empty() ? 0.0
+                                             : 100.0 * below /
+                                                   lengths.size(),
+                             1)});
     }
     t.print(std::cout);
     std::cout << "\n64-bit generation latency: " << gen64

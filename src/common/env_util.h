@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <string_view>
 
 namespace dstrange {
 
@@ -32,6 +33,22 @@ envU64(const char *name, std::uint64_t fallback)
     if (end == nullptr || *end != '\0')
         return fallback;
     return v > 0 ? v : fallback;
+}
+
+/**
+ * Read a boolean flag from the environment. "0", "false", "off" and
+ * "no" (and the empty string) disable; any other value enables; unset
+ * keeps the fallback.
+ */
+inline bool
+envFlag(const char *name, bool fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    const std::string_view v(env);
+    return !(v.empty() || v == "0" || v == "false" || v == "off" ||
+             v == "no");
 }
 
 } // namespace dstrange

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Contiguous FIFO with index-based front consumption. Used for the
+ * simulator's completion/pending lists, which are consumed strictly from
+ * the front while new entries append at the back.
+ */
+
+#ifndef DSTRANGE_COMMON_POP_VECTOR_H
+#define DSTRANGE_COMMON_POP_VECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace dstrange {
+
+/**
+ * A vector-backed FIFO whose pop_front() only advances a head index;
+ * the dead prefix is recycled when the buffer empties or the prefix
+ * outgrows the live part. Unlike std::deque it stores elements
+ * contiguously and never allocates in steady state (after reserve()),
+ * and unlike erase(begin()) consumption it is O(1) per pop.
+ */
+template <typename T>
+class PopVector
+{
+  public:
+    PopVector() = default;
+
+    /** Pre-size the backing store (steady-state allocation freedom). */
+    void reserve(std::size_t n) { store.reserve(n + n / 2); }
+
+    std::size_t size() const { return store.size() - head; }
+    bool empty() const { return head == store.size(); }
+
+    void
+    push_back(const T &value)
+    {
+        compactIfWorthwhile();
+        store.push_back(value);
+    }
+
+    const T &
+    front() const
+    {
+        assert(!empty());
+        return store[head];
+    }
+
+    T &
+    front()
+    {
+        assert(!empty());
+        return store[head];
+    }
+
+    void
+    pop_front()
+    {
+        assert(!empty());
+        ++head;
+        if (head == store.size()) {
+            store.clear();
+            head = 0;
+        }
+    }
+
+    /** Random access from the front (0 == oldest). */
+    const T &operator[](std::size_t i) const
+    {
+        assert(i < size());
+        return store[head + i];
+    }
+    T &operator[](std::size_t i)
+    {
+        assert(i < size());
+        return store[head + i];
+    }
+
+    /** Iteration over the live range (oldest to newest). */
+    auto begin() { return store.begin() + static_cast<std::ptrdiff_t>(head); }
+    auto end() { return store.end(); }
+    auto begin() const
+    {
+        return store.begin() + static_cast<std::ptrdiff_t>(head);
+    }
+    auto end() const { return store.end(); }
+
+    void
+    clear()
+    {
+        store.clear();
+        head = 0;
+    }
+
+  private:
+    void
+    compactIfWorthwhile()
+    {
+        // Recycle the dead prefix before it forces the vector to grow:
+        // once it dominates the live part, shift the live elements down.
+        if (head > 16 && head > store.size() - head) {
+            store.erase(store.begin(),
+                        store.begin() + static_cast<std::ptrdiff_t>(head));
+            head = 0;
+        }
+    }
+
+    std::vector<T> store;
+    std::size_t head = 0;
+};
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_POP_VECTOR_H

@@ -25,6 +25,14 @@ using CoreId = std::uint32_t;
 /** Number of CPU cycles that elapse per DRAM bus cycle (4 GHz / 800 MHz). */
 inline constexpr unsigned kCpuCyclesPerBusCycle = 5;
 
+/**
+ * Event-horizon sentinel: "this component schedules no future event on
+ * its own". Used by the cycle-skipping fast-forward machinery; a
+ * component returning kNoEvent changes state only in reaction to other
+ * components' events (e.g. a stalled core waiting for a completion).
+ */
+inline constexpr Cycle kNoEvent = ~Cycle{0};
+
 /** DRAM bus frequency in Hz (DDR3-1600: 800 MHz bus clock). */
 inline constexpr double kBusFreqHz = 800e6;
 

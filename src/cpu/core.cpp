@@ -9,6 +9,7 @@ Core::Core(CoreId id, const Config &config, TraceSource &trace_source,
            mem::MemoryController &mem_ctrl)
     : coreId(id), cfg(config), trace(trace_source), mc(mem_ctrl)
 {
+    memOps.reserve(cfg.windowSize);
     fetchNextOp();
 }
 
@@ -26,6 +27,131 @@ Core::tickBusCycle(Cycle bus_cycle)
     currentBusCycle = bus_cycle;
     for (unsigned i = 0; i < kCpuCyclesPerBusCycle; ++i)
         cpuTick();
+}
+
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    // Instructions the pipeline moves per bus cycle at full rate.
+    const std::uint64_t per_bus =
+        static_cast<std::uint64_t>(cfg.issueWidth) * kCpuCyclesPerBusCycle;
+
+    // The oldest incomplete memory operation bounds retirement.
+    const PendingMemOp *blocker = nullptr;
+    for (const PendingMemOp &op : memOps) {
+        if (!op.done) {
+            blocker = &op;
+            break;
+        }
+    }
+
+    if (blocker != nullptr && blocker->instrIdx == retiredIdx) {
+        // Fully head-blocked. The frontend must also be unable to act:
+        // blocked on an RNG value, or out of window space. Anything
+        // else (compute issue, a memory operation to enqueue) does
+        // per-cycle work we cannot predict.
+        if (!rngBlocked && issuedIdx - retiredIdx < cfg.windowSize)
+            return now;
+        // A completed front op pending its drop resolves in one tick.
+        if (memOps.front().done && memOps.front().instrIdx < retiredIdx)
+            return now;
+        return kNoEvent; // Only a completion can unblock this core.
+    }
+
+    // Retirement has room: it advances at full rate toward the blocker
+    // (or the issue point), a linear evolution we can batch. The bus
+    // cycle where it arrives — or where the compute stream or the
+    // instruction budget runs out, or the finished/stall bookkeeping
+    // changes — is the event.
+    Cycle ev = kNoEvent;
+
+    if (blocker != nullptr) {
+        // Full-rate retirement needs at least per_bus headroom through
+        // every skipped cycle.
+        const std::uint64_t room = blocker->instrIdx - retiredIdx;
+        if (room < per_bus)
+            return now;
+        ev = std::min(ev, now + room / per_bus);
+        if (!rngBlocked) {
+            // The frontend issues compute alongside (retirement keeps
+            // feeding window space at the same rate).
+            if (computeLeft < per_bus)
+                return now; // A memory op (or fetch) issues this cycle.
+            ev = std::min(ev, now + computeLeft / per_bus);
+        }
+    } else {
+        // No incomplete operation: pure compute burst. Completed ops
+        // behind the retirement point (if any) drop within the tick;
+        // require the window gap that makes both stages run at exactly
+        // full rate.
+        if (rngBlocked || computeLeft < per_bus ||
+            issuedIdx - retiredIdx < cfg.issueWidth)
+            return now;
+        if (!memOps.empty())
+            return now; // All-done ops drain in a few normal ticks.
+        ev = std::min(ev, now + computeLeft / per_bus);
+    }
+
+    if (!statistics.finished) {
+        // The budget-crossing CPU cycle sets finished/finishCycle; the
+        // bus cycle containing it must tick normally, so the span must
+        // keep retirement strictly below the budget.
+        const std::uint64_t to_budget = cfg.instrBudget - retiredIdx;
+        if (to_budget <= per_bus)
+            return now;
+        ev = std::min(ev, now + (to_budget - 1) / per_bus);
+    }
+    return ev;
+}
+
+void
+Core::fastForward(Cycle from, Cycle to)
+{
+    assert(to > from);
+    assert(nextEventCycle(from) >= to);
+    const CpuCycle span =
+        static_cast<CpuCycle>(to - from) * kCpuCyclesPerBusCycle;
+    cpuCycles += span;
+    currentBusCycle = to - 1;
+
+    const PendingMemOp *blocker = nullptr;
+    for (const PendingMemOp &op : memOps) {
+        if (!op.done) {
+            blocker = &op;
+            break;
+        }
+    }
+
+    if (blocker != nullptr && blocker->instrIdx == retiredIdx) {
+        // Head-blocked stall: every skipped CPU cycle counts a memory
+        // stall (and an RNG stall when the blocking op is one).
+        if (!statistics.finished) {
+            statistics.memStallCycles += span;
+            if (blocker->isRng)
+                statistics.rngStallCycles += span;
+        }
+        return;
+    }
+
+    // Linear advance (see nextEventCycle): retirement — and, unless
+    // RNG-blocked, compute issue — at exactly issueWidth per CPU cycle.
+    const std::uint64_t instrs =
+        static_cast<std::uint64_t>(cfg.issueWidth) * span;
+    retiredIdx += instrs;
+    if (!rngBlocked) {
+        // The frontend advanced alongside (the horizon guaranteed the
+        // compute stream covers the span).
+        issuedIdx += instrs;
+        computeLeft -= instrs;
+    }
+    // Completed operations the retirement point passed drop exactly as
+    // the per-cycle ticks would have dropped them.
+    while (!memOps.empty() && memOps.front().done &&
+           memOps.front().instrIdx < retiredIdx) {
+        memOps.pop_front();
+    }
+    if (!statistics.finished)
+        statistics.instrRetired = std::min(retiredIdx, cfg.instrBudget);
 }
 
 void

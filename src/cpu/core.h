@@ -9,9 +9,9 @@
 #ifndef DSTRANGE_CPU_CORE_H
 #define DSTRANGE_CPU_CORE_H
 
-#include <deque>
 #include <string>
 
+#include "common/pop_vector.h"
 #include "common/types.h"
 #include "cpu/trace_source.h"
 #include "mem/memory_controller.h"
@@ -75,6 +75,25 @@ class Core
     /** Advance one DRAM bus cycle (= kCpuCyclesPerBusCycle CPU cycles). */
     void tickBusCycle(Cycle bus_cycle);
 
+    /**
+     * Earliest bus cycle >= @p now at which tickBusCycle() does anything
+     * beyond the batchable stall accounting. Returns @p now unless the
+     * core is fully stalled — retirement blocked at the window head by
+     * an incomplete memory operation AND the frontend unable to issue
+     * (blocked on an outstanding RNG value, or window full) — in which
+     * case it returns kNoEvent: only a completion delivered by the
+     * memory controller (one of *its* events) can unblock it.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Batch-apply the per-cycle stall accounting for bus cycles
+     * [@p from, @p to). Bit-identical to ticking each cycle.
+     * @pre nextEventCycle(from) == kNoEvent and no completion arrives
+     *      inside the span
+     */
+    void fastForward(Cycle from, Cycle to);
+
     /** Completion callback for reads and RNG requests. */
     void onCompletion(std::uint64_t token);
 
@@ -102,7 +121,7 @@ class Core
 
     std::uint64_t issuedIdx = 0;
     std::uint64_t retiredIdx = 0;
-    std::deque<PendingMemOp> memOps;
+    PopVector<PendingMemOp> memOps;
 
     /**
      * Token of an outstanding RNG request that blocks further issue.

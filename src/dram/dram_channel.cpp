@@ -58,6 +58,37 @@ DramChannel::canIssue(DramCmd cmd, unsigned bankIdx, Cycle now) const
 }
 
 Cycle
+DramChannel::earliestIssueCycle(DramCmd cmd, unsigned bankIdx) const
+{
+    assert(bankIdx < banks.size());
+    const Bank &b = banks[bankIdx];
+    Cycle earliest = std::max(cmdBusFreeAt, b.earliestIssue(cmd));
+    switch (cmd) {
+      case DramCmd::Act:
+        if (anyActIssued)
+            earliest = std::max(earliest, lastActAt + t.tRRD);
+        if (actWindowCount == actWindow.size())
+            earliest = std::max(earliest, actWindow[actWindowPos] + t.tFAW);
+        break;
+      case DramCmd::Rd:
+        earliest = std::max(earliest, nextRdAt);
+        // canIssue: now + tCL >= dataBusFreeAt.
+        if (dataBusFreeAt > t.tCL)
+            earliest = std::max(earliest, dataBusFreeAt - t.tCL);
+        break;
+      case DramCmd::Wr:
+        earliest = std::max(earliest, nextWrAt);
+        if (dataBusFreeAt > t.tCWL)
+            earliest = std::max(earliest, dataBusFreeAt - t.tCWL);
+        break;
+      case DramCmd::Pre:
+      case DramCmd::Ref:
+        break;
+    }
+    return earliest;
+}
+
+Cycle
 DramChannel::issue(DramCmd cmd, unsigned bankIdx, Cycle now, std::int64_t row)
 {
     assert(canIssue(cmd, bankIdx, now));
@@ -200,6 +231,65 @@ DramChannel::occupyForRng(Cycle until)
     cmdBusFreeAt = std::max(cmdBusFreeAt, until);
     dataBusFreeAt = std::max(dataBusFreeAt, until);
     lastActivityAt = std::max(lastActivityAt, until);
+}
+
+Cycle
+DramChannel::nextEventCycle(Cycle now, bool engine_active) const
+{
+    Cycle ev = kNoEvent;
+
+    // Refresh machinery. While the rank is inside tRFC nothing happens
+    // until refreshDoneAt; while a refresh is being staged the channel
+    // does per-cycle work (unless the TRNG engine holds the channel, in
+    // which case tickRefresh() early-returns on the engine-maintained
+    // command-bus fence and staging resumes at the engine's next event);
+    // otherwise the next edge is nextRefreshAt (the staging flag flips
+    // there, changing refreshBusy()).
+    if (now < refreshDoneAt) {
+        ev = std::min(ev, refreshDoneAt);
+    } else if (stagingRefresh) {
+        if (!engine_active)
+            return now;
+    } else {
+        ev = std::min(ev, nextRefreshAt);
+    }
+
+    if (!engine_active) {
+        // An expiring RNG-mode fence changes sampleState()'s residency
+        // branch and unblocks refresh staging and regular issue.
+        if (rngBusyUntil > now)
+            ev = std::min(ev, rngBusyUntil);
+
+        // Precharge power-down entry happens inside sampleState() at a
+        // computable cycle. The candidate may be invalidated by
+        // intervening events (refresh, commands); that only re-derives
+        // a later candidate, never skips the entry.
+        if (pdThreshold > 0 && !pd && nOpenBanks == 0 &&
+            !refreshBusy(now)) {
+            const Cycle entry = std::max(
+                {cmdBusFreeAt, rngBusyUntil, lastActivityAt + pdThreshold});
+            ev = std::min(ev, std::max(entry, now));
+        }
+    }
+    return ev;
+}
+
+void
+DramChannel::fastForwardState(Cycle from, Cycle to)
+{
+    assert(to > from);
+    const Cycle span = to - from;
+    // The branch sampleState() takes is constant over the span: the
+    // caller stops at every refresh edge, RNG-fence expiry, power-down
+    // entry, and command issue. An active TRNG engine keeps
+    // rngBusyUntil at least one cycle ahead throughout, so evaluating
+    // the branch at `from` is exact.
+    if (from < rngBusyUntil || from < refreshDoneAt || nOpenBanks > 0)
+        counters.cyclesActive += span;
+    else if (pd)
+        counters.cyclesPoweredDown += span;
+    else
+        counters.cyclesPrecharged += span;
 }
 
 void

@@ -60,6 +60,17 @@ class DramChannel
     bool canIssue(DramCmd cmd, unsigned bankIdx, Cycle now) const;
 
     /**
+     * Earliest cycle at which @p cmd could legally issue to @p bankIdx
+     * considering the bank, rank, command-bus and data-bus timing
+     * fences — but NOT refresh, RNG-mode, or power-down state (the
+     * fast-forward horizon tracks those as separate events). With no
+     * intervening command, canIssue(cmd, bankIdx, t) is false for every
+     * t below the returned cycle. Requires the bank open/closed state
+     * to match the command (e.g. ACT on a closed bank).
+     */
+    Cycle earliestIssueCycle(DramCmd cmd, unsigned bankIdx) const;
+
+    /**
      * Issue a command.
      * @pre canIssue(cmd, bankIdx, now)
      * @return for RD/WR the cycle the data burst completes on the bus;
@@ -92,6 +103,30 @@ class DramChannel
 
     /** Accumulate state residency for this cycle; call once per cycle. */
     void sampleState(Cycle now);
+
+    /**
+     * Earliest cycle >= @p now at which per-cycle housekeeping
+     * (tickRefresh/sampleState) does anything beyond incrementing the
+     * state-residency counter selected by the current state: a refresh
+     * edge, the end of a tRFC window, the expiry of an RNG-mode fence,
+     * or a power-down entry. Returns @p now while a refresh is actively
+     * being staged (unless @p engine_active fences the channel, in which
+     * case staging is parked until the engine releases it) — staging
+     * issues precharges on a per-cycle cadence that cannot be skipped.
+     *
+     * The caller must not skip past the returned cycle; skipping less is
+     * always safe.
+     */
+    Cycle nextEventCycle(Cycle now, bool engine_active) const;
+
+    /**
+     * Batch-apply sampleState() for bus cycles [@p from, @p to). The
+     * state-residency branch must be constant over the span, which the
+     * caller guarantees by bounding the span with nextEventCycle().
+     * RNG-mode occupancy extensions are applied separately by
+     * trng::RngEngine::fastForward().
+     */
+    void fastForwardState(Cycle from, Cycle to);
 
     const ChannelEnergyCounters &energyCounters() const { return counters; }
 

@@ -10,6 +10,7 @@
 #ifndef DSTRANGE_MEM_BLISS_H
 #define DSTRANGE_MEM_BLISS_H
 
+#include <algorithm>
 #include <vector>
 
 #include "mem/scheduler.h"
@@ -34,6 +35,12 @@ class BlissScheduler : public Scheduler
     int pick(const SchedContext &ctx) override;
     void onColumnIssued(const Request &req, unsigned channel_id) override;
     void tick(Cycle now) override;
+
+    /** tick() only acts when the clearing interval expires. */
+    Cycle nextEventCycle(Cycle now) const override
+    {
+        return std::max(now, nextClearAt);
+    }
 
     bool isBlacklisted(CoreId core) const { return blacklist[core]; }
 

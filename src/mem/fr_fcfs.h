@@ -32,6 +32,13 @@ class FrFcfsScheduler : public Scheduler
     int pick(const SchedContext &ctx) override;
     void onColumnIssued(const Request &req, unsigned channel_id) override;
 
+    /** FR-FCFS has no per-cycle housekeeping; never blocks skipping. */
+    Cycle nextEventCycle(Cycle now) const override
+    {
+        (void)now;
+        return kNoEvent;
+    }
+
   private:
     struct BankStreak
     {

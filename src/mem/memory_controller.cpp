@@ -48,6 +48,10 @@ MemoryController::MemoryController(const McConfig &config,
         ChannelState &cs = perChan[ch];
         cs.readQ = std::make_unique<RequestQueue>(cfg.readQueueCap);
         cs.writeQ = std::make_unique<RequestQueue>(cfg.writeQueueCap);
+        // Completion lists never outgrow the queues feeding them by
+        // much; pre-sizing keeps the per-cycle loop allocation-free.
+        cs.inflightReads.reserve(cfg.readQueueCap + 8);
+        cs.inflightDone.reserve(cfg.readQueueCap + 8);
         if (cfg.fill == FillMode::Engine) {
             strange::PredictorContext pctx;
             pctx.channel = ch;
@@ -77,6 +81,10 @@ MemoryController::MemoryController(const McConfig &config,
         buf = std::make_unique<strange::BufferSet>(cfg.bufferEntries,
                                                    cfg.bufferPartitions);
     }
+
+    pendingBufferServes.reserve(4 * static_cast<std::size_t>(num_cores));
+    pendingBufferServeDone.reserve(
+        4 * static_cast<std::size_t>(num_cores));
 }
 
 void
@@ -477,11 +485,10 @@ MemoryController::tick(Cycle now)
     choiceNow.assign(chans.size(), QueueChoice::None);
     for (unsigned ch = 0; ch < chans.size(); ++ch) {
         if (!cfg.rngAwareQueueing) {
-            // RNG-oblivious: pending RNG work preempts every channel.
-            choiceNow[ch] = !rngJobs.empty() ? QueueChoice::Rng
-                            : !perChan[ch].readQ->empty()
-                                ? QueueChoice::Regular
-                                : QueueChoice::None;
+            // RNG-oblivious: pending RNG work preempts every channel
+            // (the same pure arbitration the fast-forward horizon
+            // previews).
+            choiceNow[ch] = peekChoice(ch);
         } else {
             choiceNow[ch] =
                 rngPolicy->choose(ch, *perChan[ch].readQ, rngJobs);
@@ -491,6 +498,402 @@ MemoryController::tick(Cycle now)
         manageEngine(ch, now);
     for (unsigned ch = 0; ch < chans.size(); ++ch)
         serveChannel(ch, now);
+}
+
+QueueChoice
+MemoryController::peekChoice(unsigned ch) const
+{
+    if (!cfg.rngAwareQueueing) {
+        return !rngJobs.empty()          ? QueueChoice::Rng
+               : !perChan[ch].readQ->empty() ? QueueChoice::Regular
+                                             : QueueChoice::None;
+    }
+    return rngPolicy->peek(ch, *perChan[ch].readQ, rngJobs);
+}
+
+Cycle
+MemoryController::manageEngineEventCycle(unsigned ch, Cycle now,
+                                         QueueChoice choice) const
+{
+    const ChannelState &cs = perChan[ch];
+    const trng::RngEngine &eng = *engines[ch];
+    const dram::DramChannel &chan = *chans[ch];
+    const unsigned occ = occupancy(cs);
+    const bool want_demand =
+        !rngJobs.empty() && choice == QueueChoice::Rng;
+    const bool fill_capable =
+        cfg.fill == FillMode::Engine && buf && !buf->full();
+
+    if (eng.idle()) {
+        if (cs.lowUtilSession || cs.demandSession)
+            return now; // The session flags are cleared this cycle.
+        if (chan.refreshBusy(now))
+            return kNoEvent; // Blocked; refresh edges are channel events.
+        if (want_demand)
+            return now; // A demand session starts this cycle.
+        if (!fill_capable || fillSessionActive())
+            return kNoEvent;
+        if (occ == 0 && cs.idleActive) {
+            if (!cs.predictionCached)
+                return now; // predictLong() scores a prediction.
+            return cs.predictedLong ? now : kNoEvent;
+        }
+        // Low-utilization territory: the trigger mutates its rate
+        // limiter whenever it fires; its earliest firing cycle is the
+        // rate limiter itself (every other condition is static over a
+        // quiescent span).
+        if (cfg.lowUtilThreshold > 0 && occ < cfg.lowUtilThreshold) {
+            if (buf->levelBits() >= 0.5 * buf->capacityBits())
+                return kNoEvent;
+            return std::max(now, cs.lowUtilNextAllowed);
+        }
+        return kNoEvent;
+    }
+
+    const bool continue_fill = fill_capable && occ == 0;
+    if (want_demand || continue_fill) {
+        if (!eng.windNone())
+            return now; // cancelStop() clears the pending wind.
+        if (eng.parked())
+            return now; // resume()/requestStop() this cycle.
+        if (want_demand && !cs.demandSession)
+            return now;
+        return kNoEvent;
+    }
+    if (cfg.enableFillAbort && eng.switchingIn() && !cs.lowUtilSession &&
+        !cs.demandSession)
+        return now; // abortSwitchIn() fires this cycle.
+    if (cfg.rngAwareQueueing && cfg.enableParking && cs.demandSession &&
+        occ == 0 && !chan.refreshBusy(now)) {
+        // requestPark() is a no-op only when already requested.
+        return eng.parkRequested() ? kNoEvent : now;
+    }
+    return eng.stopRequested() ? kNoEvent : now; // requestStop() likewise.
+}
+
+Cycle
+MemoryController::nextIssueCycle(const RequestQueue &queue, unsigned ch,
+                                 Cycle now) const
+{
+    // Work-conserving schedulers issue on the first cycle any request's
+    // next command is legal; with nothing issuable before that, queue
+    // and bank state are static and pick() stays kNoPick.
+    const dram::DramChannel &chan = *chans[ch];
+    Cycle earliest = kNoEvent;
+    for (const Request &req : queue.all()) {
+        const dram::DramCmd cmd = nextCommandFor(req, chan);
+        earliest = std::min(
+            earliest, chan.earliestIssueCycle(cmd, req.coord.bank));
+        if (earliest <= now)
+            return now;
+    }
+    return earliest;
+}
+
+Cycle
+MemoryController::serveChannelEventCycle(unsigned ch, Cycle now,
+                                         QueueChoice choice) const
+{
+    const ChannelState &cs = perChan[ch];
+    const dram::DramChannel &chan = *chans[ch];
+
+    // serveChannel() early-outs before touching any state; the engine,
+    // refresh, and RNG-fence edges are tracked as their own events.
+    if (engines[ch]->active() || chan.refreshBusy(now) ||
+        chan.rngBusy(now)) {
+        return kNoEvent;
+    }
+    if (chan.poweredDown()) {
+        return cs.readQ->empty() && cs.writeQ->empty() ? kNoEvent
+                                                       : now; // Wakes.
+    }
+
+    const bool reads_waiting = !cs.readQ->empty();
+    if (!cs.writeDraining &&
+        (cs.writeQ->size() >= cfg.writeDrainHigh ||
+         (!reads_waiting && !cs.writeQ->empty())))
+        return now; // Write drain starts this cycle.
+    if (cs.writeDraining &&
+        (cs.writeQ->empty() ||
+         (cs.writeQ->size() <= cfg.writeDrainLow && reads_waiting)))
+        return now; // Write drain stops this cycle.
+    if (cs.writeDraining)
+        return nextIssueCycle(*cs.writeQ, ch, now);
+    if (!reads_waiting)
+        return kNoEvent;
+    // Reads wait while the RNG queue owns the channel.
+    if (!rngJobs.empty() && choice == QueueChoice::Rng)
+        return kNoEvent;
+    return nextIssueCycle(*cs.readQ, ch, now);
+}
+
+Cycle
+MemoryController::greedyNextEventCycle(Cycle now) const
+{
+    Cycle ev = kNoEvent;
+    bool selected = false;
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        const ChannelState &cs = perChan[ch];
+        const bool eligible = occupancy(cs) == 0 && engines[ch]->idle() &&
+                              !chans[ch]->refreshBusy(now);
+        if (!eligible) {
+            if (cs.greedyIdleCredit != 0)
+                return now; // The credit resets this cycle.
+        } else if (!selected) {
+            selected = true;
+            if (!buf->full()) {
+                // Credit at the tick of cycle T is credit + (T - now) + 1;
+                // a deposit fires when it reaches periodThreshold plus a
+                // multiple of the fill round latency.
+                const Cycle thr = cfg.periodThreshold;
+                const Cycle rl = fillMech.roundLatency;
+                const Cycle c1 = cs.greedyIdleCredit + 1;
+                Cycle v = thr;
+                if (c1 >= thr) {
+                    const Cycle rem = (c1 - thr) % rl;
+                    v = rem == 0 ? c1 : c1 + (rl - rem);
+                }
+                ev = std::min(ev, now + (v - c1));
+            }
+        }
+        // Non-selected eligible channels keep their credit paused.
+    }
+    return ev;
+}
+
+void
+MemoryController::collectProducers(Cycle now) const
+{
+    (void)now;
+    producerScratch.clear();
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        const trng::RngEngine &eng = *engines[ch];
+        // A generating engine with no pending stop/park (and, per the
+        // stability checks, no management change coming) completes a
+        // round every roundLatency cycles; a switching-in engine's
+        // first round lands one switch phase later. A stopping engine
+        // completes exactly one more round before switching out.
+        const bool periodic =
+            (eng.inRound() || eng.switchingIn()) && eng.windNone();
+        const bool stopping = eng.inRound() && eng.stopRequested();
+        if (!periodic && !stopping)
+            continue;
+        const trng::TrngMechanism &m = eng.mechanism();
+        Producer p;
+        p.period = m.roundLatency;
+        p.bits = m.bitsPerRound;
+        p.ch = ch;
+        p.oneShot = stopping;
+        const Cycle end = eng.phaseEndCycle();
+        p.next = (eng.switchingIn() ? end + m.roundLatency : end) - 1;
+        producerScratch.push_back(p);
+    }
+}
+
+Cycle
+MemoryController::productionEventCycle(Cycle now, Cycle bound) const
+{
+    (void)now;
+    if (producerScratch.empty())
+        return kNoEvent;
+
+    const bool jobs = !rngJobs.empty();
+    // Front-job fill level, replicating routeBits's exact arithmetic.
+    double collected = jobs ? rngJobs.front().bitsCollected : 0.0;
+    // Without jobs, round bits deposit into the buffer; the deposit
+    // that fills it flips fill_capable and is therefore an event. The
+    // spare tracking here subtracts whole rounds (the buffer's own
+    // partition arithmetic may differ in the last ulps), so trigger one
+    // round early and let normal ticks handle the exact crossing.
+    double spare = 0.0;
+    if (!jobs) {
+        if (!buf)
+            return kNoEvent; // Staging absorbs everything (pure).
+        spare = buf->capacityBits() - buf->levelBits();
+    }
+
+    for (unsigned step = 0; step < kMaxProductionSteps; ++step) {
+        std::size_t best = producerScratch.size();
+        for (std::size_t i = 0; i < producerScratch.size(); ++i) {
+            if (best == producerScratch.size() ||
+                producerScratch[i].next < producerScratch[best].next)
+                best = i;
+        }
+        Producer &p = producerScratch[best];
+        if (p.next >= bound)
+            return kNoEvent;
+        if (jobs) {
+            const double need = 64.0 - collected;
+            const double take = std::min(need, p.bits);
+            if (collected + take >= 64.0)
+                return p.next; // The front job completes here.
+            collected += take;
+        } else {
+            if (2.0 * p.bits >= spare)
+                return p.next; // At (or one round before) buffer-full.
+            spare -= p.bits;
+        }
+        p.next = p.oneShot ? kNoEvent : p.next + p.period;
+    }
+    // Too many rounds to prove quiescence further: checkpoint here and
+    // re-derive (the skip up to this point is already large).
+    Cycle checkpoint = kNoEvent;
+    for (const Producer &p : producerScratch)
+        checkpoint = std::min(checkpoint, p.next);
+    return checkpoint;
+}
+
+Cycle
+MemoryController::nextEventCycle(Cycle now) const
+{
+    // Intra-queue scheduler housekeeping (BLISS clearing interval; a
+    // custom scheduler without a nextEventCycle() override reports
+    // per-cycle work and disables skipping).
+    Cycle ev = readSched->nextEventCycle(now);
+    if (ev <= now)
+        return now;
+
+    // Completion deliveries.
+    for (const ChannelState &cs : perChan)
+        if (!cs.inflightDone.empty())
+            ev = std::min(ev, cs.inflightDone.front());
+    if (!pendingBufferServeDone.empty())
+        ev = std::min(ev, pendingBufferServeDone.front());
+    if (ev <= now)
+        return now;
+
+    bool producing = false;
+    bool regular_prio = false;
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        const trng::RngEngine &eng = *engines[ch];
+        ev = std::min(ev, chans[ch]->nextEventCycle(now, eng.active()));
+        QueueChoice choice;
+        if (cfg.rngAwareQueueing) {
+            // One queue scan yields the choice, the stall-limit flip
+            // event, and the counter-direction flag together.
+            const RngAwarePolicy::Arbitration arb =
+                rngPolicy->arbitration(ch, *perChan[ch].readQ, rngJobs,
+                                       now);
+            choice = arb.choice;
+            ev = std::min(ev, arb.flipAt);
+            regular_prio = regular_prio || arb.regularPrioritized;
+        } else {
+            choice = peekChoice(ch);
+        }
+        ev = std::min(ev, manageEngineEventCycle(ch, now, choice));
+        ev = std::min(ev, serveChannelEventCycle(ch, now, choice));
+        if (ev <= now)
+            return now;
+        // Steadily-generating engines advance through whole rounds
+        // inside a span, and a stopping engine through its final round
+        // (their completions are batched; the switch-out end is the
+        // bounding event). Any other engine phase boundary ends the
+        // span.
+        if ((eng.inRound() || eng.switchingIn()) && eng.windNone()) {
+            producing = true;
+        } else if (eng.inRound() && eng.stopRequested()) {
+            producing = true;
+            ev = std::min(ev, eng.phaseEndCycle() +
+                                  eng.mechanism().switchOutLatency - 1);
+        } else {
+            ev = std::min(ev, eng.nextEventCycle(now));
+        }
+        if (ev <= now)
+            return now;
+    }
+
+    if (producing) {
+        collectProducers(now);
+        if (regular_prio) {
+            // Every round completion resets the RNG stall counter;
+            // while regular traffic is prioritized that counter is
+            // live, so the span must stop at the first completion.
+            for (const Producer &p : producerScratch)
+                ev = std::min(ev, p.next);
+        }
+        ev = std::min(ev, productionEventCycle(now, ev));
+        if (ev <= now)
+            return now;
+    }
+
+    if (cfg.fill == FillMode::GreedyOracle && buf)
+        ev = std::min(ev, greedyNextEventCycle(now));
+
+    return ev;
+}
+
+void
+MemoryController::fastForward(Cycle from, Cycle to)
+{
+    assert(to > from);
+    const Cycle span = to - from;
+    for (unsigned ch = 0; ch < chans.size(); ++ch) {
+        // Residency sampling happens before the engine tick each cycle,
+        // so batch it first (the engine extends the fences afterwards).
+        chans[ch]->fastForwardState(from, to);
+        engines[ch]->fastForward(from, to);
+        if (cfg.rngAwareQueueing) {
+            rngPolicy->fastForward(ch, *perChan[ch].readQ, rngJobs, span);
+        }
+    }
+
+    // Replay the span's engine phase completions in exact per-cycle
+    // order (time, then channel index — the tick loop's order), routing
+    // each completed round's bits through the normal path. The horizon
+    // guarantees none of these completes the front job or fills the
+    // buffer.
+    collectProducers(from);
+    if (!producerScratch.empty()) {
+        // Switching-in engines also complete their (bit-less) switch
+        // phase inside the span; start their stream at that transition.
+        for (Producer &p : producerScratch) {
+            if (engines[p.ch]->switchingIn())
+                p.next = engines[p.ch]->phaseEndCycle() - 1;
+        }
+        for (;;) {
+            std::size_t best = producerScratch.size();
+            for (std::size_t i = 0; i < producerScratch.size(); ++i) {
+                if (producerScratch[i].next < to &&
+                    (best == producerScratch.size() ||
+                     producerScratch[i].next < producerScratch[best].next))
+                    best = i;
+            }
+            if (best == producerScratch.size())
+                break;
+            Producer &p = producerScratch[best];
+            trng::RngEngine &eng = *engines[p.ch];
+            const bool round_end = eng.inRound();
+            if (p.oneShot)
+                eng.fastForwardFinalRound();
+            else
+                eng.fastForwardPhases(1);
+            if (round_end) {
+#ifndef NDEBUG
+                const std::size_t jobs_before = rngJobs.size();
+#endif
+                routeBits(p.bits, p.next);
+                assert(rngJobs.size() == jobs_before &&
+                       "fast-forwarded round must not complete a job");
+                if (rngPolicy)
+                    rngPolicy->noteServed(p.ch, QueueChoice::Rng);
+            }
+            p.next = p.oneShot ? kNoEvent : p.next + p.period;
+        }
+    }
+
+    if (cfg.fill == FillMode::GreedyOracle && buf) {
+        for (unsigned ch = 0; ch < chans.size(); ++ch) {
+            ChannelState &cs = perChan[ch];
+            const bool eligible = occupancy(cs) == 0 &&
+                                  engines[ch]->idle() &&
+                                  !chans[ch]->refreshBusy(from);
+            if (eligible) {
+                // Only the selected (first eligible) channel accrues.
+                cs.greedyIdleCredit += span;
+                break;
+            }
+        }
+    }
 }
 
 std::optional<strange::PredictorStats>

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/pop_vector.h"
 #include "dram/address_mapper.h"
 #include "dram/dram_channel.h"
 #include "dram/dram_timings.h"
@@ -166,11 +167,37 @@ class MemoryController
     /** Advance the whole memory system by one bus cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle >= @p now at which tick() could do anything beyond
+     * the batchable per-cycle bookkeeping (state-residency sampling,
+     * engine cycle counting, stall-counter and greedy-credit advances):
+     * a completion delivery, an engine phase boundary, a refresh or
+     * power-down edge, a stall-limit flip, an oracle-fill deposit, a
+     * scheduler housekeeping event, or any cycle whose queue state makes
+     * command issue or engine management possible. Returns @p now when
+     * the current cycle itself is (or may be) such a cycle — the caller
+     * must then tick normally. Never returns a cycle later than the
+     * first real event, so skipping to the returned cycle is
+     * bit-identical to ticking through the span.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Batch-apply the per-cycle effects of the quiescent span
+     * [@p from, @p to): state-residency counters, engine
+     * occupied/parked cycles and channel fences, RNG-aware stall
+     * counters, and greedy-oracle idle credit.
+     * @pre nextEventCycle(from) >= to
+     */
+    void fastForward(Cycle from, Cycle to);
+
     // --- Introspection -----------------------------------------------
     const McStats &stats() const { return statistics; }
     const dram::DramChannel &channel(unsigned i) const { return *chans[i]; }
     /** Mutable access for verification harnesses (command observers). */
     dram::DramChannel &channelMutable(unsigned i) { return *chans[i]; }
+    /** One channel's TRNG engine (telemetry/lockstep fingerprinting). */
+    const trng::RngEngine &engine(unsigned i) const { return *engines[i]; }
     unsigned numChannels() const
     {
         return static_cast<unsigned>(chans.size());
@@ -224,8 +251,8 @@ class MemoryController
         bool writeDraining = false;
 
         /// In-flight reads awaiting their data burst (FIFO by completion).
-        std::deque<Request> inflightReads;
-        std::deque<Cycle> inflightDone;
+        PopVector<Request> inflightReads;
+        PopVector<Cycle> inflightDone;
 
         // Idle-period tracking: drives the Fig. 5/18 distributions and
         // the idleness predictor (predicted at period start, trained at
@@ -257,6 +284,56 @@ class MemoryController
 
     unsigned occupancy(const ChannelState &cs) const;
     void updateIdleState(unsigned ch, Cycle now);
+
+    /** The queue choice the next tick would compute for @p ch. */
+    QueueChoice peekChoice(unsigned ch) const;
+    /** Earliest cycle >= @p now at which manageEngine(ch) changes any
+     *  state (@p now = this cycle; kNoEvent = only on external input).
+     *  @p choice is peekChoice(ch), computed once by the caller. */
+    Cycle manageEngineEventCycle(unsigned ch, Cycle now,
+                                 QueueChoice choice) const;
+    /** Earliest cycle >= @p now at which serveChannel(ch) changes any
+     *  state — a drain-flag transition, a wake, or the first cycle any
+     *  queued request's next DRAM command can legally issue. */
+    Cycle serveChannelEventCycle(unsigned ch, Cycle now,
+                                 QueueChoice choice) const;
+    /** First cycle >= @p now any of @p queue's requests can issue. */
+    Cycle nextIssueCycle(const RequestQueue &queue, unsigned ch,
+                         Cycle now) const;
+    /** Next greedy-oracle deposit cycle on the selected channel, or
+     *  @p now when credit bookkeeping mutates state this cycle. */
+    Cycle greedyNextEventCycle(Cycle now) const;
+
+    /**
+     * One steadily-generating engine's round-completion stream: a
+     * stable (wind-free, management-quiescent) engine in Round or
+     * SwitchingIn produces bitsPerRound every roundLatency cycles, the
+     * first batch landing on the tick at `next`.
+     */
+    struct Producer
+    {
+        Cycle next = 0;   ///< Tick cycle of the next round completion.
+        Cycle period = 0; ///< Round latency.
+        double bits = 0.0;
+        unsigned ch = 0;
+        /** Stopping engine: exactly one more round completes, then the
+         *  switch-out (whose end bounds the span) begins. */
+        bool oneShot = false;
+    };
+    /** Collect the stable producers into producerScratch (time/ch
+     *  keyed exactly like the per-cycle tick order). */
+    void collectProducers(Cycle now) const;
+    /**
+     * First production tick in [now, bound) whose round completion has
+     * a non-batchable effect: finishing the front RNG job, or the
+     * deposit that makes the buffer full. kNoEvent when no such tick
+     * exists below @p bound (earlier completions only accumulate).
+     */
+    Cycle productionEventCycle(Cycle now, Cycle bound) const;
+
+    /** Iteration bound for production-stream simulation; reaching it
+     *  yields a conservative checkpoint event instead. */
+    static constexpr unsigned kMaxProductionSteps = 512;
 
     /** true when some channel is running a buffer-fill session. Fill
      *  uses one selected channel at a time (Section 5.1.1: "selects a
@@ -294,12 +371,15 @@ class MemoryController
      */
     double stagingBits = 0.0;
     /// Buffer hits completing after the fixed serve latency.
-    std::deque<RngJob> pendingBufferServes;
-    std::deque<Cycle> pendingBufferServeDone;
+    PopVector<RngJob> pendingBufferServes;
+    PopVector<Cycle> pendingBufferServeDone;
 
     CompletionCallback onComplete;
     std::uint64_t nextSeq = 0;
     McStats statistics;
+
+    /** Scratch for collectProducers (avoids per-horizon allocation). */
+    mutable std::vector<Producer> producerScratch;
 
     /** Cap on stored idle-period samples per channel (memory bound). */
     static constexpr std::size_t kMaxIdleSamples = 1u << 18;

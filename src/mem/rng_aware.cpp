@@ -23,18 +23,12 @@ RngAwarePolicy::setPriority(CoreId core, int priority)
     }
 }
 
-QueueChoice
-RngAwarePolicy::choose(unsigned channel, const RequestQueue &read_queue,
-                       const std::deque<RngJob> &rng_jobs)
+RngAwarePolicy::Pressure
+RngAwarePolicy::pressure(const RequestQueue &read_queue,
+                         const std::deque<RngJob> &rng_jobs) const
 {
-    const bool rng_pending = !rng_jobs.empty();
-    const bool reg_pending = !read_queue.empty();
-    if (!rng_pending && !reg_pending)
-        return QueueChoice::None;
-    if (!rng_pending)
-        return QueueChoice::Regular;
-    if (!reg_pending)
-        return QueueChoice::Rng;
+    if (rng_jobs.empty() || read_queue.empty())
+        return Pressure::None;
 
     int prio_rng = priorities[rng_jobs.front().core];
     for (const RngJob &job : rng_jobs)
@@ -51,45 +45,112 @@ RngAwarePolicy::choose(unsigned channel, const RequestQueue &read_queue,
             oldest_reg_core = req.core;
         }
     }
-    const std::uint64_t oldest_rng_seq = rng_jobs.front().seq;
+
+    if (prio_reg > prio_rng) {
+        // Non-RNG prioritized: RNG requests older than an RNG
+        // application's blocked regular read drain unconditionally.
+        if (rngApp[oldest_reg_core] &&
+            oldest_reg_seq > rng_jobs.front().seq)
+            return Pressure::None;
+        return Pressure::OnRng;
+    }
+    // RNG prioritized or equal priorities: drain the RNG queue first
+    // (Section 5.2.1), bounded by the stall limit.
+    return Pressure::OnRegular;
+}
+
+QueueChoice
+RngAwarePolicy::pureChoice(const RequestQueue &read_queue,
+                           const std::deque<RngJob> &rng_jobs) const
+{
+    if (rng_jobs.empty() && read_queue.empty())
+        return QueueChoice::None;
+    if (rng_jobs.empty())
+        return QueueChoice::Regular;
+    // RNG pending and either no regular reads or the old-RNG-drain rule.
+    return QueueChoice::Rng;
+}
+
+QueueChoice
+RngAwarePolicy::choose(unsigned channel, const RequestQueue &read_queue,
+                       const std::deque<RngJob> &rng_jobs)
+{
+    const Pressure p = pressure(read_queue, rng_jobs);
+    if (p == Pressure::None)
+        return pureChoice(read_queue, rng_jobs);
 
     StallCounters &s = stalls[channel];
-    if (prio_rng > prio_reg) {
-        // RNG prioritized: drain the RNG queue, bounded by the stall limit.
-        if (s.regular >= cfg.stallLimit) {
-            s.regular = 0;
-            return QueueChoice::Regular;
-        }
-        s.regular++;
-        maxStall = std::max(maxStall, s.regular);
-        return QueueChoice::Rng;
+    Cycle &counter = p == Pressure::OnRegular ? s.regular : s.rng;
+    if (counter >= cfg.stallLimit) {
+        // The deprioritized queue's stall limit trips: serve it once.
+        counter = 0;
+        return p == Pressure::OnRegular ? QueueChoice::Regular
+                                        : QueueChoice::Rng;
     }
-    if (prio_reg > prio_rng) {
-        // Non-RNG prioritized: only drain RNG requests that are older than
-        // an RNG application's blocked regular read.
-        if (rngApp[oldest_reg_core] && oldest_reg_seq > oldest_rng_seq)
-            return QueueChoice::Rng;
-        if (s.rng >= cfg.stallLimit) {
-            s.rng = 0;
-            return QueueChoice::Rng;
-        }
-        s.rng++;
-        maxStall = std::max(maxStall, s.rng);
-        return QueueChoice::Regular;
-    }
+    counter++;
+    maxStall = std::max(maxStall, counter);
+    return p == Pressure::OnRegular ? QueueChoice::Rng
+                                    : QueueChoice::Regular;
+}
 
-    // Equal priorities: prioritize the RNG requests to minimize the RNG
-    // interference (Section 5.2.1), batching them into one RNG-mode
-    // session; the stall counter bounds how long regular reads wait.
-    (void)oldest_reg_seq;
-    (void)oldest_rng_seq;
-    if (s.regular >= cfg.stallLimit) {
-        s.regular = 0;
-        return QueueChoice::Regular;
+RngAwarePolicy::Arbitration
+RngAwarePolicy::arbitration(unsigned channel,
+                            const RequestQueue &read_queue,
+                            const std::deque<RngJob> &rng_jobs,
+                            Cycle now) const
+{
+    Arbitration arb;
+    const Pressure p = pressure(read_queue, rng_jobs);
+    if (p == Pressure::None) {
+        arb.choice = pureChoice(read_queue, rng_jobs);
+        return arb;
     }
-    s.regular++;
-    maxStall = std::max(maxStall, s.regular);
-    return QueueChoice::Rng;
+    arb.regularPrioritized = p == Pressure::OnRng;
+    const StallCounters &s = stalls[channel];
+    const Cycle counter = p == Pressure::OnRegular ? s.regular : s.rng;
+    if (counter >= cfg.stallLimit) {
+        // The flip-and-reset happens on the very next choose() call.
+        arb.flipAt = now;
+        arb.choice = p == Pressure::OnRegular ? QueueChoice::Regular
+                                              : QueueChoice::Rng;
+    } else {
+        arb.flipAt = now + (cfg.stallLimit - counter);
+        arb.choice = p == Pressure::OnRegular ? QueueChoice::Rng
+                                              : QueueChoice::Regular;
+    }
+    return arb;
+}
+
+QueueChoice
+RngAwarePolicy::peek(unsigned channel, const RequestQueue &read_queue,
+                     const std::deque<RngJob> &rng_jobs) const
+{
+    return arbitration(channel, read_queue, rng_jobs, 0).choice;
+}
+
+Cycle
+RngAwarePolicy::nextEventCycle(unsigned channel,
+                               const RequestQueue &read_queue,
+                               const std::deque<RngJob> &rng_jobs,
+                               Cycle now) const
+{
+    return arbitration(channel, read_queue, rng_jobs, now).flipAt;
+}
+
+void
+RngAwarePolicy::fastForward(unsigned channel,
+                            const RequestQueue &read_queue,
+                            const std::deque<RngJob> &rng_jobs,
+                            Cycle span)
+{
+    const Pressure p = pressure(read_queue, rng_jobs);
+    if (p == Pressure::None)
+        return;
+    StallCounters &s = stalls[channel];
+    Cycle &counter = p == Pressure::OnRegular ? s.regular : s.rng;
+    assert(counter + span <= cfg.stallLimit);
+    counter += span;
+    maxStall = std::max(maxStall, counter);
 }
 
 void

@@ -61,6 +61,48 @@ class RngAwarePolicy
     QueueChoice choose(unsigned channel, const RequestQueue &read_queue,
                        const std::deque<RngJob> &rng_jobs);
 
+    /**
+     * Pure preview of choose(): the choice the next call would return,
+     * without advancing the anti-starvation counters.
+     */
+    QueueChoice peek(unsigned channel, const RequestQueue &read_queue,
+                     const std::deque<RngJob> &rng_jobs) const;
+
+    /**
+     * One-scan snapshot of the arbitration state for the fast-forward
+     * horizon: equivalent to peek() + nextEventCycle() +
+     * regularPrioritized() but derived from a single pass over the
+     * queues (this runs per channel on every horizon probe).
+     */
+    struct Arbitration
+    {
+        QueueChoice choice = QueueChoice::None; ///< peek() result.
+        Cycle flipAt = kNoEvent; ///< nextEventCycle() result.
+        bool regularPrioritized = false; ///< RNG stall counter charging.
+    };
+    Arbitration arbitration(unsigned channel,
+                            const RequestQueue &read_queue,
+                            const std::deque<RngJob> &rng_jobs,
+                            Cycle now) const;
+
+    /**
+     * Earliest cycle >= @p now at which once-per-cycle choose() calls
+     * (with unchanged queue contents) would do anything besides
+     * incrementing a stall counter — i.e. the cycle the stall limit
+     * trips and the choice flips. kNoEvent when no counter advances.
+     */
+    Cycle nextEventCycle(unsigned channel, const RequestQueue &read_queue,
+                         const std::deque<RngJob> &rng_jobs,
+                         Cycle now) const;
+
+    /**
+     * Batch-apply @p span consecutive choose() calls' stall-counter
+     * increments (queue contents unchanged across the span).
+     * @pre the span ends at or before nextEventCycle()'s result
+     */
+    void fastForward(unsigned channel, const RequestQueue &read_queue,
+                     const std::deque<RngJob> &rng_jobs, Cycle span);
+
     /** Reset the stall counter of the queue that just made progress. */
     void noteServed(unsigned channel, QueueChoice served);
 
@@ -68,6 +110,24 @@ class RngAwarePolicy
     Cycle maxStallObserved() const { return maxStall; }
 
   private:
+    /**
+     * The pressure the (unchanged) queue state puts on the stall
+     * counters each cycle: which counter choose() charges while it
+     * keeps preferring the other queue, or None when the decision is
+     * pure (at most one queue pending, or the old-RNG-drain rule).
+     */
+    enum class Pressure : std::uint8_t
+    {
+        None,       ///< Pure decision; no counter advances.
+        OnRegular,  ///< Choice is Rng; the regular counter charges.
+        OnRng,      ///< Choice is Regular; the RNG counter charges.
+    };
+    Pressure pressure(const RequestQueue &read_queue,
+                      const std::deque<RngJob> &rng_jobs) const;
+    /** The pure choice when no counter is charging. */
+    QueueChoice pureChoice(const RequestQueue &read_queue,
+                           const std::deque<RngJob> &rng_jobs) const;
+
     Config cfg;
     std::vector<int> priorities;
     std::vector<bool> rngApp;

@@ -49,6 +49,17 @@ class Scheduler
 
     /** Per-cycle housekeeping (e.g. BLISS blacklist clearing). */
     virtual void tick(Cycle now) { (void)now; }
+
+    /**
+     * Earliest cycle >= @p now at which tick() does real work, used by
+     * the fast-forward engine to skip quiescent stretches. The default
+     * returns @p now — "assume per-cycle work every cycle" — which is
+     * always correct but disables cycle skipping entirely; schedulers
+     * whose tick() is a no-op (or only acts at computable cycles, like
+     * BLISS's clearing interval) should override this so simulations
+     * using them can fast-forward.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const { return now; }
 };
 
 } // namespace dstrange::mem

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * DS_LOCKSTEP cross-check support: a full-statistics fingerprint of a
+ * simulated System and a comparison helper. With DS_LOCKSTEP enabled
+ * the Runner executes every simulation twice — once with event-driven
+ * fast-forward, once ticking every bus cycle — and requires every
+ * statistic (core counters, controller stats, per-channel energy
+ * counters, engine counters, buffer levels, predictor scores, idle
+ * period distributions) to be bit-identical.
+ */
+
+#ifndef DSTRANGE_SIM_LOCKSTEP_H
+#define DSTRANGE_SIM_LOCKSTEP_H
+
+#include <string>
+
+#include "sim/system.h"
+
+namespace dstrange::sim {
+
+/** true when DS_LOCKSTEP requests the step-1 cross-check (default off). */
+bool lockstepEnabled();
+
+/**
+ * Serialize every statistic a run produces into a line-oriented
+ * key=value fingerprint. Floating-point values are rendered in hexfloat
+ * so the comparison is bit-exact.
+ */
+std::string systemFingerprint(const System &sys);
+
+/**
+ * Compare two completed systems' fingerprints.
+ * @throws std::runtime_error naming the first differing statistic.
+ */
+void verifyLockstep(const System &fast_forwarded, const System &stepped);
+
+} // namespace dstrange::sim
+
+#endif // DSTRANGE_SIM_LOCKSTEP_H

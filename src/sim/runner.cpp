@@ -5,6 +5,7 @@
 #include "sim/config_text.h"
 #include "sim/design_registry.h"
 #include "sim/energy_model.h"
+#include "sim/lockstep.h"
 #include "workloads/rng_benchmark.h"
 #include "workloads/synthetic_trace.h"
 
@@ -62,14 +63,49 @@ Runner::aloneConfig(const SimConfig &from, SystemDesign design)
     return cfg;
 }
 
-AloneResult
-Runner::runAlone(std::unique_ptr<cpu::TraceSource> trace,
-                 const SimConfig &cfg) const
+namespace {
+
+/**
+ * Build-and-run helper shared by the alone and workload paths. Under
+ * DS_LOCKSTEP the system is forced onto the fast-forward path and a
+ * second, freshly-traced system replays the run ticking every bus
+ * cycle; every statistic of the two must be bit-identical. (Returned
+ * by pointer: System is immovable — its completion callback captures
+ * `this`.)
+ */
+std::unique_ptr<System>
+runSystem(const SimConfig &cfg,
+          const std::function<
+              std::vector<std::unique_ptr<cpu::TraceSource>>()>
+              &make_traces)
 {
-    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
-    traces.push_back(std::move(trace));
-    System sys(cfg, std::move(traces));
-    sys.run();
+    auto sys = std::make_unique<System>(cfg, make_traces());
+    const bool lockstep = lockstepEnabled();
+    if (lockstep)
+        sys->setFastForward(true);
+    sys->run();
+    if (lockstep) {
+        System ref(cfg, make_traces());
+        ref.setFastForward(false);
+        ref.run();
+        verifyLockstep(*sys, ref);
+    }
+    return sys;
+}
+
+} // namespace
+
+AloneResult
+Runner::runAlone(
+    const std::function<std::unique_ptr<cpu::TraceSource>()> &make_trace,
+    const SimConfig &cfg) const
+{
+    const auto sys_ptr = runSystem(cfg, [&] {
+        std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+        traces.push_back(make_trace());
+        return traces;
+    });
+    const System &sys = *sys_ptr;
 
     const cpu::CoreStats &s = sys.coreStats(0);
     AloneResult res;
@@ -107,7 +143,9 @@ Runner::aloneApp(const std::string &app_name,
     const std::string key =
         "app|" + app_name + "|" + serializeConfig(alone_cfg);
     return cachedAlone(key, [&] {
-        return runAlone(makeAppTrace(app_name, 0, alone_cfg), alone_cfg);
+        return runAlone(
+            [&] { return makeAppTrace(app_name, 0, alone_cfg); },
+            alone_cfg);
     });
 }
 
@@ -117,7 +155,8 @@ Runner::aloneRngImpl(double mbps, const SimConfig &alone_cfg)
     const std::string key = "rng|" + std::to_string(mbps) + "|" +
                             serializeConfig(alone_cfg);
     return cachedAlone(key, [&] {
-        return runAlone(makeRngTrace(mbps, 0, alone_cfg), alone_cfg);
+        return runAlone([&] { return makeRngTrace(mbps, 0, alone_cfg); },
+                        alone_cfg);
     });
 }
 
@@ -160,15 +199,16 @@ Runner::run(const SimConfig &cfg, const workloads::WorkloadSpec &spec)
 
     // The RNG benchmark occupies the last core. Traces derive from the
     // run's own configuration (seed/geometry), not from base().
-    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
-    for (unsigned i = 0; i < spec.apps.size(); ++i)
-        traces.push_back(makeAppTrace(spec.apps[i], i, cfg));
-    if (has_rng)
-        traces.push_back(
-            makeRngTrace(spec.rngThroughputMbps, n_cores - 1, cfg));
-
-    System sys(cfg, std::move(traces));
-    sys.run();
+    const auto sys_ptr = runSystem(cfg, [&] {
+        std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+        for (unsigned i = 0; i < spec.apps.size(); ++i)
+            traces.push_back(makeAppTrace(spec.apps[i], i, cfg));
+        if (has_rng)
+            traces.push_back(
+                makeRngTrace(spec.rngThroughputMbps, n_cores - 1, cfg));
+        return traces;
+    });
+    const System &sys = *sys_ptr;
 
     WorkloadResult result;
     result.name = spec.name;
@@ -178,6 +218,13 @@ Runner::run(const SimConfig &cfg, const workloads::WorkloadSpec &spec)
     result.bufferServeRate = result.mcStats.bufferServeRate();
     if (auto ps = sys.mc().predictorStats())
         result.predictorAccuracy = ps->accuracy();
+    if (collectIdlePeriods) {
+        for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
+            const auto &periods = sys.mc().idlePeriods(ch);
+            result.idlePeriods.insert(result.idlePeriods.end(),
+                                      periods.begin(), periods.end());
+        }
+    }
 
     for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
         result.energyNj +=

@@ -60,6 +60,9 @@ class Runner
         Cycle busCycles = 0;
         double energyNj = 0.0;
         mem::McStats mcStats{};
+        /** Strict-idle period lengths across all channels (Fig. 5/18);
+         *  populated only when setCollectIdlePeriods(true). */
+        std::vector<std::uint32_t> idlePeriods;
 
         /** Mean slowdown of the non-RNG applications. */
         double avgNonRngSlowdown() const;
@@ -118,6 +121,16 @@ class Runner
      */
     SimConfig &base() { return baseCfg; }
 
+    /**
+     * Collect each run's idle-period distribution into
+     * WorkloadResult::idlePeriods (off by default; the vectors can be
+     * large). Set before a sweep, like base() mutation.
+     */
+    void setCollectIdlePeriods(bool collect)
+    {
+        collectIdlePeriods = collect;
+    }
+
   private:
     std::unique_ptr<cpu::TraceSource>
     makeAppTrace(const std::string &name, CoreId core,
@@ -135,10 +148,18 @@ class Runner
     const AloneResult &
     cachedAlone(const std::string &key,
                 const std::function<AloneResult()> &compute);
-    AloneResult runAlone(std::unique_ptr<cpu::TraceSource> trace,
-                         const SimConfig &cfg) const;
+    /**
+     * Run one trace alone. @p make_trace is invoked once normally and
+     * twice under DS_LOCKSTEP (the cross-check needs an identical fresh
+     * trace for the step-1 reference system).
+     */
+    AloneResult
+    runAlone(const std::function<std::unique_ptr<cpu::TraceSource>()>
+                 &make_trace,
+             const SimConfig &cfg) const;
 
     SimConfig baseCfg;
+    bool collectIdlePeriods = false;
 
     /**
      * Alone-run baselines keyed on the trace identity plus the *full*

@@ -76,11 +76,26 @@ std::vector<SweepRunner::CellResult>
 SweepRunner::run(const std::vector<Cell> &cells)
 {
     std::vector<CellResult> results(cells.size());
+
+    // Progress reporting shared by the serial and parallel paths. The
+    // mutex both serializes callback invocations and guards the counter.
+    std::mutex progress_mu;
+    std::size_t done = 0;
+    auto report = [&](std::size_t idx) {
+        if (!progress)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mu);
+        ++done;
+        progress(done, cells.size(), idx, results[idx].wallMs);
+    };
+
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(nJobs, cells.size()));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i)
+        for (std::size_t i = 0; i < cells.size(); ++i) {
             results[i] = runCell(cells[i]);
+            report(i);
+        }
         return results;
     }
 
@@ -128,6 +143,7 @@ SweepRunner::run(const std::vector<Cell> &cells)
             // Distinct indices per cell: no synchronization needed on
             // the results slot beyond the final joins.
             results[idx] = runCell(cells[idx]);
+            report(idx);
         }
     };
 

@@ -13,6 +13,7 @@
 #ifndef DSTRANGE_SIM_SWEEP_RUNNER_H
 #define DSTRANGE_SIM_SWEEP_RUNNER_H
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -82,6 +83,21 @@ class SweepRunner
     Runner &runner() { return shared; }
 
     /**
+     * Per-cell completion callback: cells finished so far, total cell
+     * count, the finished cell's grid index, and its wall-clock. Invoked
+     * under an internal mutex (never concurrently) from whichever worker
+     * finished the cell, in completion — not grid — order. Keep it
+     * cheap; every worker serializes through it.
+     */
+    using ProgressFn = std::function<void(
+        std::size_t done, std::size_t total, std::size_t cell_index,
+        double cell_wall_ms)>;
+
+    /** Install a progress callback for subsequent run() calls (empty =
+     *  none). Set before run(); not thread-safe against a running sweep. */
+    void setProgress(ProgressFn fn) { progress = std::move(fn); }
+
+    /**
      * Execute every cell and return results in cell order. A cell that
      * throws (unknown design key, bad configuration, ...) yields
      * ok == false with the exception message in error; the other cells
@@ -104,6 +120,7 @@ class SweepRunner
 
     unsigned nJobs;
     Runner shared;
+    ProgressFn progress;
 };
 
 } // namespace dstrange::sim

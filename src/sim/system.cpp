@@ -1,13 +1,17 @@
 #include "sim/system.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/env_util.h"
 
 namespace dstrange::sim {
 
 System::System(const SimConfig &config,
                std::vector<std::unique_ptr<cpu::TraceSource>> traces)
     : cfg(config), traceOwners(std::move(traces)),
-      entropySource(mix64(config.seed) ^ 0xdead)
+      entropySource(mix64(config.seed) ^ 0xdead),
+      ffEnabled(envFlag("DS_FAST_FORWARD", true))
 {
     assert(!traceOwners.empty());
 
@@ -41,22 +45,77 @@ System::allFinished() const
     return true;
 }
 
-void
-System::step(Cycle cycles)
+Cycle
+System::nextEventCycle() const
 {
-    const Cycle end = now + cycles;
-    for (; now < end; ++now) {
+    // Core horizons are cheap; check them before the controller's
+    // deeper analysis so busy-core cycles bail out early.
+    Cycle horizon = kNoEvent;
+    for (const auto &core : cores) {
+        horizon = std::min(horizon, core->nextEventCycle(now));
+        if (horizon <= now)
+            return now;
+    }
+    horizon = std::min(horizon, controller->nextEventCycle(now));
+    return horizon <= now ? now : horizon;
+}
+
+void
+System::advanceUntil(Cycle end, bool stop_when_finished)
+{
+    // Adaptive horizon backoff: during dense event phases the horizon
+    // computation itself is the overhead, so after consecutive blocked
+    // probes the loop ticks a few cycles without probing. This only
+    // delays the start of the next skip by at most the backoff (the
+    // step path is always correct) and keeps event-dense workloads
+    // from paying the probe on every cycle.
+    Cycle probe_at = 0;
+    unsigned backoff = 0;
+    while (now < end) {
+        if (stop_when_finished && allFinished())
+            return;
+        if (ffEnabled && now >= probe_at) {
+            const Cycle horizon = nextEventCycle();
+            const Cycle to = std::min(horizon, end);
+            if (to <= now + 1) {
+                // Only back off inside genuinely dense phases: isolated
+                // event ticks between skips keep probing every cycle.
+                ++backoff;
+                if (backoff > 4)
+                    probe_at = now + 1 + std::min(backoff - 4, 8u);
+            } else {
+                backoff = 0;
+            }
+            if (to > now + 1) {
+                // Every component is quiescent through [now, to):
+                // batch-apply the span's bookkeeping and jump.
+                controller->fastForward(now, to);
+                for (auto &core : cores)
+                    core->fastForward(now, to);
+                ffCounters.skips++;
+                ffCounters.skippedCycles += to - now;
+                now = to;
+                continue;
+            }
+        }
         controller->tick(now);
         for (auto &core : cores)
             core->tickBusCycle(now);
+        ffCounters.steppedCycles++;
+        ++now;
     }
+}
+
+void
+System::step(Cycle cycles)
+{
+    advanceUntil(now + cycles, /*stop_when_finished=*/false);
 }
 
 void
 System::run()
 {
-    while (!allFinished() && now < cfg.maxBusCycles)
-        step(1);
+    advanceUntil(cfg.maxBusCycles, /*stop_when_finished=*/true);
 }
 
 } // namespace dstrange::sim

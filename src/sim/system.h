@@ -1,7 +1,11 @@
 /**
  * @file
  * Top-level simulated system: N cores + memory controller + DRAM +
- * integrated DRAM TRNG, advanced in lock-step at bus-cycle granularity.
+ * integrated DRAM TRNG. Components advance in lock-step at bus-cycle
+ * granularity, but quiescent stretches — every component reporting that
+ * its next tick only does batchable bookkeeping — are fast-forwarded in
+ * one jump to the earliest event horizon, with bit-identical results
+ * (see README "How the simulator advances time" and DS_LOCKSTEP).
  */
 
 #ifndef DSTRANGE_SIM_SYSTEM_H
@@ -28,11 +32,43 @@ class System
     System(const SimConfig &config,
            std::vector<std::unique_ptr<cpu::TraceSource>> traces);
 
+    // The memory controller's completion callback captures `this`;
+    // moving or copying a System would leave it dangling.
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+    System(System &&) = delete;
+    System &operator=(System &&) = delete;
+
     /** Run to completion (all budgets retired) or the safety bound. */
     void run();
 
     /** Advance exactly @p cycles bus cycles (for tests). */
     void step(Cycle cycles);
+
+    /**
+     * Enable/disable event-driven cycle skipping (default: the
+     * DS_FAST_FORWARD environment flag, which defaults to on). With it
+     * disabled every bus cycle is ticked individually; results are
+     * bit-identical either way.
+     */
+    void setFastForward(bool enabled) { ffEnabled = enabled; }
+    bool fastForwardEnabled() const { return ffEnabled; }
+
+    /**
+     * The earliest cycle >= busCycles() at which any component does
+     * non-batchable work (the fast-forward horizon). Exposed for tests;
+     * equal to busCycles() when the current cycle must tick normally.
+     */
+    Cycle nextEventCycle() const;
+
+    /** Fast-forward effectiveness counters (telemetry/bench records). */
+    struct FfStats
+    {
+        std::uint64_t steppedCycles = 0; ///< Bus cycles ticked normally.
+        std::uint64_t skips = 0;         ///< Fast-forward jumps taken.
+        std::uint64_t skippedCycles = 0; ///< Bus cycles jumped over.
+    };
+    const FfStats &ffStats() const { return ffCounters; }
 
     unsigned numCores() const
     {
@@ -54,12 +90,17 @@ class System
     const SimConfig &config() const { return cfg; }
 
   private:
+    /** Advance to @p end, optionally stopping once all budgets retire. */
+    void advanceUntil(Cycle end, bool stop_when_finished);
+
     SimConfig cfg;
     std::vector<std::unique_ptr<cpu::TraceSource>> traceOwners;
     std::unique_ptr<mem::MemoryController> controller;
     std::vector<std::unique_ptr<cpu::Core>> cores;
     trng::EntropySource entropySource;
     Cycle now = 0;
+    bool ffEnabled;
+    FfStats ffCounters;
 };
 
 } // namespace dstrange::sim

@@ -72,6 +72,69 @@ RngEngine::abortSwitchIn(Cycle now)
     chan.occupyForRng(now + kAbortPenalty);
 }
 
+Cycle
+RngEngine::nextEventCycle(Cycle now) const
+{
+    switch (state) {
+      case State::Regular:
+        return kNoEvent;
+      case State::Parked:
+        // A pending stop takes effect on the very next tick; otherwise a
+        // parked engine only reacts to the controller.
+        return wind == Wind::Stop ? now : kNoEvent;
+      case State::SwitchingIn:
+      case State::Round:
+      case State::SwitchingOut:
+        // The phase completes during the tick at phaseEndsAt - 1 (tick()
+        // fires when now + 1 >= phaseEndsAt); every earlier tick only
+        // counts cycles and extends the channel occupancy.
+        return phaseEndsAt > now + 1 ? phaseEndsAt - 1 : now;
+    }
+    return now;
+}
+
+void
+RngEngine::fastForward(Cycle from, Cycle to)
+{
+    assert(to > from);
+    if (state == State::Regular)
+        return;
+    // Per-cycle ticks extend the occupation monotonically; the batched
+    // span's final extension (from cycle to - 1) covers them all.
+    chan.occupyForRng(to - 1 + kAbortPenalty);
+    if (state == State::Parked)
+        parkedCycles += to - from;
+    else
+        occupiedCycles += to - from;
+}
+
+void
+RngEngine::fastForwardPhases(unsigned transitions)
+{
+    assert(state == State::Round || state == State::SwitchingIn);
+    assert(wind == Wind::None);
+    for (unsigned i = 0; i < transitions; ++i) {
+        if (state == State::SwitchingIn) {
+            state = State::Round; // Switch-in completes; first round.
+        } else {
+            // One round completes; the bits are routed by the caller.
+            chan.noteRngRound();
+            bitsProduced += activeMech->bitsPerRound;
+        }
+        phaseEndsAt += activeMech->roundLatency;
+    }
+}
+
+void
+RngEngine::fastForwardFinalRound()
+{
+    assert(state == State::Round && wind == Wind::Stop);
+    chan.noteRngRound();
+    bitsProduced += activeMech->bitsPerRound;
+    state = State::SwitchingOut;
+    phaseEndsAt += activeMech->switchOutLatency;
+}
+
 double
 RngEngine::tick(Cycle now)
 {

@@ -119,6 +119,57 @@ class RngEngine
      */
     double tick(Cycle now);
 
+    /**
+     * Earliest cycle >= @p now at which tick() does anything beyond the
+     * batchable per-cycle bookkeeping (occupancy extension and
+     * occupied/parked-cycle counting): a phase completion, or an
+     * immediate parked-to-switch-out transition. kNoEvent when the
+     * engine is idle or parked without a pending stop — it then changes
+     * state only when the controller tells it to.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Batch-apply the per-cycle tick() effects for bus cycles
+     * [@p from, @p to) in one step (cycle counting and channel-fence
+     * extension; phase completions inside the span are applied
+     * separately via fastForwardPhases()). Bit-identical to ticking
+     * each cycle.
+     */
+    void fastForward(Cycle from, Cycle to);
+
+    /** End cycle of the current phase (switch or round). */
+    Cycle phaseEndCycle() const { return phaseEndsAt; }
+
+    /**
+     * Batch-apply @p transitions consecutive phase completions of a
+     * generating engine inside a fast-forwarded span: a pending
+     * switch-in completion (no bits) followed by round completions
+     * (each producing bitsPerRound and noting one channel RNG round),
+     * exactly as the per-cycle ticks would. The engine keeps
+     * generating afterwards (the span proved no stop/park interferes).
+     * @pre (inRound() || switchingIn()) && no stop/park pending
+     */
+    void fastForwardPhases(unsigned transitions);
+
+    /**
+     * Batch-apply the final round completion of a stopping engine
+     * inside a fast-forwarded span: the round's bits are produced and
+     * the engine moves to SwitchingOut, whose completion is the span's
+     * bounding event.
+     * @pre inRound() && a stop is pending
+     */
+    void fastForwardFinalRound();
+
+    /** true while a stop is requested for the end of the round. */
+    bool stopRequested() const { return wind == Wind::Stop; }
+
+    /** true while a park is requested for the end of the round. */
+    bool parkRequested() const { return wind == Wind::Park; }
+
+    /** true when no end-of-round disposition is pending. */
+    bool windNone() const { return wind == Wind::None; }
+
     /** Total bits produced since construction. */
     double totalBits() const { return bitsProduced; }
 

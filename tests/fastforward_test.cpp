@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Tests for the event-driven cycle-skipping simulation core: per-
+ * component event-horizon units, fast-forward batching equivalence,
+ * and full-system bit-identity between the step-1 and fast-forward
+ * paths — across all nine design presets, both TRNG mechanisms, and
+ * randomized configurations with mixed RNG/non-RNG workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "drstrange.h"
+#include "dram/dram_channel.h"
+#include "mem/bliss.h"
+#include "mem/fr_fcfs.h"
+#include "mem/rng_aware.h"
+#include "sim/lockstep.h"
+#include "trng/rng_engine.h"
+
+using namespace dstrange;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Full-system bit-identity (the DS_LOCKSTEP invariant, driven directly).
+// ---------------------------------------------------------------------
+
+std::vector<std::unique_ptr<cpu::TraceSource>>
+makeTraces(const sim::SimConfig &cfg, const std::string &app, double mbps)
+{
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+    CoreId core = 0;
+    if (!app.empty()) {
+        traces.push_back(std::make_unique<workloads::SyntheticTrace>(
+            workloads::appByName(app), cfg.geometry, core++, cfg.seed));
+    }
+    if (mbps > 0.0) {
+        traces.push_back(std::make_unique<workloads::RngBenchmark>(
+            mbps, cfg.geometry, cfg.seed + core));
+    }
+    return traces;
+}
+
+/** Run to completion with or without fast-forward; full fingerprint. */
+std::string
+runFingerprint(const sim::SimConfig &cfg, const std::string &app,
+               double mbps, bool fast_forward)
+{
+    sim::System sys(cfg, makeTraces(cfg, app, mbps));
+    sys.setFastForward(fast_forward);
+    sys.run();
+    if (fast_forward) {
+        // The fast path must actually have fast-forwarded something on
+        // these workloads, or the test proves nothing.
+        EXPECT_GT(sys.ffStats().skippedCycles, 0u);
+    }
+    return sim::systemFingerprint(sys);
+}
+
+void
+expectBitIdentical(const sim::SimConfig &cfg, const std::string &app,
+                   double mbps, const std::string &label)
+{
+    const std::string fast = runFingerprint(cfg, app, mbps, true);
+    const std::string ref = runFingerprint(cfg, app, mbps, false);
+    EXPECT_EQ(fast, ref) << label;
+}
+
+TEST(FastForwardLockstep, AllPresetsDualWorkload)
+{
+    for (sim::SystemDesign d : sim::kAllDesigns) {
+        sim::SimConfig cfg = sim::designConfig(d);
+        cfg.instrBudget = 15000;
+        expectBitIdentical(cfg, "mcf", 5120.0, sim::designKey(d));
+    }
+}
+
+TEST(FastForwardLockstep, AllPresetsRngOnly)
+{
+    for (sim::SystemDesign d : sim::kAllDesigns) {
+        sim::SimConfig cfg = sim::designConfig(d);
+        cfg.instrBudget = 15000;
+        expectBitIdentical(cfg, "", 640.0, sim::designKey(d));
+    }
+}
+
+TEST(FastForwardLockstep, AllPresetsNonRngOnly)
+{
+    for (sim::SystemDesign d : sim::kAllDesigns) {
+        sim::SimConfig cfg = sim::designConfig(d);
+        cfg.instrBudget = 15000;
+        expectBitIdentical(cfg, "gcc", 0.0, sim::designKey(d));
+    }
+}
+
+TEST(FastForwardLockstep, QuacMechanismAndPartitions)
+{
+    for (sim::SystemDesign d :
+         {sim::SystemDesign::RngOblivious, sim::SystemDesign::GreedyIdle,
+          sim::SystemDesign::DrStrange}) {
+        sim::SimConfig cfg = sim::designConfig(d);
+        cfg.instrBudget = 15000;
+        cfg.mechanism = trng::TrngMechanism::quacTrng();
+        cfg.bufferPartitions = 2;
+        expectBitIdentical(cfg, "libq", 2560.0, sim::designKey(d));
+    }
+}
+
+TEST(FastForwardLockstep, PrioritiesAndPowerDown)
+{
+    sim::SimConfig cfg = sim::designConfig(sim::SystemDesign::DrStrange);
+    cfg.instrBudget = 15000;
+    cfg.priorities = {5, 0};
+    expectBitIdentical(cfg, "gcc", 1280.0, "non-RNG prioritized");
+
+    cfg.priorities = {0, 5};
+    expectBitIdentical(cfg, "gcc", 1280.0, "RNG prioritized");
+
+    cfg.priorities.clear();
+    cfg.powerDownThreshold = 200;
+    expectBitIdentical(cfg, "gcc", 320.0, "power-down");
+    expectBitIdentical(cfg, "sjeng", 0.0, "power-down non-RNG");
+}
+
+TEST(FastForwardLockstep, RandomizedConfigs)
+{
+    // Deterministically-seeded random sampling of the configuration
+    // space: all presets, both mechanisms, varying buffers, budgets,
+    // intensities, and seeds.
+    Xoshiro256ss gen(0x5eedf00d);
+    const char *apps[] = {"mcf", "gcc", "libq", "h264ref", "gamess"};
+    const double mbps_choices[] = {0.0, 320.0, 1280.0, 5120.0, 10240.0};
+    const unsigned buffers[] = {1, 4, 16, 64};
+    for (unsigned trial = 0; trial < 10; ++trial) {
+        const sim::SystemDesign d =
+            sim::kAllDesigns[gen.next() % sim::kAllDesigns.size()];
+        sim::SimConfig cfg = sim::designConfig(d);
+        cfg.instrBudget = 8000 + gen.next() % 8000;
+        cfg.seed = 1 + gen.next() % 1000;
+        cfg.bufferEntries =
+            buffers[gen.next() % std::size(buffers)];
+        if (gen.next() % 2)
+            cfg.mechanism = trng::TrngMechanism::quacTrng();
+        if (gen.next() % 4 == 0)
+            cfg.powerDownThreshold = 100 + gen.next() % 400;
+        const std::string app = apps[gen.next() % std::size(apps)];
+        const double mbps =
+            mbps_choices[gen.next() % std::size(mbps_choices)];
+        expectBitIdentical(
+            cfg, app, mbps,
+            std::string(sim::designKey(d)) + "/" + app + "/trial" +
+                std::to_string(trial));
+    }
+}
+
+TEST(FastForwardLockstep, SteppedInFineIncrementsMatchesRun)
+{
+    // step() with arbitrary increments (forcing span clamping at each
+    // boundary) must land on the same state as run().
+    sim::SimConfig cfg = sim::designConfig(sim::SystemDesign::DrStrange);
+    cfg.instrBudget = 5000;
+
+    sim::System whole(cfg, makeTraces(cfg, "gcc", 640.0));
+    whole.run();
+
+    sim::System pieces(cfg, makeTraces(cfg, "gcc", 640.0));
+    while (!pieces.allFinished() &&
+           pieces.busCycles() < whole.busCycles())
+        pieces.step(7);
+    // Align exactly (run() stops at the first all-finished check).
+    if (pieces.busCycles() < whole.busCycles())
+        pieces.step(whole.busCycles() - pieces.busCycles());
+    EXPECT_EQ(sim::systemFingerprint(pieces),
+              sim::systemFingerprint(whole));
+}
+
+TEST(FastForwardLockstep, RunnerMetricsIdentical)
+{
+    // End to end through the Runner: the derived paper metrics (not
+    // just raw counters) must be bit-identical.
+    auto metricsWith = [](bool ff) {
+        sim::SimConfig base;
+        base.instrBudget = 10000;
+        sim::Runner runner(base);
+        workloads::WorkloadSpec spec;
+        spec.name = "mix";
+        spec.apps = {"mcf"};
+        spec.rngThroughputMbps = 5120.0;
+        // Runner honors DS_FAST_FORWARD via System's constructor
+        // default; override through the explicit setter path instead by
+        // running the systems ourselves is covered above — here we set
+        // the environment.
+#ifdef _WIN32
+        _putenv_s("DS_FAST_FORWARD", ff ? "1" : "0");
+#else
+        setenv("DS_FAST_FORWARD", ff ? "1" : "0", 1);
+#endif
+        const auto res = runner.run(sim::SystemDesign::DrStrange, spec);
+#ifndef _WIN32
+        unsetenv("DS_FAST_FORWARD");
+#else
+        _putenv_s("DS_FAST_FORWARD", "");
+#endif
+        return std::vector<double>{
+            res.cores[0].slowdown,     res.cores[1].slowdown,
+            res.cores[0].memSlowdown,  res.cores[1].memSlowdown,
+            res.unfairnessIndex,       res.weightedSpeedupNonRng,
+            res.bufferServeRate,       res.predictorAccuracy,
+            static_cast<double>(res.busCycles), res.energyNj};
+    };
+    EXPECT_EQ(metricsWith(true), metricsWith(false));
+}
+
+// ---------------------------------------------------------------------
+// Component event-horizon units.
+// ---------------------------------------------------------------------
+
+TEST(FastForwardHorizon, RngEngineSchedule)
+{
+    const trng::TrngMechanism mech = trng::TrngMechanism::dRange();
+    dram::DramTimings timings{};
+    dram::DramGeometry geom{};
+    dram::DramChannel chan(timings, geom);
+    trng::RngEngine eng(mech, chan);
+
+    // Idle: no self-scheduled event.
+    EXPECT_EQ(eng.nextEventCycle(0), kNoEvent);
+
+    // Switching in: the phase completes on the tick at phaseEnd - 1.
+    eng.start(0);
+    EXPECT_TRUE(eng.switchingIn());
+    EXPECT_EQ(eng.nextEventCycle(0), mech.switchInLatency - 1);
+
+    // Batched cycle counting matches per-cycle ticks.
+    trng::RngEngine stepped(mech, chan);
+    stepped.start(0);
+    for (Cycle c = 0; c + 1 < mech.switchInLatency; ++c)
+        EXPECT_EQ(stepped.tick(c), 0.0);
+    eng.fastForward(0, mech.switchInLatency - 1);
+    EXPECT_EQ(eng.totalOccupiedCycles(), stepped.totalOccupiedCycles());
+    EXPECT_EQ(eng.switchingIn(), stepped.switchingIn());
+
+    // The switch-in completion tick moves both into the first round.
+    stepped.tick(mech.switchInLatency - 1);
+    eng.fastForwardPhases(1);
+    eng.fastForward(mech.switchInLatency - 1, mech.switchInLatency);
+    EXPECT_TRUE(eng.inRound());
+    EXPECT_TRUE(stepped.inRound());
+    EXPECT_EQ(eng.phaseEndCycle(), stepped.phaseEndCycle());
+    EXPECT_EQ(eng.nextEventCycle(mech.switchInLatency),
+              mech.switchInLatency + mech.roundLatency - 1);
+}
+
+TEST(FastForwardHorizon, RngEngineParkedAndStopping)
+{
+    const trng::TrngMechanism mech = trng::TrngMechanism::dRange();
+    dram::DramTimings timings{};
+    dram::DramGeometry geom{};
+    dram::DramChannel chan(timings, geom);
+    trng::RngEngine eng(mech, chan);
+
+    eng.start(0);
+    Cycle now = 0;
+    while (!eng.inRound())
+        eng.tick(now++);
+    eng.requestPark();
+    while (eng.inRound())
+        eng.tick(now++);
+    ASSERT_TRUE(eng.parked());
+    // Parked without a stop: quiescent until told otherwise.
+    EXPECT_EQ(eng.nextEventCycle(now), kNoEvent);
+    eng.requestStop();
+    // Parked with a stop pending: acts on the very next tick.
+    EXPECT_EQ(eng.nextEventCycle(now), now);
+}
+
+TEST(FastForwardHorizon, DramChannelRefreshAndResidency)
+{
+    dram::DramTimings timings{};
+    dram::DramGeometry geom{};
+    dram::DramChannel chan(timings, geom);
+
+    // Fresh channel: the next self-scheduled event is the refresh edge.
+    EXPECT_EQ(chan.nextEventCycle(0, false), timings.tREFI);
+
+    // Batched residency equals per-cycle sampling.
+    dram::DramChannel stepped(timings, geom);
+    for (Cycle c = 0; c < 100; ++c)
+        stepped.sampleState(c);
+    chan.fastForwardState(0, 100);
+    EXPECT_EQ(chan.energyCounters().cyclesPrecharged,
+              stepped.energyCounters().cyclesPrecharged);
+    EXPECT_EQ(chan.energyCounters().cyclesActive,
+              stepped.energyCounters().cyclesActive);
+
+    // With all banks closed the refresh edge issues REF immediately;
+    // the next event is then the end of the tRFC window.
+    dram::DramChannel refr(timings, geom);
+    refr.tickRefresh(timings.tREFI);
+    ASSERT_TRUE(refr.refreshBusy(timings.tREFI));
+    EXPECT_EQ(refr.nextEventCycle(timings.tREFI, false),
+              timings.tREFI + timings.tRFC);
+
+    // With an open bank the refresh stages per-cycle precharges: the
+    // channel reports per-cycle work (unless an active engine fences
+    // it, in which case staging parks until the engine's own events).
+    dram::DramChannel open(timings, geom);
+    ASSERT_TRUE(open.canIssue(dram::DramCmd::Act, 0, 10));
+    open.issue(dram::DramCmd::Act, 0, 10, /*row=*/7);
+    open.tickRefresh(timings.tREFI);
+    ASSERT_TRUE(open.refreshBusy(timings.tREFI));
+    EXPECT_EQ(open.nextEventCycle(timings.tREFI, false), timings.tREFI);
+    EXPECT_NE(open.nextEventCycle(timings.tREFI, true), timings.tREFI);
+}
+
+TEST(FastForwardHorizon, DramChannelEarliestIssueMatchesCanIssue)
+{
+    dram::DramTimings timings{};
+    dram::DramGeometry geom{};
+    dram::DramChannel chan(timings, geom);
+
+    ASSERT_TRUE(chan.canIssue(dram::DramCmd::Act, 0, 10));
+    chan.issue(dram::DramCmd::Act, 0, 10, /*row=*/42);
+
+    // The read becomes legal exactly at earliestIssueCycle, not before.
+    const Cycle rd_at = chan.earliestIssueCycle(dram::DramCmd::Rd, 0);
+    for (Cycle c = 11; c < rd_at; ++c)
+        EXPECT_FALSE(chan.canIssue(dram::DramCmd::Rd, 0, c)) << c;
+    EXPECT_TRUE(chan.canIssue(dram::DramCmd::Rd, 0, rd_at));
+
+    // Same for a second activate on another bank (tRRD fence).
+    const Cycle act_at = chan.earliestIssueCycle(dram::DramCmd::Act, 1);
+    for (Cycle c = 11; c < act_at; ++c)
+        EXPECT_FALSE(chan.canIssue(dram::DramCmd::Act, 1, c)) << c;
+    EXPECT_TRUE(chan.canIssue(dram::DramCmd::Act, 1, act_at));
+}
+
+TEST(FastForwardHorizon, SchedulerDefaultsAndBliss)
+{
+    // FR-FCFS never blocks skipping; BLISS's event is the clearing
+    // interval; the base-class default is maximally conservative.
+    mem::FrFcfsScheduler fr(1, 8, 16);
+    EXPECT_EQ(fr.nextEventCycle(123), kNoEvent);
+
+    mem::BlissScheduler bliss(1, 2, 4, 10000);
+    EXPECT_EQ(bliss.nextEventCycle(123), 10000u);
+    bliss.tick(10000);
+    EXPECT_EQ(bliss.nextEventCycle(10001), 20000u);
+
+    struct DefaultSched : mem::Scheduler
+    {
+        int pick(const mem::SchedContext &) override { return -1; }
+        void onColumnIssued(const mem::Request &, unsigned) override {}
+    } plain;
+    EXPECT_EQ(plain.nextEventCycle(55), 55u);
+}
+
+TEST(FastForwardHorizon, RngAwarePolicyPeekAndFastForward)
+{
+    mem::RngAwarePolicy::Config pc;
+    pc.stallLimit = 10;
+    mem::RngAwarePolicy policy(1, 2, pc);
+    mem::RequestQueue reads(8);
+    mem::Request req;
+    req.type = mem::ReqType::Read;
+    req.core = 0;
+    req.seq = 1;
+    reads.push(req);
+    std::deque<mem::RngJob> jobs;
+    jobs.push_back(mem::RngJob{1, 0, 2, 0, 0.0});
+
+    // Equal priorities charge the regular counter while choosing Rng.
+    mem::RngAwarePolicy stepped(1, 2, pc);
+    for (Cycle c = 0; c < 6; ++c) {
+        EXPECT_EQ(stepped.peek(0, reads, jobs), mem::QueueChoice::Rng);
+        EXPECT_EQ(stepped.choose(0, reads, jobs), mem::QueueChoice::Rng);
+    }
+    policy.fastForward(0, reads, jobs, 6);
+    EXPECT_EQ(policy.maxStallObserved(), stepped.maxStallObserved());
+    // Both predict the flip at the same cycle.
+    EXPECT_EQ(policy.nextEventCycle(0, reads, jobs, 100),
+              stepped.nextEventCycle(0, reads, jobs, 100));
+    // And the flip actually happens there: 4 more charges, then Regular.
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(stepped.choose(0, reads, jobs), mem::QueueChoice::Rng);
+    EXPECT_EQ(stepped.peek(0, reads, jobs), mem::QueueChoice::Regular);
+    EXPECT_EQ(stepped.choose(0, reads, jobs), mem::QueueChoice::Regular);
+}
+
+TEST(FastForwardHorizon, SystemSkipsAndClampsToStep)
+{
+    sim::SimConfig cfg = sim::designConfig(sim::SystemDesign::DrStrange);
+    cfg.instrBudget = 5000;
+    sim::System sys(cfg, makeTraces(cfg, "", 320.0));
+    ASSERT_TRUE(sys.fastForwardEnabled());
+
+    // Advancing one cycle at a time never fast-forwards (the span is
+    // clamped to the step boundary), yet stays bit-identical.
+    sim::System fine(cfg, makeTraces(cfg, "", 320.0));
+    for (unsigned i = 0; i < 500; ++i)
+        fine.step(1);
+    EXPECT_EQ(fine.ffStats().skips, 0u);
+    EXPECT_EQ(fine.busCycles(), 500u);
+
+    sys.run();
+    EXPECT_GT(sys.ffStats().skips, 0u);
+    EXPECT_GT(sys.ffStats().skippedCycles,
+              sys.ffStats().steppedCycles);
+}
+
+TEST(FastForwardHorizon, DisabledMatchesLegacyStepping)
+{
+    sim::SimConfig cfg = sim::designConfig(sim::SystemDesign::DrStrange);
+    cfg.instrBudget = 4000;
+    sim::System sys(cfg, makeTraces(cfg, "gcc", 640.0));
+    sys.setFastForward(false);
+    sys.run();
+    EXPECT_EQ(sys.ffStats().skips, 0u);
+    EXPECT_EQ(sys.ffStats().skippedCycles, 0u);
+    EXPECT_EQ(sys.ffStats().steppedCycles, sys.busCycles());
+}
+
+} // namespace
