@@ -24,17 +24,29 @@
  *   run_all --jobs N        # sweep worker threads (overrides DS_JOBS)
  *   run_all --sweep-mixes N # dual-core mixes in the sweep (0 disables;
  *                           # default 8)
+ *   run_all --shard I/N     # run only sweep cells owned by shard I of
+ *                           # N (cross-process sharding; writes a
+ *                           # BENCH_run_all.shard-I.json fragment)
+ *   run_all --merge-shards DIR  # join the shard fragments in DIR into
+ *                           # the canonical BENCH_run_all.json
+ *   run_all --cache-dir DIR # persistent alone-run cache (sets
+ *                           # DS_CACHE_DIR for this process and every
+ *                           # child bench)
  *
  * Environment:
  *   DS_INSTR_BUDGET  per-core instruction budget forwarded to benches
  *   DS_CONFIG        base-config key=value overrides forwarded to benches
  *   DS_BENCH_OUT     default output directory for BENCH_*.json
  *   DS_JOBS          sweep worker threads (default hardware_concurrency)
+ *   DS_SHARD         default for --shard ("I/N")
+ *   DS_CACHE_DIR     default for --cache-dir (unset = no persistence)
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -97,9 +109,28 @@ quickBenches(const std::vector<std::string> &all)
 void
 usage(const char *prog)
 {
-    std::cout << "usage: " << prog
-              << " [--all] [--only SUBSTR] [--list] [--out DIR]"
-                 " [--config TEXT] [--jobs N] [--sweep-mixes N]\n";
+    std::cout
+        << "usage: " << prog
+        << " [--all] [--only SUBSTR] [--list] [--out DIR]\n"
+           "               [--config TEXT] [--jobs N] [--sweep-mixes N]\n"
+           "               [--shard I/N] [--merge-shards DIR]"
+           " [--cache-dir DIR]\n"
+           "\n"
+           "  --all            run every bench executable\n"
+           "  --only SUBSTR    run benches whose name contains SUBSTR\n"
+           "  --list           print the known bench names and exit\n"
+           "  --out DIR        write BENCH_run_all.json into DIR\n"
+           "  --config TEXT    key=value config text forwarded to every\n"
+           "                   bench via DS_CONFIG\n"
+           "  --jobs N         sweep worker threads (overrides DS_JOBS)\n"
+           "  --sweep-mixes N  dual-core mixes in the sweep (0 disables)\n"
+           "  --shard I/N      run only the sweep cells owned by shard I\n"
+           "                   of N (default: DS_SHARD); writes a\n"
+           "                   BENCH_run_all.shard-I.json fragment\n"
+           "  --merge-shards DIR  join shard fragments in DIR into the\n"
+           "                   canonical BENCH_run_all.json and exit\n"
+           "  --cache-dir DIR  persistent alone-run cache directory\n"
+           "                   (default: DS_CACHE_DIR; unset = off)\n";
 }
 
 /** The headline metric values of one sweep cell, in record order. */
@@ -193,6 +224,23 @@ buildSweepGrid(unsigned n_mixes)
     return grid;
 }
 
+/** Record the measured (parallel) phase's persistent-cache counters.
+ *  The serial/step-1 reference phases bypass the cache entirely, so
+ *  these counters describe exactly one SweepRunner. */
+void
+addCacheStats(dstrange::sim::SweepRunner &runner,
+              bench::SweepRecord &sweep)
+{
+    const auto &store = runner.runner().resultStore();
+    if (!store)
+        return;
+    sweep.cacheEnabled = true;
+    sweep.cacheDir = store->dir();
+    sweep.cacheHits = store->hits();
+    sweep.cacheMisses = store->misses();
+    sweep.cacheStores = store->stores();
+}
+
 /**
  * In-process sweep through sim::SweepRunner, timing every cell. The
  * parallel run (with per-cell stderr progress) measures throughput; a
@@ -202,12 +250,28 @@ buildSweepGrid(unsigned n_mixes)
  * wall-clock win, overall and per tier. All three runs' metric values
  * must be bit-identical. Returns the number of failures (failed cells,
  * each recorded with its error, plus a bit-identity mismatch).
+ *
+ * With a non-trivial @p shard, all three runs cover only the cells the
+ * shard owns; the rest are recorded as skipped, so N such processes
+ * with distinct indices produce fragments --merge-shards can join into
+ * the full grid. When DS_CACHE_DIR is set, only the measured parallel
+ * run uses the persistent alone-run cache (its hit/miss/store counts
+ * land in the record); the serial and step-1 references bypass it so
+ * their wall-clocks and the bit-identity check stay meaningful.
  */
 int
-runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
+runSweep(unsigned jobs, unsigned n_mixes,
+         const dstrange::sim::SweepRunner::ShardSpec &shard,
+         bench::SweepRecord &sweep)
 {
     const TieredGrid grid = buildSweepGrid(n_mixes);
     const auto &cells = grid.cells;
+    sweep.shardIndex = shard.index;
+    sweep.shardCount = shard.count;
+    std::size_t n_owned = 0;
+    for (const auto &cell : cells)
+        if (shard.owns(cell))
+            ++n_owned;
 
     // The comparison phases control DS_FAST_FORWARD themselves;
     // remember any inherited override and restore it afterwards.
@@ -217,6 +281,7 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
 
     dstrange::sim::SweepRunner runner =
         bench::baseBuilder().buildSweepRunner(jobs);
+    runner.setShard(shard);
     sweep.jobs = runner.jobs();
     runner.setProgress([](std::size_t done, std::size_t total,
                           std::size_t cell, double cell_ms) {
@@ -225,12 +290,19 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
                   << bench::num(cell_ms, 1) << " ms)\n";
     });
 
-    std::cout << "[run_all] sweep: " << cells.size() << " cells in 3 "
-              << "tiers on " << runner.jobs() << " thread(s) ... "
+    std::cout << "[run_all] sweep: ";
+    if (!shard.full())
+        std::cout << n_owned << " of " << cells.size() << " cells "
+                  << "(shard " << shard.index << "/" << shard.count
+                  << ") in 3 ";
+    else
+        std::cout << cells.size() << " cells in 3 ";
+    std::cout << "tiers on " << runner.jobs() << " thread(s) ... "
               << std::flush;
     bench::WallTimer timer;
     const auto results = runner.run(cells);
     sweep.wallMs = timer.elapsedMs();
+    addCacheStats(runner, sweep);
 
     int failures = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -238,10 +310,11 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
         rec.name = grid.names[i];
         rec.wallMs = results[i].wallMs;
         rec.ok = results[i].ok;
+        rec.skipped = results[i].skipped;
         sweep.cellsTotalMs += results[i].wallMs;
         if (results[i].ok) {
             rec.metrics = cellMetrics(results[i].result);
-        } else {
+        } else if (!results[i].skipped) {
             rec.error = results[i].error;
             ++failures;
         }
@@ -250,11 +323,17 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
 
     // Serial reference (fast-forward on): the parallel-speedup
     // denominator and the fast-forward-speedup numerator's partner.
-    // With one worker the run above already is that reference.
+    // With one worker the run above already is that reference. The
+    // reference runs deliberately bypass the persistent cache
+    // (cacheDir("")): loading the measured run's baselines would both
+    // skew their wall-clock and let the step-1 phase skip the very
+    // step-1 baseline computations the bit-identity check exists to
+    // compare.
     std::vector<dstrange::sim::SweepRunner::CellResult> serial_owned;
     if (sweep.jobs > 1) {
         dstrange::sim::SweepRunner serial =
-            bench::baseBuilder().buildSweepRunner(1);
+            bench::baseBuilder().cacheDir("").buildSweepRunner(1);
+        serial.setShard(shard);
         timer.reset();
         serial_owned = serial.run(cells);
         sweep.serialWallMs = timer.elapsedMs();
@@ -266,7 +345,8 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
     // Step-1 reference: the same serial sweep ticking every bus cycle.
     setFastForwardEnv("0");
     dstrange::sim::SweepRunner step1 =
-        bench::baseBuilder().buildSweepRunner(1);
+        bench::baseBuilder().cacheDir("").buildSweepRunner(1);
+    step1.setShard(shard);
     timer.reset();
     const auto step1_results = step1.run(cells);
     sweep.step1WallMs = timer.elapsedMs();
@@ -275,8 +355,11 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
     else
         setFastForwardEnv("1");
 
-    // Per-tier fast-forward accounting from the two serial runs.
+    // Per-tier fast-forward accounting from the two serial runs
+    // (owned cells only; a merge re-sums tiers across shards).
     for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (results[i].skipped)
+            continue;
         bench::FfTierRecord *tier = nullptr;
         for (auto &t : sweep.ffTiers)
             if (t.name == grid.tiers[i])
@@ -293,6 +376,7 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto check = [&](const auto &other) {
             if (results[i].ok != other[i].ok ||
+                results[i].skipped != other[i].skipped ||
                 (results[i].ok &&
                  cellMetrics(results[i].result) !=
                      cellMetrics(other[i].result)))
@@ -313,6 +397,11 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
               << bench::num(sweep.ffSpeedup(), 2) << "x ff speedup, "
               << (sweep.bitIdentical ? "bit-identical" : "MISMATCH")
               << ")\n";
+    if (sweep.cacheEnabled)
+        std::cout << "[run_all] alone-run cache (" << sweep.cacheDir
+                  << "): " << sweep.cacheHits << " hits, "
+                  << sweep.cacheMisses << " misses, "
+                  << sweep.cacheStores << " stores\n";
     for (const bench::FfTierRecord &t : sweep.ffTiers) {
         std::cout << "[run_all]   tier " << t.name << ": "
                   << bench::num(t.step1Ms, 1) << " ms step-1 -> "
@@ -320,13 +409,311 @@ runSweep(unsigned jobs, unsigned n_mixes, bench::SweepRecord &sweep)
                   << bench::num(t.speedup(), 2) << "x)\n";
     }
     for (std::size_t i = 0; i < results.size(); ++i)
-        if (!results[i].ok)
+        if (!results[i].ok && !results[i].skipped)
             std::cerr << "[run_all] sweep cell '" << sweep.cells[i].name
                       << "' failed: " << results[i].error << "\n";
     if (!sweep.bitIdentical)
         std::cerr << "[run_all] sweep: serial/parallel/step-1 metric "
                      "values differ — determinism bug\n";
     return failures;
+}
+
+/** One parsed BENCH_run_all.shard-I.json fragment. */
+struct Fragment
+{
+    std::string path;
+    unsigned index = 0;
+    unsigned count = 1;
+    std::uint64_t instrBudget = 0;
+    std::string config;
+    std::vector<bench::BenchRecord> records;
+    bench::SweepRecord sweep;
+};
+
+/** Parse one shard fragment, throwing std::runtime_error /
+ *  std::invalid_argument with the offending field on malformed input. */
+Fragment
+parseFragment(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const dstrange::JsonValue doc = dstrange::JsonValue::parse(buf.str());
+
+    Fragment frag;
+    frag.path = path;
+    if (doc.at("schema").asString() != "drstrange-bench-v1")
+        throw std::runtime_error("'" + path + "': unknown schema '" +
+                                 doc.at("schema").asString() + "'");
+    frag.instrBudget = doc.at("instr_budget").asU64();
+    frag.config = doc.at("config").asString();
+
+    for (const auto &rv : doc.at("results").array()) {
+        bench::BenchRecord rec;
+        rec.name = rv.at("name").asString();
+        rec.wallMs = rv.at("wall_ms").asDouble();
+        rec.exitCode = static_cast<int>(rv.at("exit_code").asDouble());
+        for (const auto &[metric, value] : rv.at("metrics").members())
+            rec.metrics.emplace_back(metric, value.asDouble());
+        frag.records.push_back(std::move(rec));
+    }
+
+    const dstrange::JsonValue &sv = doc.at("sweep");
+    const dstrange::JsonValue *shard = sv.find("shard");
+    if (!shard)
+        throw std::runtime_error(
+            "'" + path + "': no \"shard\" record — not a fragment "
+            "(was it written by run_all --shard?)");
+    frag.index = static_cast<unsigned>(shard->at("index").asU64());
+    frag.count = static_cast<unsigned>(shard->at("count").asU64());
+    bench::SweepRecord &sweep = frag.sweep;
+    sweep.jobs = static_cast<unsigned>(sv.at("jobs").asU64());
+    sweep.wallMs = sv.at("wall_ms").asDouble();
+    sweep.serialWallMs = sv.at("serial_wall_ms").asDouble();
+    sweep.cellsTotalMs = sv.at("cells_total_ms").asDouble();
+    sweep.bitIdentical = sv.at("bit_identical").asBool();
+    const dstrange::JsonValue &ff = sv.at("fastforward");
+    sweep.step1WallMs = ff.at("step1_wall_ms").asDouble();
+    for (const auto &tv : ff.at("tiers").array()) {
+        bench::FfTierRecord tier;
+        tier.name = tv.at("name").asString();
+        tier.step1Ms = tv.at("step1_wall_ms").asDouble();
+        tier.ffMs = tv.at("ff_wall_ms").asDouble();
+        sweep.ffTiers.push_back(std::move(tier));
+    }
+    if (const dstrange::JsonValue *cache = sv.find("cache")) {
+        sweep.cacheEnabled = true;
+        sweep.cacheDir = cache->at("dir").asString();
+        sweep.cacheHits = cache->at("hits").asU64();
+        sweep.cacheMisses = cache->at("misses").asU64();
+        sweep.cacheStores = cache->at("stores").asU64();
+    }
+    for (const auto &cv : sv.at("cells").array()) {
+        bench::SweepCellRecord cell;
+        cell.name = cv.at("name").asString();
+        cell.wallMs = cv.at("wall_ms").asDouble();
+        cell.ok = cv.at("ok").asBool();
+        if (const dstrange::JsonValue *sk = cv.find("skipped"))
+            cell.skipped = sk->asBool();
+        if (const dstrange::JsonValue *err = cv.find("error"))
+            cell.error = err->asString();
+        for (const auto &[metric, value] : cv.at("metrics").members())
+            cell.metrics.emplace_back(metric, value.asDouble());
+        sweep.cells.push_back(std::move(cell));
+    }
+    return frag;
+}
+
+/**
+ * Join the BENCH_run_all.shard-I.json fragments found in @p dir into
+ * the canonical BENCH_run_all.json in @p out_dir. Validates that the
+ * fragments form one complete shard family (indices 0..N-1 of the
+ * same N, identical config/budget/grid) and that the non-skipped
+ * cells are a disjoint exact cover of the grid, so the merged cell
+ * metrics are bit-identical to what one unsharded process would have
+ * recorded. The merged record carries per-shard wall-clock and cache
+ * summaries, and extends the per-shard 3-way bit-identity verdict:
+ * merged bit_identical = every fragment's verdict AND the cover check.
+ * Returns the process exit code.
+ */
+int
+mergeShards(const std::string &dir, const std::string &out_dir)
+{
+    std::vector<Fragment> frags;
+    try {
+        std::vector<std::string> paths;
+        std::error_code ec;
+        for (const auto &entry : fs::directory_iterator(dir, ec)) {
+            const std::string leaf = entry.path().filename().string();
+            if (leaf.rfind("BENCH_run_all.shard-", 0) == 0 &&
+                leaf.size() > 5 &&
+                leaf.compare(leaf.size() - 5, 5, ".json") == 0)
+                paths.push_back(entry.path().string());
+        }
+        if (ec) {
+            std::cerr << "--merge-shards: cannot list '" << dir
+                      << "': " << ec.message() << "\n";
+            return 2;
+        }
+        std::sort(paths.begin(), paths.end());
+        for (const std::string &p : paths)
+            frags.push_back(parseFragment(p));
+    } catch (const std::exception &e) {
+        std::cerr << "--merge-shards: " << e.what() << "\n";
+        return 2;
+    }
+    // Shard-index order (path sort misorders shard-10 before shard-2),
+    // so the merged per-shard summary reads in index order.
+    std::sort(frags.begin(), frags.end(),
+              [](const Fragment &a, const Fragment &b) {
+                  return a.index < b.index;
+              });
+    if (frags.empty()) {
+        std::cerr << "--merge-shards: no BENCH_run_all.shard-*.json in '"
+                  << dir << "'\n";
+        return 2;
+    }
+
+    // One complete family: N fragments, indices 0..N-1, one grid.
+    const unsigned count = frags[0].count;
+    if (frags.size() != count) {
+        std::cerr << "--merge-shards: found " << frags.size()
+                  << " fragment(s) for a " << count << "-shard run\n";
+        return 2;
+    }
+    std::vector<bool> seen(count, false);
+    for (const Fragment &f : frags) {
+        if (f.count != count || f.index >= count || seen[f.index]) {
+            std::cerr << "--merge-shards: '" << f.path
+                      << "' has shard " << f.index << "/" << f.count
+                      << ", inconsistent with the other fragments\n";
+            return 2;
+        }
+        seen[f.index] = true;
+    }
+    for (const Fragment &f : frags) {
+        if (f.config != frags[0].config ||
+            f.instrBudget != frags[0].instrBudget) {
+            std::cerr << "--merge-shards: '" << f.path << "' ran a "
+                      << "different configuration than '"
+                      << frags[0].path << "'\n";
+            return 2;
+        }
+        if (f.sweep.cells.size() != frags[0].sweep.cells.size()) {
+            std::cerr << "--merge-shards: '" << f.path << "' swept "
+                      << f.sweep.cells.size() << " cells, expected "
+                      << frags[0].sweep.cells.size() << "\n";
+            return 2;
+        }
+        for (std::size_t i = 0; i < f.sweep.cells.size(); ++i)
+            if (f.sweep.cells[i].name != frags[0].sweep.cells[i].name) {
+                std::cerr << "--merge-shards: cell " << i << " is '"
+                          << f.sweep.cells[i].name << "' in '" << f.path
+                          << "' but '" << frags[0].sweep.cells[i].name
+                          << "' in '" << frags[0].path << "'\n";
+                return 2;
+            }
+    }
+    // The merged header re-derives instr_budget/config from this
+    // process's environment; it must describe what the shards ran.
+    const dstrange::sim::SimConfig local = bench::baseConfig();
+    if (dstrange::sim::serializeConfig(local) != frags[0].config ||
+        local.instrBudget != frags[0].instrBudget) {
+        std::cerr << "--merge-shards: the shards ran with a different "
+                     "DS_INSTR_BUDGET/DS_CONFIG than this process; "
+                     "re-run the merge under the same environment\n";
+        return 2;
+    }
+
+    // Disjoint exact cover, then assemble the merged record.
+    bench::SweepRecord merged;
+    merged.merged = true;
+    merged.shardCount = count;
+    merged.jobs = frags[0].sweep.jobs;
+    int failures = 0;
+    bool cover_ok = true;
+    for (std::size_t i = 0; i < frags[0].sweep.cells.size(); ++i) {
+        const Fragment *owner = nullptr;
+        bool duplicated = false;
+        for (const Fragment &f : frags) {
+            if (f.sweep.cells[i].skipped)
+                continue;
+            if (owner)
+                duplicated = true;
+            else
+                owner = &f;
+        }
+        if (!owner || duplicated) {
+            std::cerr << "--merge-shards: cell '"
+                      << frags[0].sweep.cells[i].name
+                      << (owner ? "' was run by more than one shard\n"
+                                : "' was run by no shard\n");
+            cover_ok = false;
+            continue;
+        }
+        bench::SweepCellRecord cell = owner->sweep.cells[i];
+        if (!cell.ok)
+            ++failures;
+        merged.cells.push_back(std::move(cell));
+    }
+    if (!cover_ok) {
+        std::cerr << "--merge-shards: fragments do not partition the "
+                     "grid (mixed shard specs or stale files?)\n";
+        return 2;
+    }
+
+    merged.bitIdentical = true;
+    for (const Fragment &f : frags) {
+        const bench::SweepRecord &s = f.sweep;
+        merged.bitIdentical = merged.bitIdentical && s.bitIdentical;
+        // Shards run concurrently: the merged parallel wall is the
+        // slowest shard, while the serial references add up.
+        merged.wallMs = std::max(merged.wallMs, s.wallMs);
+        merged.serialWallMs += s.serialWallMs;
+        merged.step1WallMs += s.step1WallMs;
+        merged.cellsTotalMs += s.cellsTotalMs;
+        merged.cacheEnabled = merged.cacheEnabled || s.cacheEnabled;
+        if (merged.cacheDir.empty())
+            merged.cacheDir = s.cacheDir;
+        merged.cacheHits += s.cacheHits;
+        merged.cacheMisses += s.cacheMisses;
+        merged.cacheStores += s.cacheStores;
+        for (const bench::FfTierRecord &tier : s.ffTiers) {
+            bench::FfTierRecord *dst = nullptr;
+            for (auto &t : merged.ffTiers)
+                if (t.name == tier.name)
+                    dst = &t;
+            if (!dst) {
+                merged.ffTiers.push_back({tier.name, 0.0, 0.0});
+                dst = &merged.ffTiers.back();
+            }
+            dst->step1Ms += tier.step1Ms;
+            dst->ffMs += tier.ffMs;
+        }
+        bench::ShardSummaryRecord summary;
+        summary.index = f.index;
+        summary.jobs = s.jobs;
+        summary.wallMs = s.wallMs;
+        summary.serialWallMs = s.serialWallMs;
+        summary.step1WallMs = s.step1WallMs;
+        summary.bitIdentical = s.bitIdentical;
+        summary.cacheHits = s.cacheHits;
+        summary.cacheMisses = s.cacheMisses;
+        summary.cacheStores = s.cacheStores;
+        merged.shards.push_back(summary);
+    }
+    if (!merged.bitIdentical)
+        ++failures;
+
+    std::vector<bench::BenchRecord> records;
+    for (const Fragment &f : frags)
+        for (const bench::BenchRecord &rec : f.records) {
+            if (rec.exitCode != 0)
+                ++failures;
+            records.push_back(rec);
+        }
+
+    const std::string path =
+        bench::writeBenchJson("run_all", records, &merged, out_dir);
+    if (path.empty()) {
+        std::cerr << "failed to write BENCH_run_all.json into '"
+                  << out_dir << "'\n";
+        return 1;
+    }
+    std::cout << "[run_all] merged " << count << " shard fragment(s): "
+              << merged.cells.size() << " cells, "
+              << (merged.bitIdentical ? "bit-identical"
+                                      : "bit-identity MISMATCH")
+              << ", " << failures << " failure(s)\n";
+    if (merged.cacheEnabled)
+        std::cout << "[run_all] alone-run cache (" << merged.cacheDir
+                  << "): " << merged.cacheHits << " hits, "
+                  << merged.cacheMisses << " misses, "
+                  << merged.cacheStores << " stores\n";
+    std::cout << "wrote " << path << "\n";
+    return failures == 0 ? 0 : 1;
 }
 
 /** Decode a std::system() status into the child's exit code. */
@@ -364,8 +751,15 @@ main(int argc, char **argv)
     const std::vector<std::string> all_benches = allBenches();
     std::vector<std::string> selected = quickBenches(all_benches);
     std::string out_dir = bench::benchOutputDir();
+    std::string merge_dir;      // non-empty = --merge-shards mode.
     unsigned jobs = 0;          // 0 = DS_JOBS / hardware_concurrency.
     unsigned sweep_mixes = 8;   // 0 disables the in-process sweep.
+
+    // DS_SHARD is only validated once we know the invocation actually
+    // shards — a malformed leftover value must not break --help,
+    // --list, or --merge-shards.
+    dstrange::sim::SweepRunner::ShardSpec shard;
+    bool shard_from_flag = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -437,6 +831,46 @@ main(int argc, char **argv)
                 usage(argv[0]);
                 return 2;
             }
+        } else if (arg == "--shard") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            try {
+                shard = dstrange::sim::SweepRunner::ShardSpec::parse(
+                    argv[++i]);
+                shard_from_flag = true;
+            } catch (const std::exception &e) {
+                std::cerr << "--shard: " << e.what() << "\n";
+                return 2;
+            }
+        } else if (arg == "--merge-shards") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            merge_dir = argv[++i];
+        } else if (arg == "--cache-dir") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            const char *cache_dir = argv[++i];
+            try {
+                // Validate eagerly: openFromEnv degrades silently-ish,
+                // but an explicit flag deserves a hard diagnostic.
+                dstrange::sim::ResultStore probe(cache_dir);
+            } catch (const std::exception &e) {
+                std::cerr << "--cache-dir: " << e.what() << "\n";
+                return 2;
+            }
+            // Via the environment so in-process SweepRunners and every
+            // child bench share the same persistent cache.
+#ifdef _WIN32
+            _putenv_s("DS_CACHE_DIR", cache_dir);
+#else
+            setenv("DS_CACHE_DIR", cache_dir, /*overwrite=*/1);
+#endif
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -444,6 +878,29 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 2;
         }
+    }
+
+    if (!merge_dir.empty())
+        return mergeShards(merge_dir, out_dir);
+
+    if (!shard_from_flag) {
+        try {
+            shard = dstrange::sim::SweepRunner::ShardSpec::fromEnv();
+        } catch (const std::exception &e) {
+            std::cerr << "DS_SHARD: " << e.what() << "\n";
+            return 2;
+        }
+    }
+
+    // Cross-process sharding: every shard sweeps its slice of the
+    // grid, but the subprocess benches are whole-program artefacts —
+    // shard 0 runs them once for the family, the others skip them.
+    if (!shard.full() && shard.index != 0) {
+        std::cout << "[run_all] shard " << shard.index << "/"
+                  << shard.count
+                  << ": skipping bench subprocesses (shard 0 runs "
+                     "them)\n";
+        selected.clear();
     }
 
     // Bench executables are siblings of this harness in the build tree.
@@ -496,13 +953,20 @@ main(int argc, char **argv)
     bench::SweepRecord sweep;
     const bool ran_sweep = sweep_mixes > 0;
     if (ran_sweep)
-        failures += runSweep(jobs, sweep_mixes, sweep);
+        failures += runSweep(jobs, sweep_mixes, shard, sweep);
 
+    // A shard writes a fragment; --merge-shards joins the family back
+    // into the canonical BENCH_run_all.json.
+    const std::string leaf =
+        shard.full() ? ""
+                     : "BENCH_run_all.shard-" +
+                           std::to_string(shard.index) + ".json";
     const std::string path = bench::writeBenchJson(
-        "run_all", records, ran_sweep ? &sweep : nullptr, out_dir);
+        "run_all", records, ran_sweep ? &sweep : nullptr, out_dir, leaf);
     if (path.empty()) {
-        std::cerr << "failed to write BENCH_run_all.json into '" << out_dir
-                  << "'\n";
+        std::cerr << "failed to write " <<
+            (leaf.empty() ? "BENCH_run_all.json" : leaf)
+                  << " into '" << out_dir << "'\n";
         return 1;
     }
     std::cout << "\nwrote " << path << " (" << records.size()

@@ -167,6 +167,8 @@ struct SweepCellRecord {
     std::string name; ///< "<design>/<workload>".
     double wallMs = 0.0;
     bool ok = false;
+    /** Owned by a different shard; not executed by this process. */
+    bool skipped = false;
     std::string error; ///< Exception message when !ok.
     std::vector<std::pair<std::string, double>> metrics;
 };
@@ -178,6 +180,19 @@ struct FfTierRecord {
     double ffMs = 0.0;      ///< Serial wall, event-driven fast-forward.
 
     double speedup() const { return ffMs > 0.0 ? step1Ms / ffMs : 0.0; }
+};
+
+/** One shard's contribution inside a merged sweep record. */
+struct ShardSummaryRecord {
+    unsigned index = 0;
+    unsigned jobs = 1;
+    double wallMs = 0.0;
+    double serialWallMs = 0.0;
+    double step1WallMs = 0.0;
+    bool bitIdentical = true;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheStores = 0;
 };
 
 /**
@@ -193,6 +208,13 @@ struct FfTierRecord {
  * serialWallMs is the cycle-skipping engine's wall-clock win, overall
  * and per workload tier, and its metric values must also be
  * bit-identical (they feed the same bitIdentical verdict).
+ *
+ * Cross-process sharding: a `run_all --shard I/N` invocation runs only
+ * the cells its shard owns (the rest are `skipped`) and emits a
+ * fragment named BENCH_run_all.shard-I.json; `run_all --merge-shards`
+ * joins N fragments back into the canonical BENCH_run_all.json
+ * (merged == true, per-shard summaries in `shards`), whose per-cell
+ * metrics are bit-identical to a single-process run.
  */
 struct SweepRecord {
     unsigned jobs = 1;
@@ -201,6 +223,15 @@ struct SweepRecord {
     double step1WallMs = 0.0;  ///< One-thread wall with DS_FAST_FORWARD=0.
     double cellsTotalMs = 0.0; ///< Sum of per-cell wall times.
     bool bitIdentical = true;  ///< Serial == parallel == step-1 metrics.
+    unsigned shardIndex = 0;   ///< This process's shard (fragment only).
+    unsigned shardCount = 1;   ///< >1 marks a shard fragment.
+    bool merged = false;       ///< Assembled by --merge-shards.
+    bool cacheEnabled = false; ///< Persistent alone-run cache in use.
+    std::string cacheDir;
+    std::uint64_t cacheHits = 0;   ///< Baselines served from disk.
+    std::uint64_t cacheMisses = 0; ///< Baselines recomputed.
+    std::uint64_t cacheStores = 0; ///< Baselines written to disk.
+    std::vector<ShardSummaryRecord> shards; ///< Merged records only.
     std::vector<FfTierRecord> ffTiers; ///< Per-tier ff speedups.
     std::vector<SweepCellRecord> cells;
 
@@ -234,13 +265,16 @@ benchOutputDir()
  * aggregate wall-clock and the measured parallel speedup). Returns the
  * path written, or an empty string on I/O failure. The schema is
  * intentionally flat so the perf-trajectory tooling can diff runs
- * across commits.
+ * across commits. @p file_name overrides the default
+ * "BENCH_<harness>.json" leaf name (shard fragments use
+ * "BENCH_<harness>.shard-I.json").
  */
 inline std::string
 writeBenchJson(const std::string &harness,
                const std::vector<BenchRecord> &records,
                const SweepRecord *sweep = nullptr,
-               const std::string &out_dir = benchOutputDir())
+               const std::string &out_dir = benchOutputDir(),
+               const std::string &file_name = "")
 {
     dstrange::JsonWriter w;
     w.beginObject();
@@ -273,6 +307,43 @@ writeBenchJson(const std::string &harness,
         w.key("cells_total_ms").value(sweep->cellsTotalMs);
         w.key("speedup").value(sweep->speedup());
         w.key("bit_identical").value(sweep->bitIdentical);
+        if (sweep->shardCount > 1 && !sweep->merged) {
+            w.key("shard").beginObject();
+            w.key("index").value(
+                static_cast<std::uint64_t>(sweep->shardIndex));
+            w.key("count").value(
+                static_cast<std::uint64_t>(sweep->shardCount));
+            w.endObject();
+        }
+        if (sweep->merged) {
+            w.key("merged").value(true);
+            w.key("shard_count").value(
+                static_cast<std::uint64_t>(sweep->shardCount));
+            w.key("shards").beginArray();
+            for (const ShardSummaryRecord &s : sweep->shards) {
+                w.beginObject();
+                w.key("index").value(
+                    static_cast<std::uint64_t>(s.index));
+                w.key("jobs").value(static_cast<std::uint64_t>(s.jobs));
+                w.key("wall_ms").value(s.wallMs);
+                w.key("serial_wall_ms").value(s.serialWallMs);
+                w.key("step1_wall_ms").value(s.step1WallMs);
+                w.key("bit_identical").value(s.bitIdentical);
+                w.key("cache_hits").value(s.cacheHits);
+                w.key("cache_misses").value(s.cacheMisses);
+                w.key("cache_stores").value(s.cacheStores);
+                w.endObject();
+            }
+            w.endArray();
+        }
+        if (sweep->cacheEnabled) {
+            w.key("cache").beginObject();
+            w.key("dir").value(sweep->cacheDir);
+            w.key("hits").value(sweep->cacheHits);
+            w.key("misses").value(sweep->cacheMisses);
+            w.key("stores").value(sweep->cacheStores);
+            w.endObject();
+        }
         w.key("fastforward").beginObject();
         w.key("step1_wall_ms").value(sweep->step1WallMs);
         w.key("ff_wall_ms").value(sweep->serialWallMs);
@@ -294,7 +365,9 @@ writeBenchJson(const std::string &harness,
             w.key("name").value(cell.name);
             w.key("wall_ms").value(cell.wallMs);
             w.key("ok").value(cell.ok);
-            if (!cell.ok)
+            if (cell.skipped)
+                w.key("skipped").value(true);
+            if (!cell.ok && !cell.skipped)
                 w.key("error").value(cell.error);
             w.key("metrics").beginObject();
             for (const auto &[metric, value] : cell.metrics)
@@ -307,7 +380,9 @@ writeBenchJson(const std::string &harness,
     }
     w.endObject();
 
-    const std::string path = out_dir + "/BENCH_" + harness + ".json";
+    const std::string leaf =
+        file_name.empty() ? "BENCH_" + harness + ".json" : file_name;
+    const std::string path = out_dir + "/" + leaf;
     std::ofstream out(path);
     if (!out)
         return "";

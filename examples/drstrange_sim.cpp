@@ -140,8 +140,41 @@ main(int argc, char **argv)
             } else if (arg == "--json") {
                 json = true;
             } else if (arg == "--help" || arg == "-h") {
-                std::cout << "see the header comment of examples/"
-                             "drstrange_sim.cpp for options\n";
+                std::cout
+                    << "usage: drstrange_sim [options]\n"
+                       "  --design NAME       any sim::DesignRegistry"
+                       " key (oblivious|greedy|\n"
+                       "                      drstrange|drstrange-rl|"
+                       "drstrange-nopred|\n"
+                       "                      drstrange-nolowutil|"
+                       "rng-aware|frfcfs|bliss|...)\n"
+                       "  --apps a,b,c        non-RNG applications"
+                       " (default soplex)\n"
+                       "  --trace FILE        add a core driven by a"
+                       " trace file (repeatable)\n"
+                       "  --rng-mbps N        RNG app required"
+                       " throughput (default 5120; 0=off)\n"
+                       "  --mechanism NAME    drange|quac (default"
+                       " drange)\n"
+                       "  --hybrid-fill NAME  distinct fill mechanism"
+                       " (hybrid design)\n"
+                       "  --buffer N          buffer entries (default"
+                       " 16)\n"
+                       "  --partitions N      buffer partitions"
+                       " (default 0 = shared)\n"
+                       "  --powerdown N       power-down idle threshold"
+                       " cycles (default 0)\n"
+                       "  --budget N          instructions per core"
+                       " (default 200000)\n"
+                       "  --priorities a,b    per-core OS priorities\n"
+                       "  --seed N            master seed (default 1)\n"
+                       "  --set key=value     set any config-text knob"
+                       " (repeatable; see\n"
+                       "                      docs/configuration.md for"
+                       " the grammar)\n"
+                       "  --print-config      print the canonical"
+                       " config text and exit\n"
+                       "  --json              machine-readable output\n";
                 return 0;
             } else {
                 std::cerr << "unknown option: " << arg << "\n";

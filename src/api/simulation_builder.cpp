@@ -5,9 +5,39 @@
 #include "mem/scheduler_registry.h"
 #include "sim/config_text.h"
 #include "sim/design_registry.h"
+#include "sim/result_store.h"
 #include "strange/predictor_registry.h"
 
 namespace dstrange::sim {
+
+SimulationBuilder &
+SimulationBuilder::cacheDir(std::string dir)
+{
+    cacheDirOverride = std::move(dir);
+    return *this;
+}
+
+std::shared_ptr<ResultStore>
+SimulationBuilder::makeStore() const
+{
+    if (!cacheDirOverride)
+        return ResultStore::openFromEnv();
+    if (cacheDirOverride->empty())
+        return nullptr;
+    return std::make_shared<ResultStore>(*cacheDirOverride);
+}
+
+Runner
+SimulationBuilder::buildRunner() const
+{
+    return Runner(cfg, makeStore());
+}
+
+SweepRunner
+SimulationBuilder::buildSweepRunner(unsigned jobs) const
+{
+    return SweepRunner(cfg, jobs, makeStore());
+}
 
 SimulationBuilder
 SimulationBuilder::fromText(const std::string &text)

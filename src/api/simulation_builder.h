@@ -20,6 +20,7 @@
 #define DSTRANGE_API_SIMULATION_BUILDER_H
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,12 @@
 
 namespace dstrange::sim {
 
+/**
+ * Fluent single-entry-point builder over SimConfig: design presets,
+ * policy knobs, numeric parameters, canonical config text, and the
+ * simulation products (System, Runner, SweepRunner, grid cells) all
+ * hang off one chainable object.
+ */
 class SimulationBuilder
 {
   public:
@@ -67,23 +74,43 @@ class SimulationBuilder
     SimulationBuilder &lowUtilFill(bool on);
 
     // --- Mechanisms and numeric parameters ---------------------------
+    /** TRNG mechanism serving demand RNG requests. */
     SimulationBuilder &mechanism(const trng::TrngMechanism &m);
     /** Built-in mechanism by name ("drange"/"quac").
      *  @throws std::out_of_range when unknown. */
     SimulationBuilder &mechanism(const std::string &name);
+    /** Separate mechanism for buffer fills (hybrid designs,
+     *  Section 8.7); the default is the demand mechanism. */
     SimulationBuilder &fillMechanism(const trng::TrngMechanism &m);
     SimulationBuilder &fillMechanism(const std::string &name);
+    /** Fills use the demand mechanism again (undo fillMechanism()). */
     SimulationBuilder &noFillMechanism();
     SimulationBuilder &timings(const dram::DramTimings &t);
     SimulationBuilder &geometry(const dram::DramGeometry &g);
     SimulationBuilder &bufferEntries(unsigned entries);
     SimulationBuilder &bufferPartitions(unsigned partitions);
+    /** Queue-occupancy threshold below which low-util fill kicks in. */
     SimulationBuilder &lowUtilThreshold(unsigned occupancy);
+    /** Idle cycles before a rank enters power-down. */
     SimulationBuilder &powerDownThreshold(Cycle cycles);
+    /** Per-core instruction budget ending the simulation. */
     SimulationBuilder &instrBudget(std::uint64_t instructions);
+    /** Hard bus-cycle cap (0 = none), a safety net over instrBudget. */
     SimulationBuilder &maxBusCycles(Cycle cycles);
+    /** Per-core scheduling priorities (empty = all equal). */
     SimulationBuilder &priorities(std::vector<int> per_core);
     SimulationBuilder &seed(std::uint64_t s);
+
+    // --- Execution environment ---------------------------------------
+    /**
+     * Persistent alone-run cache directory for the built Runner /
+     * SweepRunner (see sim::ResultStore): baselines are read from and
+     * written back to @p dir, shared safely between concurrent
+     * processes. An empty string disables persistence. When this
+     * setter is never called, the built products fall back to the
+     * DS_CACHE_DIR environment variable (unset = no persistence).
+     */
+    SimulationBuilder &cacheDir(std::string dir);
 
     // --- Text form ---------------------------------------------------
     /** Apply key=value tokens on top of the current state.
@@ -93,9 +120,13 @@ class SimulationBuilder
     std::string toText() const;
 
     // --- Products ----------------------------------------------------
+    /** The built configuration (valid to copy and use directly). */
     const SimConfig &config() const { return cfg; }
+    /** The memory-controller slice of the configuration. */
     mem::McConfig mcConfig() const { return mcConfigFor(cfg); }
-    Runner buildRunner() const { return Runner(cfg); }
+    /** Experiment runner over this configuration (honors cacheDir()). */
+    Runner buildRunner() const;
+    /** One simulated system over explicit per-core traces. */
     System buildSystem(
         std::vector<std::unique_ptr<cpu::TraceSource>> traces) const
     {
@@ -103,11 +134,8 @@ class SimulationBuilder
     }
 
     /** Parallel sweep executor over this configuration (jobs == 0
-     *  selects DS_JOBS / hardware_concurrency). */
-    SweepRunner buildSweepRunner(unsigned jobs = 0) const
-    {
-        return SweepRunner(cfg, jobs);
-    }
+     *  selects DS_JOBS / hardware_concurrency; honors cacheDir()). */
+    SweepRunner buildSweepRunner(unsigned jobs = 0) const;
 
     /**
      * One SweepRunner grid cell that runs @p spec under exactly this
@@ -124,7 +152,11 @@ class SimulationBuilder
     }
 
   private:
+    std::shared_ptr<ResultStore> makeStore() const;
+
     SimConfig cfg;
+    /** nullopt = DS_CACHE_DIR default; "" = persistence disabled. */
+    std::optional<std::string> cacheDirOverride;
 };
 
 } // namespace dstrange::sim

@@ -1,0 +1,361 @@
+#include "common/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dstrange {
+
+namespace {
+
+[[noreturn]] void
+kindError(const char *want, JsonValue::Kind have)
+{
+    const char *names[] = {"null", "bool",  "number",
+                           "string", "array", "object"};
+    throw std::runtime_error(std::string("JSON value is ") +
+                             names[static_cast<int>(have)] + ", expected " +
+                             want);
+}
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (k != Kind::Bool)
+        kindError("bool", k);
+    return boolean;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (k != Kind::Number)
+        kindError("number", k);
+    return number;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (k != Kind::Number)
+        kindError("number", k);
+    // Reparse the original token: doubles lose integer precision past
+    // 2^53, and counters (cycle counts, cache statistics) are uint64.
+    if (text.empty() || text[0] == '-' ||
+        text.find_first_of(".eE") != std::string::npos)
+        kindError("non-negative integer", k);
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (k != Kind::String)
+        kindError("string", k);
+    return text;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    if (k != Kind::Array)
+        kindError("array", k);
+    return items;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (k != Kind::Object)
+        kindError("object", k);
+    return fields;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (k != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : fields)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw std::runtime_error("JSON object has no member '" + key +
+                                 "'");
+    return *v;
+}
+
+/** Recursive-descent parser over the input string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &input) : in(input) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue(0);
+        skipWs();
+        if (pos != in.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    // Our own writer nests a handful of levels; 128 is far beyond any
+    // document this repo produces while keeping hostile input from
+    // overflowing the stack.
+    static constexpr int kMaxDepth = 128;
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::invalid_argument("JSON parse error at offset " +
+                                    std::to_string(pos) + ": " + what);
+    }
+
+    void skipWs()
+    {
+        while (pos < in.size() &&
+               (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' ||
+                in[pos] == '\r'))
+            ++pos;
+    }
+
+    char peek()
+    {
+        if (pos >= in.size())
+            fail("unexpected end of input");
+        return in[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool consumeLiteral(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (in.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    unsigned parseHex4()
+    {
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+            ++pos;
+        }
+        return cp;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= in.size())
+                fail("unterminated string");
+            const char c = in[pos];
+            if (c == '"') {
+                ++pos;
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos;
+                continue;
+            }
+            ++pos; // consume the backslash
+            const char esc = peek();
+            ++pos;
+            switch (esc) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                unsigned cp = parseHex4();
+                // Surrogate pair: a high surrogate must be followed by
+                // \uDC00-\uDFFF; combine into one code point.
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    if (pos + 1 >= in.size() || in[pos] != '\\' ||
+                        in[pos + 1] != 'u')
+                        fail("unpaired UTF-16 surrogate");
+                    pos += 2;
+                    const unsigned lo = parseHex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("unpaired UTF-16 surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("invalid escape sequence");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < in.size() &&
+               (std::isdigit(static_cast<unsigned char>(in[pos])) ||
+                in[pos] == '.' || in[pos] == 'e' || in[pos] == 'E' ||
+                in[pos] == '+' || in[pos] == '-'))
+            ++pos;
+        const std::string token = in.substr(start, pos - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0')
+            fail("malformed number '" + token + "'");
+        JsonValue out;
+        out.k = JsonValue::Kind::Number;
+        out.number = v;
+        out.text = token;
+        return out;
+    }
+
+    JsonValue parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        skipWs();
+        const char c = peek();
+        JsonValue out;
+        switch (c) {
+          case '{': {
+            ++pos;
+            out.k = JsonValue::Kind::Object;
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return out;
+            }
+            for (;;) {
+                skipWs();
+                std::string name = parseString();
+                skipWs();
+                expect(':');
+                out.fields.emplace_back(std::move(name),
+                                        parseValue(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return out;
+            }
+          }
+          case '[': {
+            ++pos;
+            out.k = JsonValue::Kind::Array;
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return out;
+            }
+            for (;;) {
+                out.items.push_back(parseValue(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return out;
+            }
+          }
+          case '"':
+            out.k = JsonValue::Kind::String;
+            out.text = parseString();
+            return out;
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("invalid literal");
+            out.k = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return out;
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("invalid literal");
+            out.k = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return out;
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("invalid literal");
+            return out;
+          default:
+            if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+                return parseNumber();
+            fail("unexpected character");
+        }
+    }
+
+    const std::string &in;
+    std::size_t pos = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &input)
+{
+    return JsonParser(input).parseDocument();
+}
+
+} // namespace dstrange

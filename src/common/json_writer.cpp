@@ -1,5 +1,6 @@
 #include "common/json_writer.h"
 
+#include <charconv>
 #include <cstdio>
 
 namespace dstrange {
@@ -127,6 +128,18 @@ JsonWriter::value(double number)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.6g", number);
     out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueExact(double number)
+{
+    comma();
+    // Shortest round-trip form (std::to_chars without a precision
+    // argument); 32 bytes comfortably hold any double so formatted.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), number);
+    out.write(buf, res.ptr - buf);
     return *this;
 }
 

@@ -28,6 +28,13 @@ class JsonWriter
     JsonWriter &value(const std::string &text);
     JsonWriter &value(const char *text);
     JsonWriter &value(double number);
+    /**
+     * Emit a double with the shortest representation that parses back
+     * to the exact same bits (value() rounds to 6 significant digits
+     * for readable perf records). The persistent alone-run cache uses
+     * this so a cached baseline is bit-identical to a recomputed one.
+     */
+    JsonWriter &valueExact(double number);
     JsonWriter &value(std::uint64_t number);
     JsonWriter &value(int number);
     JsonWriter &value(bool flag);

@@ -7,6 +7,7 @@
 #define DSTRANGE_COMMON_TYPES_H
 
 #include <cstdint>
+#include <string_view>
 
 namespace dstrange {
 
@@ -41,6 +42,23 @@ inline constexpr double kCpuFreqHz = 4e9;
 
 /** Cache-line size in bytes; all memory requests are one line. */
 inline constexpr unsigned kLineBytes = 64;
+
+/**
+ * 64-bit FNV-1a hash. Unlike std::hash, the result is pinned by the
+ * algorithm itself — identical on every platform, process, and library
+ * build — so it is safe to use for cross-process agreements (sweep
+ * shard ownership, persistent cache file names).
+ */
+inline constexpr std::uint64_t
+fnv1a64(std::string_view data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
 
 } // namespace dstrange
 

@@ -18,6 +18,7 @@
 #include "sim/design_registry.h"
 #include "sim/energy_model.h"
 #include "sim/metrics.h"
+#include "sim/result_store.h"
 #include "sim/runner.h"
 #include "sim/sweep_runner.h"
 #include "sim/system.h"

@@ -6,6 +6,7 @@
 #include "sim/design_registry.h"
 #include "sim/energy_model.h"
 #include "sim/lockstep.h"
+#include "sim/result_store.h"
 #include "workloads/rng_benchmark.h"
 #include "workloads/synthetic_trace.h"
 
@@ -34,7 +35,13 @@ Runner::WorkloadResult::rngSlowdown() const
     return 1.0;
 }
 
-Runner::Runner(SimConfig base) : baseCfg(std::move(base))
+Runner::Runner(SimConfig base)
+    : Runner(std::move(base), ResultStore::openFromEnv())
+{
+}
+
+Runner::Runner(SimConfig base, std::shared_ptr<ResultStore> store)
+    : baseCfg(std::move(base)), persistent(std::move(store))
 {
 }
 
@@ -131,8 +138,22 @@ Runner::cachedAlone(const std::string &key,
     }
     // Compute outside the shard lock so unrelated keys proceed in
     // parallel; call_once serializes same-key computations and, on an
-    // exception, leaves the flag unset so a later caller retries.
-    std::call_once(entry->once, [&] { entry->result = compute(); });
+    // exception, leaves the flag unset so a later caller retries. The
+    // persistent store sits behind the once-flag, so each key touches
+    // the disk at most once per Runner: a disk hit skips the
+    // simulation entirely (the cached baseline is bit-identical to a
+    // recomputed one), a miss computes and writes back.
+    std::call_once(entry->once, [&] {
+        if (persistent) {
+            if (auto cached = persistent->loadAlone(key)) {
+                entry->result = *cached;
+                return;
+            }
+        }
+        entry->result = compute();
+        if (persistent)
+            persistent->storeAlone(key, entry->result);
+    });
     return entry->result;
 }
 

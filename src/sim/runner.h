@@ -23,13 +23,16 @@
 
 namespace dstrange::sim {
 
+class ResultStore;
+
 /**
  * Orchestrates workload execution and metric computation.
  *
  * run() and the alone() accessors may be called concurrently from
  * multiple threads; every run is a pure function of its configuration
  * and workload spec, so results are bit-identical whether cells execute
- * serially or in parallel. Only base() mutation is single-threaded.
+ * serially or in parallel. Only base() and setResultStore() mutation is
+ * single-threaded.
  */
 class Runner
 {
@@ -71,7 +74,13 @@ class Runner
         double rngSlowdown() const;
     };
 
+    /** Runs with the persistent cache from DS_CACHE_DIR when that is
+     *  set (see ResultStore); in-memory caching always applies. */
     explicit Runner(SimConfig base);
+
+    /** Like Runner(base), but with an explicit persistent alone-run
+     *  cache (nullptr = none), ignoring DS_CACHE_DIR. */
+    Runner(SimConfig base, std::shared_ptr<ResultStore> store);
 
     /** Run one workload under the given design preset. */
     WorkloadResult run(SystemDesign design,
@@ -131,6 +140,24 @@ class Runner
         collectIdlePeriods = collect;
     }
 
+    /**
+     * Attach (or with nullptr, detach) a persistent alone-run cache.
+     * Baselines already computed are consulted from disk before being
+     * simulated, and newly computed ones are written back; the
+     * in-memory cache sits in front, so each key touches the store at
+     * most once per Runner. Like base(), set only between runs.
+     */
+    void setResultStore(std::shared_ptr<ResultStore> store)
+    {
+        persistent = std::move(store);
+    }
+
+    /** The attached persistent cache, or nullptr. */
+    const std::shared_ptr<ResultStore> &resultStore() const
+    {
+        return persistent;
+    }
+
   private:
     std::unique_ptr<cpu::TraceSource>
     makeAppTrace(const std::string &name, CoreId core,
@@ -160,6 +187,7 @@ class Runner
 
     SimConfig baseCfg;
     bool collectIdlePeriods = false;
+    std::shared_ptr<ResultStore> persistent; ///< Optional disk cache.
 
     /**
      * Alone-run baselines keyed on the trace identity plus the *full*

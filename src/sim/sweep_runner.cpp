@@ -1,19 +1,99 @@
 #include "sim/sweep_runner.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "common/env_util.h"
+#include "common/types.h"
+#include "sim/config_text.h"
 #include "sim/design_registry.h"
 
 namespace dstrange::sim {
 
+SweepRunner::ShardSpec
+SweepRunner::ShardSpec::parse(const std::string &text)
+{
+    const auto fail = [&text] {
+        throw std::invalid_argument(
+            "bad shard spec '" + text +
+            "' (expected I/N with 0 <= I < N, e.g. \"0/4\")");
+    };
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        fail();
+    ShardSpec spec;
+    const auto parseField = [&](std::size_t begin, std::size_t end,
+                                unsigned &out) {
+        const auto res =
+            std::from_chars(text.data() + begin, text.data() + end, out);
+        if (res.ec != std::errc{} || res.ptr != text.data() + end)
+            fail();
+    };
+    parseField(0, slash, spec.index);
+    parseField(slash + 1, text.size(), spec.count);
+    if (spec.count == 0 || spec.index >= spec.count)
+        fail();
+    return spec;
+}
+
+SweepRunner::ShardSpec
+SweepRunner::ShardSpec::fromEnv()
+{
+    const char *env = std::getenv("DS_SHARD");
+    if (!env || *env == '\0')
+        return ShardSpec{};
+    return parse(env);
+}
+
+std::string
+SweepRunner::cellKey(const Cell &cell)
+{
+    std::string key;
+    if (cell.config) {
+        key = "config=" + serializeConfig(*cell.config);
+    } else {
+        key = "design=" + cell.design;
+    }
+    key += "|name=" + cell.spec.name;
+    key += "|group=" + cell.spec.group;
+    key += "|apps=";
+    for (const std::string &app : cell.spec.apps) {
+        key += app;
+        key += ',';
+    }
+    // Exact (shortest round-trip) float form so the key never depends
+    // on locale or printf rounding.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf),
+                                   cell.spec.rngThroughputMbps);
+    key += "|mbps=";
+    key.append(buf, res.ptr);
+    return key;
+}
+
+std::uint64_t
+SweepRunner::cellHash(const Cell &cell)
+{
+    return fnv1a64(cellKey(cell));
+}
+
 SweepRunner::SweepRunner(SimConfig base, unsigned jobs)
     : nJobs(jobs != 0 ? jobs : defaultJobs()), shared(std::move(base))
+{
+}
+
+SweepRunner::SweepRunner(SimConfig base, unsigned jobs,
+                         std::shared_ptr<ResultStore> store)
+    : nJobs(jobs != 0 ? jobs : defaultJobs()),
+      shared(std::move(base), std::move(store))
 {
 }
 
@@ -77,6 +157,23 @@ SweepRunner::run(const std::vector<Cell> &cells)
 {
     std::vector<CellResult> results(cells.size());
 
+    // Cross-process sharding: collect the cell indices this shard owns
+    // and pre-mark everything else skipped, keeping the full grid shape
+    // so results[i] still corresponds to cells[i].
+    std::vector<std::size_t> owned;
+    owned.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (shard.owns(cells[i])) {
+            owned.push_back(i);
+        } else {
+            results[i].skipped = true;
+            results[i].error = "cell owned by another shard (" +
+                               std::to_string(shard.index) + "/" +
+                               std::to_string(shard.count) +
+                               " did not match)";
+        }
+    }
+
     // Progress reporting shared by the serial and parallel paths. The
     // mutex both serializes callback invocations and guards the counter.
     std::mutex progress_mu;
@@ -86,13 +183,13 @@ SweepRunner::run(const std::vector<Cell> &cells)
             return;
         std::lock_guard<std::mutex> lock(progress_mu);
         ++done;
-        progress(done, cells.size(), idx, results[idx].wallMs);
+        progress(done, owned.size(), idx, results[idx].wallMs);
     };
 
     const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(nJobs, cells.size()));
+        std::min<std::size_t>(nJobs, owned.size()));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i) {
+        for (const std::size_t i : owned) {
             results[i] = runCell(cells[i]);
             report(i);
         }
@@ -113,8 +210,8 @@ SweepRunner::run(const std::vector<Cell> &cells)
     queues.reserve(workers);
     for (unsigned w = 0; w < workers; ++w)
         queues.push_back(std::make_unique<WorkQueue>());
-    for (std::size_t i = 0; i < cells.size(); ++i)
-        queues[i % workers]->q.push_back(i);
+    for (std::size_t i = 0; i < owned.size(); ++i)
+        queues[i % workers]->q.push_back(owned[i]);
 
     auto worker = [&](unsigned w) {
         for (;;) {

@@ -14,6 +14,7 @@
 #define DSTRANGE_SIM_SWEEP_RUNNER_H
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,15 +55,72 @@ class SweepRunner
         Runner::WorkloadResult result{};
         double wallMs = 0.0; ///< Wall-clock of this cell on its worker.
         bool ok = false;
+        /** Cell owned by another shard (setShard()); not executed.
+         *  skipped cells report ok == false with an explanatory
+         *  error, never a result. */
+        bool skipped = false;
         std::string error; ///< Exception message when !ok.
     };
+
+    /**
+     * Deterministic cross-process partition of a cell grid: shard
+     * `index` of `count` owns exactly the cells whose stable hash
+     * (cellHash()) is congruent to `index` mod `count`. Because the
+     * hash depends only on the cell's own configuration and workload
+     * spec — never on process state — N processes given the same grid
+     * and distinct indices cover it exactly once with no coordination.
+     */
+    struct ShardSpec
+    {
+        unsigned index = 0;
+        unsigned count = 1; ///< 1 = unsharded (owns every cell).
+
+        /** True when this spec is the trivial single-shard partition. */
+        bool full() const { return count <= 1; }
+
+        /** Does this shard own (and therefore run) @p cell? */
+        bool owns(const Cell &cell) const
+        {
+            return count <= 1 || cellHash(cell) % count == index;
+        }
+
+        /**
+         * Parse "I/N" (e.g. "0/4"): N >= 1 shards, index I < N.
+         * @throws std::invalid_argument on malformed text or I >= N.
+         */
+        static ShardSpec parse(const std::string &text);
+
+        /** DS_SHARD parsed as by parse(), or the trivial partition
+         *  when unset. @throws std::invalid_argument like parse(). */
+        static ShardSpec fromEnv();
+    };
+
+    /**
+     * Canonical serialization of a cell's identity: its design key or
+     * full config text plus every workload-spec field. Equal strings
+     * mean the cell simulates identically; the string (and so the
+     * partition) is stable across processes and machines.
+     */
+    static std::string cellKey(const Cell &cell);
+
+    /** FNV-1a hash of cellKey() — the shard partition function. */
+    static std::uint64_t cellHash(const Cell &cell);
 
     /**
      * @param base Base configuration design-key cells are applied over
      *             (also the shared Runner's base()).
      * @param jobs Worker count; 0 selects defaultJobs().
+     *
+     * The shared Runner picks up DS_CACHE_DIR for its persistent
+     * alone-run cache, as every Runner does.
      */
     explicit SweepRunner(SimConfig base, unsigned jobs = 0);
+
+    /** Like SweepRunner(base, jobs), but with an explicit persistent
+     *  alone-run cache for the shared Runner (nullptr = none),
+     *  ignoring DS_CACHE_DIR. */
+    SweepRunner(SimConfig base, unsigned jobs,
+                std::shared_ptr<ResultStore> store);
 
     /**
      * Worker count used when the constructor is passed jobs == 0: the
@@ -98,6 +156,19 @@ class SweepRunner
     void setProgress(ProgressFn fn) { progress = std::move(fn); }
 
     /**
+     * Restrict subsequent run() calls to the cells owned by @p spec.
+     * Non-owned cells come back immediately with skipped == true (and
+     * ok == false) in their grid positions, so the result vector keeps
+     * the full grid shape and a later merge step can reassemble the
+     * grid from N shards' outputs. The default is the trivial
+     * partition (run everything). Set before run(), like setProgress().
+     */
+    void setShard(ShardSpec spec) { shard = spec; }
+
+    /** The active cross-process partition (trivial by default). */
+    const ShardSpec &shardSpec() const { return shard; }
+
+    /**
      * Execute every cell and return results in cell order. A cell that
      * throws (unknown design key, bad configuration, ...) yields
      * ok == false with the exception message in error; the other cells
@@ -121,6 +192,7 @@ class SweepRunner
     unsigned nJobs;
     Runner shared;
     ProgressFn progress;
+    ShardSpec shard;
 };
 
 } // namespace dstrange::sim

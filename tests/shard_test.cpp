@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tests for cross-process sweep sharding and the persistent alone-run
+ * cache: ShardSpec parsing, the stable cell hash partition (disjoint
+ * exact cover for several grid shapes and shard counts), 2-shard
+ * results merging bit-identically to an unsharded run, ResultStore
+ * round trips, fingerprint/corruption fallback to recomputation, and
+ * WorkloadResult JSON (de)serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "drstrange.h"
+
+using namespace dstrange;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Small budget so each simulated cell finishes in milliseconds. */
+sim::SimConfig
+tinyConfig()
+{
+    sim::SimConfig cfg;
+    cfg.instrBudget = 3000;
+    return cfg;
+}
+
+workloads::WorkloadSpec
+dualSpec(const std::string &app, double mbps = 5120.0)
+{
+    workloads::WorkloadSpec spec;
+    spec.name = app + "+rng";
+    spec.apps = {app};
+    spec.rngThroughputMbps = mbps;
+    return spec;
+}
+
+/** The full metric tuple of a run, for exact (==) comparisons. */
+std::vector<double>
+metricTuple(const sim::Runner::WorkloadResult &res)
+{
+    std::vector<double> out = {
+        res.unfairnessIndex,    res.weightedSpeedupNonRng,
+        res.bufferServeRate,    res.predictorAccuracy,
+        res.energyNj,           static_cast<double>(res.busCycles),
+    };
+    for (const auto &core : res.cores) {
+        out.push_back(core.slowdown);
+        out.push_back(core.memSlowdown);
+        out.push_back(core.ipcShared);
+        out.push_back(core.ipcAlone);
+        out.push_back(core.rngStallFraction);
+    }
+    return out;
+}
+
+/** Fresh empty directory under the test temp root, removed on scope
+ *  exit. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        static int counter = 0;
+        path = fs::path(::testing::TempDir()) /
+               ("drstrange-shard-" + std::to_string(++counter));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string str() const { return path.string(); }
+
+  private:
+    fs::path path;
+};
+
+/** Cache data files in @p dir (everything but the .lock sentinel). */
+std::vector<fs::path>
+cacheFiles(const std::string &dir)
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().filename() != ".lock")
+            files.push_back(entry.path());
+    return files;
+}
+
+} // namespace
+
+// --- ShardSpec ------------------------------------------------------
+
+TEST(ShardSpec, ParsesValidSpecs)
+{
+    const auto s = sim::SweepRunner::ShardSpec::parse("0/2");
+    EXPECT_EQ(s.index, 0u);
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_FALSE(s.full());
+    const auto t = sim::SweepRunner::ShardSpec::parse("7/8");
+    EXPECT_EQ(t.index, 7u);
+    EXPECT_EQ(t.count, 8u);
+    const auto u = sim::SweepRunner::ShardSpec::parse("0/1");
+    EXPECT_TRUE(u.full());
+}
+
+TEST(ShardSpec, RejectsMalformedSpecs)
+{
+    for (const char *bad : {"", "1", "/2", "2/", "a/b", "0x1/2", "1/2x",
+                            "-1/2", "2/2", "3/2", "0/0", "1 /2"})
+        EXPECT_THROW(sim::SweepRunner::ShardSpec::parse(bad),
+                     std::invalid_argument)
+            << "'" << bad << "' should not parse";
+}
+
+TEST(ShardSpec, FromEnvHonorsDsShard)
+{
+#ifndef _WIN32
+    setenv("DS_SHARD", "1/3", /*overwrite=*/1);
+    const auto s = sim::SweepRunner::ShardSpec::fromEnv();
+    EXPECT_EQ(s.index, 1u);
+    EXPECT_EQ(s.count, 3u);
+    setenv("DS_SHARD", "nonsense", 1);
+    EXPECT_THROW(sim::SweepRunner::ShardSpec::fromEnv(),
+                 std::invalid_argument);
+    unsetenv("DS_SHARD");
+#endif
+    const auto trivial = sim::SweepRunner::ShardSpec::fromEnv();
+    EXPECT_TRUE(trivial.full());
+}
+
+// --- Stable cell hash and the partition -----------------------------
+
+TEST(ShardPartition, CellKeyDistinguishesCells)
+{
+    const auto cells = sim::SweepRunner::grid(
+        {"oblivious", "drstrange"},
+        {dualSpec("mcf"), dualSpec("soplex"), dualSpec("mcf", 640.0)});
+    std::set<std::string> keys;
+    for (const auto &cell : cells)
+        keys.insert(sim::SweepRunner::cellKey(cell));
+    EXPECT_EQ(keys.size(), cells.size());
+
+    // An explicit-config cell keys on the full config text, so two
+    // configs differing in any knob hash apart.
+    sim::SimulationBuilder a{tinyConfig()}, b{tinyConfig()};
+    b.bufferEntries(4);
+    const auto ca = a.buildSweepCell(dualSpec("mcf"));
+    const auto cb = b.buildSweepCell(dualSpec("mcf"));
+    EXPECT_NE(sim::SweepRunner::cellKey(ca),
+              sim::SweepRunner::cellKey(cb));
+    EXPECT_EQ(sim::SweepRunner::cellHash(ca),
+              sim::SweepRunner::cellHash(ca));
+}
+
+TEST(ShardPartition, DisjointExactCoverForManyShapes)
+{
+    // Several grid shapes: dual-core products, a single row, a single
+    // column, and a batch of explicit-config cells.
+    std::vector<std::vector<sim::SweepRunner::Cell>> grids;
+    grids.push_back(sim::SweepRunner::grid(
+        {"oblivious", "greedy", "drstrange"},
+        {dualSpec("mcf"), dualSpec("soplex"), dualSpec("lbm"),
+         dualSpec("milc"), dualSpec("gcc")}));
+    grids.push_back(sim::SweepRunner::grid({"drstrange"},
+                                           {dualSpec("mcf")}));
+    grids.push_back(sim::SweepRunner::grid(
+        {"oblivious", "greedy", "drstrange", "bliss", "frfcfs"},
+        {dualSpec("namd")}));
+    {
+        std::vector<sim::SweepRunner::Cell> configs;
+        for (unsigned entries : {4u, 8u, 16u, 32u}) {
+            sim::SimulationBuilder b{tinyConfig()};
+            b.bufferEntries(entries);
+            configs.push_back(b.buildSweepCell(dualSpec("mcf")));
+        }
+        grids.push_back(std::move(configs));
+    }
+
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+        const auto &cells = grids[g];
+        for (unsigned n : {1u, 2u, 3u, 5u, 8u}) {
+            for (const auto &cell : cells) {
+                unsigned owners = 0;
+                for (unsigned i = 0; i < n; ++i) {
+                    sim::SweepRunner::ShardSpec spec;
+                    spec.index = i;
+                    spec.count = n;
+                    owners += spec.owns(cell) ? 1 : 0;
+                }
+                EXPECT_EQ(owners, 1u)
+                    << "grid " << g << ", " << n << " shards: cell '"
+                    << sim::SweepRunner::cellKey(cell)
+                    << "' owned by " << owners << " shards";
+            }
+        }
+    }
+}
+
+TEST(ShardPartition, TwoShardRunMergesBitIdenticalToUnsharded)
+{
+    const auto cells = sim::SweepRunner::grid(
+        {"oblivious", "drstrange"},
+        {dualSpec("mcf"), dualSpec("soplex"), dualSpec("lbm")});
+
+    sim::SweepRunner whole(tinyConfig(), 2);
+    const auto ref = whole.run(cells);
+
+    sim::SweepRunner half0(tinyConfig(), 2), half1(tinyConfig(), 2);
+    half0.setShard(sim::SweepRunner::ShardSpec::parse("0/2"));
+    half1.setShard(sim::SweepRunner::ShardSpec::parse("1/2"));
+    const auto r0 = half0.run(cells);
+    const auto r1 = half1.run(cells);
+
+    ASSERT_EQ(r0.size(), cells.size());
+    ASSERT_EQ(r1.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        // Exactly one shard ran the cell; the other skipped it.
+        ASSERT_NE(r0[i].skipped, r1[i].skipped) << "cell " << i;
+        const auto &merged = r0[i].skipped ? r1[i] : r0[i];
+        const auto &skipped = r0[i].skipped ? r0[i] : r1[i];
+        EXPECT_FALSE(skipped.ok);
+        EXPECT_NE(skipped.error.find("shard"), std::string::npos);
+        ASSERT_TRUE(merged.ok) << merged.error;
+        ASSERT_TRUE(ref[i].ok) << ref[i].error;
+        EXPECT_EQ(metricTuple(merged.result), metricTuple(ref[i].result))
+            << "cell " << i << " (" << cells[i].design << "/"
+            << cells[i].spec.name << ")";
+    }
+}
+
+// --- Persistent alone-run cache -------------------------------------
+
+TEST(ResultStore, AloneRoundTripIsExact)
+{
+    TempDir dir;
+    sim::ResultStore store(dir.str());
+    sim::AloneResult res;
+    res.execCpuCycles = 123456.0;
+    res.ipc = 1.0 / 3.0; // not representable in 6 digits
+    res.mcpi = 0.1234567890123456789;
+    const std::string key = "app|mcf|some-canonical-config";
+    EXPECT_TRUE(store.storeAlone(key, res));
+    EXPECT_EQ(store.stores(), 1u);
+
+    const auto loaded = store.loadAlone(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->execCpuCycles, res.execCpuCycles);
+    EXPECT_EQ(loaded->ipc, res.ipc); // bit-exact, not approximate
+    EXPECT_EQ(loaded->mcpi, res.mcpi);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 0u);
+
+    EXPECT_FALSE(store.loadAlone("some-other-key").has_value());
+    EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(ResultStore, RunnerPersistsAndRestoresBaselines)
+{
+    TempDir dir;
+    // Cold: computes and writes back.
+    auto store1 = std::make_shared<sim::ResultStore>(dir.str());
+    sim::Runner cold(tinyConfig(), store1);
+    const sim::AloneResult ref = cold.alone("mcf");
+    EXPECT_EQ(store1->misses(), 1u);
+    EXPECT_EQ(store1->stores(), 1u);
+    // Second lookup in the same Runner hits the in-memory cache only.
+    cold.alone("mcf");
+    EXPECT_EQ(store1->hits(), 0u);
+
+    // Warm: a fresh process (modelled by a fresh Runner + fresh store
+    // handle on the same directory) restores the identical baseline
+    // without recomputing.
+    auto store2 = std::make_shared<sim::ResultStore>(dir.str());
+    sim::Runner warm(tinyConfig(), store2);
+    const sim::AloneResult &again = warm.alone("mcf");
+    EXPECT_EQ(store2->hits(), 1u);
+    EXPECT_EQ(store2->misses(), 0u);
+    EXPECT_EQ(store2->stores(), 0u);
+    EXPECT_EQ(again.execCpuCycles, ref.execCpuCycles);
+    EXPECT_EQ(again.ipc, ref.ipc);
+    EXPECT_EQ(again.mcpi, ref.mcpi);
+
+    // And a store-less Runner agrees, so the cache changed nothing.
+    sim::Runner plain(tinyConfig(), nullptr);
+    const sim::AloneResult &independent = plain.alone("mcf");
+    EXPECT_EQ(independent.ipc, ref.ipc);
+}
+
+TEST(ResultStore, SweepResultsIdenticalWithWarmCache)
+{
+    TempDir dir;
+    const auto cells = sim::SweepRunner::grid(
+        {"oblivious", "drstrange"}, {dualSpec("mcf"), dualSpec("lbm")});
+
+    sim::SweepRunner noCache(tinyConfig(), 2, nullptr);
+    const auto ref = noCache.run(cells);
+
+    sim::SweepRunner coldSweep(tinyConfig(), 2,
+                               std::make_shared<sim::ResultStore>(
+                                   dir.str()));
+    const auto cold = coldSweep.run(cells);
+    EXPECT_GT(coldSweep.runner().resultStore()->stores(), 0u);
+
+    auto warmStore = std::make_shared<sim::ResultStore>(dir.str());
+    sim::SweepRunner warmSweep(tinyConfig(), 2, warmStore);
+    const auto warm = warmSweep.run(cells);
+    EXPECT_GT(warmStore->hits(), 0u);
+    EXPECT_EQ(warmStore->misses(), 0u); // nothing cached is recomputed
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        ASSERT_TRUE(ref[i].ok && cold[i].ok && warm[i].ok);
+        EXPECT_EQ(metricTuple(cold[i].result), metricTuple(ref[i].result));
+        EXPECT_EQ(metricTuple(warm[i].result), metricTuple(ref[i].result));
+    }
+}
+
+TEST(ResultStore, FingerprintMismatchFallsBackToRecompute)
+{
+    TempDir dir;
+    const std::string key = "app|mcf|cfg";
+    sim::AloneResult res;
+    res.execCpuCycles = 42.0;
+    res.ipc = 2.0;
+    res.mcpi = 0.5;
+
+    sim::ResultStore old(dir.str(), "stale-fingerprint-v0");
+    EXPECT_TRUE(old.storeAlone(key, res));
+
+    // A store with the current fingerprint must treat the stale file
+    // as a miss, not serve (or crash on) it.
+    sim::ResultStore fresh(dir.str());
+    EXPECT_FALSE(fresh.loadAlone(key).has_value());
+    EXPECT_EQ(fresh.misses(), 1u);
+
+    // The stale-stamped store still reads its own file.
+    EXPECT_TRUE(old.loadAlone(key).has_value());
+}
+
+TEST(ResultStore, CorruptOrTruncatedFilesFallBackToRecompute)
+{
+    TempDir dir;
+    sim::ResultStore store(dir.str());
+    const std::string key = "app|mcf|cfg";
+    sim::AloneResult res;
+    res.execCpuCycles = 1.0;
+    ASSERT_TRUE(store.storeAlone(key, res));
+    const auto files = cacheFiles(dir.str());
+    ASSERT_EQ(files.size(), 1u);
+
+    for (const char *garbage :
+         {"", "{\"schema\": \"drstrange-al", "not json at all",
+          "{\"schema\": \"drstrange-alone-cache-v1\"}"}) {
+        std::ofstream(files[0], std::ios::trunc) << garbage;
+        EXPECT_FALSE(store.loadAlone(key).has_value())
+            << "garbage: '" << garbage << "'";
+    }
+
+    // Recompute-and-store heals the slot.
+    ASSERT_TRUE(store.storeAlone(key, res));
+    EXPECT_TRUE(store.loadAlone(key).has_value());
+}
+
+TEST(ResultStore, FingerprintSeparatesEngineModes)
+{
+#ifndef _WIN32
+    // Baselines computed under fast-forward must not be served to a
+    // DS_FAST_FORWARD=0 validation run (and vice versa), even though
+    // the two engines are lockstep-verified bit-identical.
+    unsetenv("DS_FAST_FORWARD");
+    const std::string ff = sim::ResultStore::buildFingerprint();
+    setenv("DS_FAST_FORWARD", "0", /*overwrite=*/1);
+    const std::string step1 = sim::ResultStore::buildFingerprint();
+    unsetenv("DS_FAST_FORWARD");
+    EXPECT_NE(ff, step1);
+#else
+    GTEST_SKIP() << "environment manipulation is POSIX-only here";
+#endif
+}
+
+TEST(ResultStore, OpenFromEnvDefaultsOff)
+{
+#ifndef _WIN32
+    unsetenv("DS_CACHE_DIR");
+    EXPECT_EQ(sim::ResultStore::openFromEnv(), nullptr);
+    TempDir dir;
+    setenv("DS_CACHE_DIR", dir.str().c_str(), /*overwrite=*/1);
+    const auto store = sim::ResultStore::openFromEnv();
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->dir(), dir.str());
+    // An unusable directory degrades to no persistence (nullptr plus
+    // a warning) instead of throwing out of Runner's constructor —
+    // but explicit construction keeps the hard error.
+    setenv("DS_CACHE_DIR", "/dev/null/not-a-directory", 1);
+    EXPECT_EQ(sim::ResultStore::openFromEnv(), nullptr);
+    EXPECT_NO_THROW(sim::Runner{tinyConfig()});
+    EXPECT_THROW(sim::ResultStore("/dev/null/not-a-directory"),
+                 std::runtime_error);
+    unsetenv("DS_CACHE_DIR");
+#else
+    GTEST_SKIP() << "environment manipulation is POSIX-only here";
+#endif
+}
+
+// --- WorkloadResult JSON --------------------------------------------
+
+TEST(ResultStore, WorkloadResultJsonRoundTrip)
+{
+    sim::Runner runner(tinyConfig(), nullptr);
+    runner.setCollectIdlePeriods(true);
+    const auto ref = runner.run("drstrange", dualSpec("mcf"));
+
+    const std::string text = sim::serializeWorkloadResult(ref);
+    const auto back = sim::parseWorkloadResult(text);
+
+    EXPECT_EQ(back.name, ref.name);
+    EXPECT_EQ(back.group, ref.group);
+    EXPECT_EQ(metricTuple(back), metricTuple(ref));
+    EXPECT_EQ(back.busCycles, ref.busCycles);
+    EXPECT_EQ(back.idlePeriods, ref.idlePeriods);
+    const auto &mc = back.mcStats;
+    const auto &mr = ref.mcStats;
+    EXPECT_EQ(mc.readRequests, mr.readRequests);
+    EXPECT_EQ(mc.writeRequests, mr.writeRequests);
+    EXPECT_EQ(mc.rngRequests, mr.rngRequests);
+    EXPECT_EQ(mc.rngServedFromBuffer, mr.rngServedFromBuffer);
+    EXPECT_EQ(mc.rngServedFromStaging, mr.rngServedFromStaging);
+    EXPECT_EQ(mc.rngJobsCompleted, mr.rngJobsCompleted);
+    EXPECT_EQ(mc.readsCompleted, mr.readsCompleted);
+    EXPECT_EQ(mc.sumReadLatency, mr.sumReadLatency);
+    EXPECT_EQ(mc.sumRngLatency, mr.sumRngLatency);
+    ASSERT_EQ(back.cores.size(), ref.cores.size());
+    for (std::size_t i = 0; i < ref.cores.size(); ++i) {
+        EXPECT_EQ(back.cores[i].app, ref.cores[i].app);
+        EXPECT_EQ(back.cores[i].isRng, ref.cores[i].isRng);
+    }
+}
+
+TEST(ResultStore, WorkloadResultParseRejectsMalformedInput)
+{
+    EXPECT_THROW(sim::parseWorkloadResult("{"), std::invalid_argument);
+    EXPECT_THROW(sim::parseWorkloadResult("{}"), std::runtime_error);
+    EXPECT_THROW(sim::parseWorkloadResult("[1, 2]"), std::runtime_error);
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Fails (exit 1) on any intra-repo markdown link whose target file does
+not exist, or whose `#anchor` does not match a heading in the target
+document. External links (http/https/mailto) are not fetched.
+
+Usage: python3 tools/docs_lint.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)      # inline formatting
+    slug = re.sub(r"[^\w\- ]", "", slug)   # punctuation
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as fh:
+        text = CODE_FENCE_RE.sub("", fh.read())
+    return {github_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(path: str, root: str) -> list:
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        text = CODE_FENCE_RE.sub("", fh.read())
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        if base:
+            dest = os.path.normpath(
+                os.path.join(os.path.dirname(path), base))
+            if not os.path.exists(dest):
+                errors.append(f"{os.path.relpath(path, root)}: broken "
+                              f"link '{target}' (no such file)")
+                continue
+        else:
+            dest = path  # same-document anchor
+        if anchor and dest.endswith(".md"):
+            if anchor not in anchors_of(dest):
+                errors.append(f"{os.path.relpath(path, root)}: broken "
+                              f"anchor '{target}'")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = [os.path.join(root, "README.md")]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        files += [os.path.join(docs, f) for f in sorted(os.listdir(docs))
+                  if f.endswith(".md")]
+    errors = []
+    for path in files:
+        if os.path.exists(path):
+            errors += check_file(path, root)
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"docs-lint: {len(files)} file(s), {len(errors)} broken "
+          f"link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
