@@ -162,8 +162,10 @@ setFastForwardEnv(const char *value)
  * The sweep grid, stratified into workload tiers mirroring the bench
  * suite: the Figure-6 heavy dual-core mixes at 5 Gb/s, the Section-8.8
  * low-intensity duals at 640 Mb/s, and a Figure-2-style TRNG
- * throughput tier (rng-alone cells over both mechanisms). Each cell
- * carries its tier label for the fast-forward accounting.
+ * throughput tier (rng-alone cells over both mechanisms), plus a
+ * multi-rank topology tier sweeping the address interleaving on a
+ * two-rank channel. Each cell carries its tier label for the
+ * fast-forward accounting.
  */
 struct TieredGrid
 {
@@ -220,6 +222,24 @@ buildSweepGrid(unsigned n_mixes)
                 grid.tiers.push_back("trng-sweep");
             }
         }
+    }
+    // Multi-rank tier: a two-rank channel under each registered-default
+    // interleaving, so the sweep (and its ResultStore cache keys, which
+    // embed the mapping through the canonical config text) covers the
+    // rank topology knobs.
+    for (const char *mapping : {"row-bank-col-ch", "row-bank-col-rank-ch"}) {
+        SweepRunner::Cell cell;
+        dstrange::sim::SimConfig cfg = bench::baseConfig();
+        dstrange::sim::DesignRegistry::instance().apply("drstrange", cfg);
+        cfg.geometry.ranksPerChannel = 2;
+        cfg.addressMapping = mapping;
+        cell.config = std::move(cfg);
+        cell.spec.name = std::string("2rank-") + mapping;
+        cell.spec.apps = {"soplex"};
+        cell.spec.rngThroughputMbps = 5120.0;
+        grid.names.push_back("multirank/drstrange/" + cell.spec.name);
+        grid.cells.push_back(std::move(cell));
+        grid.tiers.push_back("multirank");
     }
     return grid;
 }

@@ -23,7 +23,9 @@
  *     --priorities a,b,.. per-core OS priorities
  *     --seed N            master seed (default 1)
  *     --set key=value     set any config-text knob (repeatable; see
- *                         sim/config_text.h for the grammar)
+ *                         sim/config_text.h for the grammar), e.g.
+ *                         geometry.ranks=2, mapping=row-bank-col-rank-ch,
+ *                         fill-placement=round-robin, timings.trtrs=2
  *     --print-config      print the canonical config text and exit
  *     --json              machine-readable output
  *
@@ -171,7 +173,11 @@ main(int argc, char **argv)
                        "  --set key=value     set any config-text knob"
                        " (repeatable; see\n"
                        "                      docs/configuration.md for"
-                       " the grammar)\n"
+                       " the grammar), e.g.\n"
+                       "                      geometry.ranks=2"
+                       " mapping=row-bank-col-rank-ch\n"
+                       "                      fill-placement=round-robin"
+                       " timings.trtrs=2\n"
                        "  --print-config      print the canonical"
                        " config text and exit\n"
                        "  --json              machine-readable output\n";

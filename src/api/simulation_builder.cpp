@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "dram/mapping_registry.h"
 #include "mem/scheduler_registry.h"
 #include "sim/config_text.h"
 #include "sim/design_registry.h"
@@ -105,6 +106,24 @@ SimulationBuilder &
 SimulationBuilder::lowUtilFill(bool on)
 {
     cfg.lowUtilFill = on;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::addressMapping(std::string registry_key)
+{
+    if (!dram::MappingRegistry::instance().contains(registry_key))
+        throw std::out_of_range("unknown mapping '" + registry_key +
+                                "' (register it first)");
+    cfg.addressMapping = std::move(registry_key);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::fillPlacement(std::string name)
+{
+    mem::fillPlacementFromName(name); // validate early
+    cfg.fillPlacement = std::move(name);
     return *this;
 }
 

@@ -72,6 +72,12 @@ class SimulationBuilder
     SimulationBuilder &fillPolicy(std::string mode);
     SimulationBuilder &predictor(std::string registry_key);
     SimulationBuilder &lowUtilFill(bool on);
+    /** Physical-address interleaving policy (dram::MappingRegistry
+     *  key, e.g. "row-bank-col-ch" or "row-bank-col-rank-ch"). */
+    SimulationBuilder &addressMapping(std::string registry_key);
+    /** Cross-channel placement of engine buffer-fill sessions
+     *  ("first-idle" or "round-robin"). */
+    SimulationBuilder &fillPlacement(std::string name);
 
     // --- Mechanisms and numeric parameters ---------------------------
     /** TRNG mechanism serving demand RNG requests. */

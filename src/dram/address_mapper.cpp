@@ -4,10 +4,12 @@
 
 namespace dstrange::dram {
 
-AddressMapper::AddressMapper(const DramGeometry &geometry) : geom(geometry)
+AddressMapper::AddressMapper(const DramGeometry &geometry)
+    : AddressMapping(geometry)
 {
-    assert(geom.channels > 0 && geom.banksPerRank > 0 &&
-           geom.rowsPerBank > 0 && geom.rowBytes >= kLineBytes);
+    assert(geom.channels > 0 && geom.ranksPerChannel > 0 &&
+           geom.banksPerRank > 0 && geom.rowsPerBank > 0 &&
+           geom.rowBytes >= kLineBytes);
 }
 
 DramCoord
@@ -19,8 +21,12 @@ AddressMapper::decode(Addr addr) const
     line /= geom.channels;
     coord.col = static_cast<unsigned>(line % geom.colsPerRow());
     line /= geom.colsPerRow();
-    coord.bank = static_cast<unsigned>(line % geom.banksPerRank);
+    const unsigned bank_in_rank =
+        static_cast<unsigned>(line % geom.banksPerRank);
     line /= geom.banksPerRank;
+    coord.rank = static_cast<unsigned>(line % geom.ranksPerChannel);
+    line /= geom.ranksPerChannel;
+    coord.bank = coord.rank * geom.banksPerRank + bank_in_rank;
     coord.row = static_cast<unsigned>(line % geom.rowsPerBank);
     return coord;
 }
@@ -28,8 +34,14 @@ AddressMapper::decode(Addr addr) const
 Addr
 AddressMapper::encode(const DramCoord &coord) const
 {
+    // Accept coords whose rank field was left at 0 with an in-rank bank
+    // index (legacy callers) as well as decode()'s flat-bank form.
+    const unsigned bank_in_rank = coord.bank % geom.banksPerRank;
+    const unsigned rank =
+        coord.rank != 0 ? coord.rank : coord.bank / geom.banksPerRank;
     std::uint64_t line = coord.row;
-    line = line * geom.banksPerRank + coord.bank;
+    line = line * geom.ranksPerChannel + rank;
+    line = line * geom.banksPerRank + bank_in_rank;
     line = line * geom.colsPerRow() + coord.col;
     line = line * geom.channels + coord.channel;
     return line * kLineBytes;

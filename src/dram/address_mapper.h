@@ -24,6 +24,9 @@ struct DramGeometry
     /** Cache lines per row. */
     unsigned colsPerRow() const { return rowBytes / kLineBytes; }
 
+    /** Bank state-machine slots per channel (across all ranks). */
+    unsigned banksPerChannel() const { return ranksPerChannel * banksPerRank; }
+
     /** Total capacity in bytes. */
     std::uint64_t
     capacityBytes() const
@@ -33,42 +36,67 @@ struct DramGeometry
     }
 };
 
-/** DRAM coordinates of one cache-line request. */
+/**
+ * DRAM coordinates of one cache-line request. `bank` is the flat
+ * rank-major bank slot within the channel (range banksPerChannel()), so
+ * queue and scheduler code indexes banks without rank arithmetic; `rank`
+ * is redundantly `bank / banksPerRank` for rank-aware consumers.
+ */
 struct DramCoord
 {
     unsigned channel = 0;
     unsigned bank = 0;
     unsigned row = 0;
     unsigned col = 0;
+    unsigned rank = 0;
 
     bool
     operator==(const DramCoord &o) const
     {
         return channel == o.channel && bank == o.bank && row == o.row &&
-               col == o.col;
+               col == o.col && rank == o.rank;
     }
 };
 
 /**
- * Row:Bank:Column:Channel mapping (channel interleaved at cache-line
- * granularity) — the high-bandwidth mapping typical of Ramulator setups,
- * which lets streaming applications use all channels.
+ * Address-interleaving policy interface: an exact bijection between byte
+ * addresses (at cache-line granularity, over the geometry's capacity)
+ * and DRAM coordinates. Concrete policies live in the string-keyed
+ * MappingRegistry (mapping_registry.h).
  */
-class AddressMapper
+class AddressMapping
+{
+  public:
+    explicit AddressMapping(const DramGeometry &geometry) : geom(geometry) {}
+    virtual ~AddressMapping() = default;
+
+    /** Translate a byte address into DRAM coordinates. */
+    virtual DramCoord decode(Addr addr) const = 0;
+
+    /** Inverse of decode(); returns the base address of the line. */
+    virtual Addr encode(const DramCoord &coord) const = 0;
+
+    const DramGeometry &geometry() const { return geom; }
+
+  protected:
+    DramGeometry geom;
+};
+
+/**
+ * Row:Rank:Bank:Column:Channel mapping (channel interleaved at
+ * cache-line granularity) — the high-bandwidth mapping typical of
+ * Ramulator setups, which lets streaming applications use all channels.
+ * Registered in MappingRegistry as "row-bank-col-ch": the rank digit
+ * sits just below the row, so with one rank per channel it vanishes and
+ * the mapping is bit-identical to the historical single-rank scheme.
+ */
+class AddressMapper final : public AddressMapping
 {
   public:
     explicit AddressMapper(const DramGeometry &geometry);
 
-    /** Translate a byte address into DRAM coordinates. */
-    DramCoord decode(Addr addr) const;
-
-    /** Inverse of decode(); returns the base address of the line. */
-    Addr encode(const DramCoord &coord) const;
-
-    const DramGeometry &geometry() const { return geom; }
-
-  private:
-    DramGeometry geom;
+    DramCoord decode(Addr addr) const override;
+    Addr encode(const DramCoord &coord) const override;
 };
 
 } // namespace dstrange::dram

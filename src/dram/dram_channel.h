@@ -1,8 +1,9 @@
 /**
  * @file
- * One DRAM channel: banks plus rank- and bus-level timing constraints,
- * autonomous refresh, and energy accounting. The memory controller issues
- * commands through this model; the TRNG engine occupies it during RNG mode.
+ * One DRAM channel: per-rank bank arrays plus rank- and bus-level timing
+ * constraints, autonomous refresh, and energy accounting. The memory
+ * controller issues commands through this model; the TRNG engine
+ * occupies it during RNG mode.
  */
 
 #ifndef DSTRANGE_DRAM_DRAM_CHANNEL_H
@@ -39,17 +40,29 @@ struct ChannelEnergyCounters
 };
 
 /**
- * Cycle-level model of one DDR3 channel with a single rank. Constraints
- * enforced: per-bank tRCD/tRAS/tRC/tRP/tRTP/tWR/tCCD, rank-level tRRD and
- * tFAW, command-bus serialization (one command per cycle), data-bus
- * occupancy, read/write turnaround, and tREFI/tRFC refresh.
+ * Cycle-level model of one DDR3 channel with one or more ranks.
+ * Constraints enforced: per-bank tRCD/tRAS/tRC/tRP/tRTP/tWR/tCCD,
+ * rank-scoped tRRD and tFAW, command-bus serialization (one command per
+ * cycle), data-bus occupancy with cross-rank tRTRS turnaround,
+ * read/write turnaround, and per-rank tREFI/tRFC refresh.
+ *
+ * Banks are indexed by the flat rank-major slot `rank * banksPerRank +
+ * bankInRank` (DramCoord::bank), so single-rank callers are unchanged.
+ * With ranksPerChannel == 1 every rank-scoped constraint degenerates to
+ * the historical single-rank behaviour bit-identically.
  */
 class DramChannel
 {
   public:
     DramChannel(const DramTimings &timings, const DramGeometry &geometry);
 
+    /** Bank slots across all ranks of the channel. */
     unsigned numBanks() const { return static_cast<unsigned>(banks.size()); }
+
+    unsigned numRanks() const { return static_cast<unsigned>(ranks.size()); }
+
+    /** Rank that owns flat bank slot @p bankIdx. */
+    unsigned rankOf(unsigned bankIdx) const { return bankIdx / banksEach; }
 
     const Bank &bank(unsigned i) const { return banks[i]; }
 
@@ -62,11 +75,12 @@ class DramChannel
     /**
      * Earliest cycle at which @p cmd could legally issue to @p bankIdx
      * considering the bank, rank, command-bus and data-bus timing
-     * fences — but NOT refresh, RNG-mode, or power-down state (the
-     * fast-forward horizon tracks those as separate events). With no
-     * intervening command, canIssue(cmd, bankIdx, t) is false for every
-     * t below the returned cycle. Requires the bank open/closed state
-     * to match the command (e.g. ACT on a closed bank).
+     * fences (including the cross-rank tRTRS turnaround) — but NOT
+     * refresh, RNG-mode, or power-down state (the fast-forward horizon
+     * tracks those as separate events). With no intervening command,
+     * canIssue(cmd, bankIdx, t) is false for every t below the returned
+     * cycle. Requires the bank open/closed state to match the command
+     * (e.g. ACT on a closed bank).
      */
     Cycle earliestIssueCycle(DramCmd cmd, unsigned bankIdx) const;
 
@@ -86,7 +100,7 @@ class DramChannel
      */
     void tickRefresh(Cycle now);
 
-    /** true while a refresh is being staged or the rank is in tRFC. */
+    /** true while any rank is staging a refresh or inside tRFC. */
     bool refreshBusy(Cycle now) const;
 
     /**
@@ -108,8 +122,8 @@ class DramChannel
      * Earliest cycle >= @p now at which per-cycle housekeeping
      * (tickRefresh/sampleState) does anything beyond incrementing the
      * state-residency counter selected by the current state: a refresh
-     * edge, the end of a tRFC window, the expiry of an RNG-mode fence,
-     * or a power-down entry. Returns @p now while a refresh is actively
+     * edge or tRFC end on any rank, the expiry of an RNG-mode fence, or
+     * a power-down entry. Returns @p now while a refresh is actively
      * being staged (unless @p engine_active fences the channel, in which
      * case staging is parked until the engine releases it) — staging
      * issues precharges on a per-cycle cadence that cannot be skipped.
@@ -130,29 +144,34 @@ class DramChannel
 
     const ChannelEnergyCounters &energyCounters() const { return counters; }
 
-    /** Number of banks with an open row. */
-    unsigned openBankCount() const { return nOpenBanks; }
+    /** Number of banks with an open row (across all ranks). */
+    unsigned openBankCount() const;
 
     /**
      * Enable precharge power-down: after @p idle_threshold cycles with
-     * all banks closed and no activity, the rank powers down; waking
-     * costs tXP before the next command (0 disables the policy).
+     * all of a rank's banks closed and no activity, that rank powers
+     * down; waking costs tXP before the next command (0 disables the
+     * policy).
      */
     void setPowerDownPolicy(Cycle idle_threshold)
     {
         pdThreshold = idle_threshold;
     }
 
-    /** true while the rank is in precharge power-down. */
-    bool poweredDown() const { return pd; }
+    /** true while every rank is in precharge power-down. */
+    bool poweredDown() const;
 
-    /** Begin waking a powered-down rank; commands resume after tXP. */
+    /** true while at least one rank is in precharge power-down. */
+    bool anyRankPoweredDown() const;
+
+    /** Begin waking all powered-down ranks; commands resume after tXP. */
     void requestWake(Cycle now);
 
     /**
      * Observe every issued command (including internally issued
      * refresh-path precharges and REF). Used by verification harnesses
-     * that independently re-check the JEDEC constraints.
+     * that independently re-check the JEDEC constraints. REF is
+     * reported against the first bank slot of the refreshing rank.
      */
     using CommandObserver =
         std::function<void(DramCmd, unsigned bank, Cycle, std::int64_t row)>;
@@ -162,38 +181,52 @@ class DramChannel
     }
 
   private:
-    bool rankCanAct(Cycle now) const;
+    /** Rank-scoped timing/refresh/power state (banks live in the flat
+     *  channel array so existing bank-slot indexing is untouched). */
+    struct RankState
+    {
+        // ACT throttling (tRRD / tFAW are per rank).
+        Cycle lastActAt = 0;
+        bool anyActIssued = false;
+        std::array<Cycle, 4> actWindow{}; ///< Circular tFAW history.
+        unsigned actWindowPos = 0;
+        unsigned actWindowCount = 0;
+
+        // Refresh.
+        Cycle nextRefreshAt = 0;
+        bool stagingRefresh = false;
+        Cycle refreshDoneAt = 0;
+
+        // Precharge power-down.
+        bool pd = false;
+        Cycle lastActivityAt = 0;
+
+        unsigned nOpenBanks = 0;
+    };
+
+    bool rankCanAct(const RankState &r, Cycle now) const;
+    void wakeRank(RankState &r, Cycle now);
+    /** Extra data-bus gap when the burst switches ranks. */
+    Cycle rankTurnaround(unsigned rankIdx) const;
 
     const DramTimings &t;
-    std::vector<Bank> banks;
+    unsigned banksEach; ///< Banks per rank.
+    std::vector<Bank> banks; ///< Flat rank-major bank slots.
+    std::vector<RankState> ranks;
 
-    // Rank-level ACT throttling.
-    Cycle lastActAt = 0;
-    bool anyActIssued = false;
-    std::array<Cycle, 4> actWindow{}; ///< Circular tFAW history.
-    unsigned actWindowPos = 0;
-    unsigned actWindowCount = 0;
-
-    // Shared buses.
+    // Shared buses (channel-wide).
     Cycle cmdBusFreeAt = 0;
     Cycle dataBusFreeAt = 0;
     Cycle nextRdAt = 0;
     Cycle nextWrAt = 0;
-
-    // Refresh.
-    Cycle nextRefreshAt;
-    bool stagingRefresh = false;
-    Cycle refreshDoneAt = 0;
+    int lastBurstRank = -1; ///< Rank of the last data burst (-1: none).
 
     // RNG-mode occupancy.
     Cycle rngBusyUntil = 0;
 
     // Precharge power-down policy.
     Cycle pdThreshold = 0;
-    bool pd = false;
-    Cycle lastActivityAt = 0;
 
-    unsigned nOpenBanks = 0;
     ChannelEnergyCounters counters;
     CommandObserver onCommand;
 };

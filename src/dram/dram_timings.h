@@ -37,6 +37,10 @@ struct DramTimings
     Cycle tRFC = 128; ///< Refresh cycle time (160 ns for 2 Gb parts).
     Cycle tREFI = 6240; ///< Average refresh interval (7.8 us).
     Cycle tXP = 5;    ///< Power-down exit to first valid command.
+    /** Rank-to-rank data-bus turnaround: extra gap between bursts from
+     *  different ranks sharing the channel (never applies with one
+     *  rank, so single-rank timing is unaffected by its value). */
+    Cycle tRTRS = 2;
 
     /** Read command to write command turnaround on the shared bus. */
     Cycle readToWrite() const { return tCL + tBL + 2 - tCWL; }

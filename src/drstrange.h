@@ -12,6 +12,7 @@
 #include "api/simulation_builder.h"
 #include "common/stats_util.h"
 #include "common/table_printer.h"
+#include "dram/mapping_registry.h"
 #include "mem/scheduler_registry.h"
 #include "sim/area_model.h"
 #include "sim/config_text.h"

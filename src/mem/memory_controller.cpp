@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "dram/mapping_registry.h"
 #include "mem/scheduler_registry.h"
 #include "strange/predictor_registry.h"
 
@@ -23,15 +24,35 @@ fillModeFromName(const std::string &name)
         "' (known: none, greedy-oracle, engine)");
 }
 
+FillPlacement
+fillPlacementFromName(const std::string &name)
+{
+    if (name == "first-idle")
+        return FillPlacement::FirstIdle;
+    if (name == "round-robin")
+        return FillPlacement::RoundRobin;
+    throw std::out_of_range("unknown fill placement '" + name +
+                            "' (known: first-idle, round-robin)");
+}
+
+std::vector<std::string>
+fillPlacementNames()
+{
+    return {"first-idle", "round-robin"};
+}
+
 MemoryController::MemoryController(const McConfig &config,
                                    const dram::DramTimings &timings,
                                    const dram::DramGeometry &geometry,
                                    const trng::TrngMechanism &mechanism,
                                    unsigned num_cores)
-    : cfg(config), mapper(geometry), mech(mechanism),
+    : cfg(config),
+      mapper(dram::MappingRegistry::instance().make(config.addressMapping,
+                                                    geometry)),
+      mech(mechanism),
       fillMech(config.fillMechanism.value_or(mechanism)),
       numCores(num_cores),
-      writeSched(geometry.channels, geometry.banksPerRank, /*cap=*/0)
+      writeSched(geometry.channels, geometry.banksPerChannel(), /*cap=*/0)
 {
     assert(timingsAreConsistent(timings));
 
@@ -66,8 +87,9 @@ MemoryController::MemoryController(const McConfig &config,
         cs.idleActive = true;
     }
 
-    const SchedulerContext sctx{geometry.channels, geometry.banksPerRank,
-                                num_cores, cfg};
+    const SchedulerContext sctx{geometry.channels,
+                                geometry.banksPerChannel(), num_cores,
+                                cfg};
     readSched = SchedulerRegistry::instance().make(cfg.scheduler, sctx);
 
     if (cfg.rngAwareQueueing) {
@@ -146,7 +168,7 @@ MemoryController::enqueue(Request req, Cycle now)
         return true;
     }
 
-    req.coord = mapper.decode(req.addr);
+    req.coord = mapper->decode(req.addr);
     ChannelState &cs = perChan[req.coord.channel];
     RequestQueue &q =
         req.type == ReqType::Write ? *cs.writeQ : *cs.readQ;
@@ -234,6 +256,33 @@ MemoryController::fillSessionActive() const
     return false;
 }
 
+bool
+MemoryController::fillReady(unsigned ch, Cycle now) const
+{
+    return engines[ch]->idle() && !chans[ch]->refreshBusy(now) &&
+           occupancy(perChan[ch]) == 0 && perChan[ch].idleActive;
+}
+
+bool
+MemoryController::fillStartAllowed(unsigned ch, Cycle now) const
+{
+    if (cfg.fillPlacement == FillPlacement::FirstIdle)
+        return true;
+    // Round-robin: the first fill-ready channel at or after the rotation
+    // pointer claims the session this cycle; later ones defer. The probe
+    // is side-effect-free (no predictor queries), so deferring never
+    // perturbs the peer channel's prediction state.
+    const unsigned n = static_cast<unsigned>(chans.size());
+    for (unsigned d = 0; d < n; ++d) {
+        const unsigned c = (fillPreferredCh + d) % n;
+        if (c == ch)
+            return true;
+        if (fillReady(c, now))
+            return false;
+    }
+    return true;
+}
+
 void
 MemoryController::manageEngine(unsigned ch, Cycle now)
 {
@@ -268,8 +317,12 @@ MemoryController::manageEngine(unsigned ch, Cycle now)
                                  : true; // Simple buffering (5.1.1).
                 cs.predictionCached = true;
             }
-            if (cs.predictedLong)
+            if (cs.predictedLong && fillStartAllowed(ch, now)) {
                 eng.start(now, trng::RngEngine::SessionKind::Fill);
+                if (cfg.fillPlacement == FillPlacement::RoundRobin)
+                    fillPreferredCh =
+                        (ch + 1) % static_cast<unsigned>(chans.size());
+            }
         } else if (cfg.lowUtilThreshold > 0 &&
                    occ < cfg.lowUtilThreshold &&
                    now >= cs.lowUtilNextAllowed &&
@@ -349,6 +402,14 @@ MemoryController::serveChannel(unsigned ch, Cycle now)
             chan.requestWake(now);
         return;
     }
+    // Partially powered-down channel (some ranks asleep, some awake):
+    // wake the sleeping ranks whenever work is queued so a request
+    // targeting one of them cannot stall indefinitely, then keep serving
+    // the awake ranks this cycle. Unreachable with one rank, where
+    // any-powered-down implies all-powered-down.
+    if (chan.anyRankPoweredDown() &&
+        (!cs.readQ->empty() || !cs.writeQ->empty()))
+        chan.requestWake(now);
 
     // Write-drain policy: drain on the high watermark or opportunistically
     // when no reads wait; stop once the low watermark is reached and reads
@@ -607,6 +668,11 @@ MemoryController::serveChannelEventCycle(unsigned ch, Cycle now,
         return cs.readQ->empty() && cs.writeQ->empty() ? kNoEvent
                                                        : now; // Wakes.
     }
+    // Partially powered-down with queued work: serveChannel() issues a
+    // wake this cycle (never taken with one rank).
+    if (chan.anyRankPoweredDown() &&
+        !(cs.readQ->empty() && cs.writeQ->empty()))
+        return now;
 
     const bool reads_waiting = !cs.readQ->empty();
     if (!cs.writeDraining &&

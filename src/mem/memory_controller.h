@@ -54,6 +54,27 @@ enum class FillMode : std::uint8_t
  */
 FillMode fillModeFromName(const std::string &name);
 
+/** Where an engine buffer-fill session is placed across channels. */
+enum class FillPlacement : std::uint8_t
+{
+    /** The lowest-numbered eligible channel starts the session (the
+     *  historical behaviour: manageEngine's channel-index order). */
+    FirstIdle,
+    /** Rotate the preferred start channel after every fill session so
+     *  fill wear (and rank/channel occupancy) spreads evenly. */
+    RoundRobin,
+};
+
+/**
+ * Parse a fill-placement name ("first-idle"/"round-robin") as used by
+ * SimConfig::fillPlacement and the config text format.
+ * @throws std::out_of_range on an unknown name.
+ */
+FillPlacement fillPlacementFromName(const std::string &name);
+
+/** Registered fill-placement names, sorted. */
+std::vector<std::string> fillPlacementNames();
+
 /** Full memory controller configuration. */
 struct McConfig
 {
@@ -106,6 +127,11 @@ struct McConfig
     /** Max concurrent buffer-fill channels (0 = unlimited; the paper's
      *  Section 5.1.1 selects one channel at a time). */
     unsigned fillChannelLimit = 1;
+    /** Cross-channel placement of engine fill sessions. */
+    FillPlacement fillPlacement = FillPlacement::FirstIdle;
+
+    /** Address-interleaving policy (dram::MappingRegistry key). */
+    std::string addressMapping = "row-bank-col-ch";
 
     strange::RlIdlenessPredictor::Config rlConfig{};
 };
@@ -339,6 +365,12 @@ class MemoryController
      *  uses one selected channel at a time (Section 5.1.1: "selects a
      *  channel for RNG"); demand generation still uses all channels. */
     bool fillSessionActive() const;
+    /** Side-effect-free idle-fill readiness of @p ch (no predictor
+     *  consultation; used only for cross-channel placement ordering). */
+    bool fillReady(unsigned ch, Cycle now) const;
+    /** true when the placement policy lets @p ch start a fill session
+     *  this cycle (always true under FillPlacement::FirstIdle). */
+    bool fillStartAllowed(unsigned ch, Cycle now) const;
     void routeBits(double bits, Cycle now);
     void serveChannel(unsigned ch, Cycle now);
     void manageEngine(unsigned ch, Cycle now);
@@ -348,7 +380,7 @@ class MemoryController
     std::vector<QueueChoice> choiceNow;
 
     McConfig cfg;
-    dram::AddressMapper mapper;
+    std::unique_ptr<const dram::AddressMapping> mapper;
     trng::TrngMechanism mech;     ///< Demand-generation mechanism.
     trng::TrngMechanism fillMech; ///< Fill mechanism (== mech unless hybrid).
     unsigned numCores;
@@ -377,6 +409,10 @@ class MemoryController
     CompletionCallback onComplete;
     std::uint64_t nextSeq = 0;
     McStats statistics;
+
+    /** Rotation cursor for FillPlacement::RoundRobin (unused under
+     *  FirstIdle, so the default placement stays bit-identical). */
+    unsigned fillPreferredCh = 0;
 
     /** Scratch for collectProducers (avoids per-horizon allocation). */
     mutable std::vector<Producer> producerScratch;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dram/mapping_registry.h"
 #include "mem/scheduler_registry.h"
 #include "sim/design_registry.h"
 #include "strange/predictor_registry.h"
@@ -142,6 +143,7 @@ applyTimingsField(dram::DramTimings &t, const std::string &field,
         {"trfc", &dram::DramTimings::tRFC},
         {"trefi", &dram::DramTimings::tREFI},
         {"txp", &dram::DramTimings::tXP},
+        {"trtrs", &dram::DramTimings::tRTRS},
     };
     for (const Entry &e : entries) {
         if (field == e.name) {
@@ -196,6 +198,14 @@ applyToken(SimConfig &cfg, const std::string &key,
         cfg.predictor = value;
     } else if (key == "low-util") {
         cfg.lowUtilFill = parseBool(value);
+    } else if (key == "mapping") {
+        if (!dram::MappingRegistry::instance().contains(value))
+            throw std::invalid_argument("unknown mapping '" + value +
+                                        "'");
+        cfg.addressMapping = value;
+    } else if (key == "fill-placement") {
+        mem::fillPlacementFromName(value); // validate
+        cfg.fillPlacement = value;
     } else if (key == "mechanism") {
         if (auto m = trng::TrngMechanism::byName(value))
             cfg.mechanism = *m;
@@ -270,6 +280,8 @@ serializeConfig(const SimConfig &cfg)
     o << " fill=" << cfg.fillPolicy;
     o << " predictor=" << cfg.predictor;
     o << " low-util=" << (cfg.lowUtilFill ? 1 : 0);
+    o << " mapping=" << cfg.addressMapping;
+    o << " fill-placement=" << cfg.fillPlacement;
     serializeMechanism(o, "mechanism", cfg.mechanism);
     if (cfg.fillMechanism)
         serializeMechanism(o, "fill-mechanism", *cfg.fillMechanism);
@@ -298,7 +310,7 @@ serializeConfig(const SimConfig &cfg)
       << " timings.twr=" << t.tWR << " timings.twtr=" << t.tWTR
       << " timings.trrd=" << t.tRRD << " timings.tfaw=" << t.tFAW
       << " timings.trfc=" << t.tRFC << " timings.trefi=" << t.tREFI
-      << " timings.txp=" << t.tXP;
+      << " timings.txp=" << t.tXP << " timings.trtrs=" << t.tRTRS;
     const dram::DramGeometry &g = cfg.geometry;
     o << " geometry.channels=" << g.channels
       << " geometry.ranks=" << g.ranksPerChannel

@@ -1,7 +1,9 @@
 #include "sim/result_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -108,6 +110,7 @@ ResultStore::ResultStore(std::string dir, std::string fingerprint)
     if (ec || !fs::is_directory(root))
         throw std::runtime_error("cannot create cache directory '" +
                                  root + "': " + ec.message());
+    maxBytes = envU64("DS_CACHE_MAX_MB", 0) * 1024 * 1024;
 }
 
 std::shared_ptr<ResultStore>
@@ -182,6 +185,10 @@ ResultStore::loadAlone(const std::string &key) const
                 doc.at("key").asString() == key) {
                 AloneResult res = aloneResultFromJson(doc.at("result"));
                 nHits.fetch_add(1);
+                // Refresh recency so LRU eviction spares hot baselines.
+                std::error_code ec;
+                fs::last_write_time(
+                    path, fs::file_time_type::clock::now(), ec);
                 return res;
             }
         } catch (const std::exception &) {
@@ -237,7 +244,56 @@ ResultStore::storeAlone(const std::string &key,
         return false;
     }
     nStores.fetch_add(1);
+    if (maxBytes > 0)
+        evictOverBudget(); // Still under the exclusive lock.
     return true;
+}
+
+void
+ResultStore::evictOverBudget() const
+{
+    // Collect every cache file with its size and mtime; anything the
+    // filesystem refuses to describe is simply skipped (the budget is
+    // best-effort, never a correctness property).
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t size;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(root, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.rfind("alone-", 0) != 0 ||
+            name.find(".json") == std::string::npos)
+            continue;
+        std::error_code fec;
+        const std::uint64_t size = de.file_size(fec);
+        if (fec)
+            continue;
+        const fs::file_time_type mtime = de.last_write_time(fec);
+        if (fec)
+            continue;
+        entries.push_back({de.path(), size, mtime});
+        total += size;
+    }
+    if (total <= maxBytes)
+        return;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    // Oldest first; removal is an atomic unlink, so a reader either
+    // still sees the whole file or a clean miss — never a torn read.
+    for (const Entry &e : entries) {
+        if (total <= maxBytes)
+            break;
+        std::error_code rec;
+        if (fs::remove(e.path, rec) && !rec)
+            total -= e.size;
+    }
 }
 
 void

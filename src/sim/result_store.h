@@ -82,13 +82,28 @@ class ResultStore
     static std::string buildFingerprint();
 
     /** Cached baseline for @p key, or nullopt on any miss (absent,
-     *  corrupt, wrong key, or wrong fingerprint). Never throws. */
+     *  corrupt, wrong key, or wrong fingerprint). Never throws. A hit
+     *  refreshes the file's mtime so size-bounded eviction (see
+     *  setMaxBytes) approximates LRU over *uses*, not just writes. */
     std::optional<AloneResult> loadAlone(const std::string &key) const;
 
     /** Persist a baseline (atomic; last writer wins). Returns false on
-     *  I/O failure — callers lose persistence, not correctness. */
+     *  I/O failure — callers lose persistence, not correctness. When a
+     *  size bound is set, the store then evicts oldest-mtime cache
+     *  files until the directory fits the budget again. */
     bool storeAlone(const std::string &key,
                     const AloneResult &result) const;
+
+    /**
+     * Bound the total size of cache files in the directory (bytes;
+     * 0 = unlimited, the default). The constructor seeds this from the
+     * DS_CACHE_MAX_MB environment variable. Enforcement happens on
+     * store, under the directory's exclusive lock, by removing the
+     * least-recently-used (oldest mtime) `alone-*.json` files first;
+     * concurrent readers of an evicted file simply miss and recompute.
+     */
+    void setMaxBytes(std::uint64_t bytes) { maxBytes = bytes; }
+    std::uint64_t maxBytesBound() const { return maxBytes; }
 
     const std::string &dir() const { return root; }
     const std::string &fingerprint() const { return stamp; }
@@ -102,9 +117,13 @@ class ResultStore
 
   private:
     std::string filePath(const std::string &key) const;
+    /** Delete oldest-mtime cache files until the budget is met. Must
+     *  be called with the exclusive directory lock held; never throws. */
+    void evictOverBudget() const;
 
     std::string root;
     std::string stamp;
+    std::uint64_t maxBytes = 0;
     mutable std::atomic<std::uint64_t> nHits{0};
     mutable std::atomic<std::uint64_t> nMisses{0};
     mutable std::atomic<std::uint64_t> nStores{0};

@@ -141,6 +141,8 @@ mcConfigFor(const SimConfig &cfg)
                             : mem::FillMode::None;
     mc.predictor = cfg.predictor;
     mc.lowUtilThreshold = cfg.lowUtilFill ? cfg.lowUtilThreshold : 0;
+    mc.fillPlacement = mem::fillPlacementFromName(cfg.fillPlacement);
+    mc.addressMapping = cfg.addressMapping;
     if (cfg.predictor == "rl")
         mc.rlConfig.seed = cfg.seed * 7919 + 17;
 

@@ -83,6 +83,12 @@ struct SimConfig
     std::string predictor = "simple";
     /** Also fill during low-utilization (not just idle) periods. */
     bool lowUtilFill = true;
+    /** Physical-address interleaving policy
+     *  (dram::MappingRegistry key). */
+    std::string addressMapping = "row-bank-col-ch";
+    /** Cross-channel placement of engine buffer-fill sessions:
+     *  "first-idle" (historical) or "round-robin". */
+    std::string fillPlacement = "first-idle";
 
     // --- Mechanisms and hardware parameters --------------------------
     trng::TrngMechanism mechanism = trng::TrngMechanism::dRange();

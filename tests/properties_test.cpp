@@ -295,7 +295,8 @@ TEST_P(TimingComplianceProperty, NoViolationsInEndToEndRun)
     std::vector<std::unique_ptr<testutil::TimingChecker>> checkers;
     for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
         checkers.push_back(std::make_unique<testutil::TimingChecker>(
-            cfg.timings, cfg.geometry.banksPerRank));
+            cfg.timings, cfg.geometry.banksPerChannel(),
+            cfg.geometry.banksPerRank));
         checkers.back()->attach(sys.mc().channelMutable(ch));
     }
 
@@ -351,4 +352,157 @@ TEST(RefreshProperty, RefreshKeepsPaceUnderRngLoad)
                   2 * cfg.timings.tREFI)
             << "refresh " << i << " late";
     }
+}
+
+// ---------------------------------------------------------------------
+// Property: multi-rank channels obey the same JEDEC constraints —
+// including the rank-scoped tRRD/tFAW, per-rank refresh, and the
+// cross-rank tRTRS bus turnaround — for every registered mapping.
+// ---------------------------------------------------------------------
+
+#include "dram/mapping_registry.h"
+
+TEST(MultiRankTimingProperty, NoViolationsAcrossRanksAndMappings)
+{
+    for (unsigned ranks : {2u, 4u}) {
+        for (const std::string &mapping :
+             dstrange::dram::MappingRegistry::instance().keys()) {
+            SimConfig cfg = tinyConfig();
+            applyDesign(cfg, SystemDesign::DrStrange);
+            cfg.geometry.ranksPerChannel = ranks;
+            cfg.addressMapping = mapping;
+
+            std::vector<std::unique_ptr<dstrange::cpu::TraceSource>>
+                traces;
+            traces.push_back(std::make_unique<workloads::SyntheticTrace>(
+                workloads::appByName("soplex"), cfg.geometry, 0,
+                cfg.seed));
+            traces.push_back(std::make_unique<workloads::RngBenchmark>(
+                5120.0, cfg.geometry, cfg.seed + 1));
+            System sys(cfg, std::move(traces));
+
+            std::vector<std::unique_ptr<testutil::TimingChecker>>
+                checkers;
+            for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
+                checkers.push_back(
+                    std::make_unique<testutil::TimingChecker>(
+                        cfg.timings, cfg.geometry.banksPerChannel(),
+                        cfg.geometry.banksPerRank));
+                checkers.back()->attach(sys.mc().channelMutable(ch));
+            }
+            sys.run();
+
+            std::uint64_t total = 0;
+            for (const auto &checker : checkers) {
+                for (const std::string &violation :
+                     checker->violations())
+                    ADD_FAILURE()
+                        << violation << " (ranks=" << ranks
+                        << " mapping=" << mapping << ")";
+                total += checker->commandsChecked();
+            }
+            EXPECT_GT(total, 1000u) << "ranks=" << ranks
+                                    << " mapping=" << mapping;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: every registered address mapping is an exact bijection
+// between line-aligned addresses and DRAM coordinates, over randomized
+// geometries (encode inverts decode, fields stay in bounds, and the
+// whole address space maps without collisions).
+// ---------------------------------------------------------------------
+
+#include <random>
+#include <set>
+
+TEST(MappingProperty, EncodeInvertsDecodeOnRandomGeometries)
+{
+    std::mt19937_64 prng(0xD5u);
+    auto &registry = dstrange::dram::MappingRegistry::instance();
+    for (int iter = 0; iter < 40; ++iter) {
+        dstrange::dram::DramGeometry g;
+        g.channels = 1 + prng() % 4;
+        g.ranksPerChannel = 1 + prng() % 4;
+        g.banksPerRank = 1u << (prng() % 4); // pow2: all mappings apply
+        g.rowsPerBank = 2 + prng() % 64;
+        g.rowBytes = kLineBytes * (1 + prng() % 8);
+        const std::uint64_t lines = g.capacityBytes() / kLineBytes;
+
+        for (const std::string &key : registry.keys()) {
+            const auto mapping = registry.make(key, g);
+            for (int i = 0; i < 200; ++i) {
+                const Addr addr = (prng() % lines) * kLineBytes;
+                const dstrange::dram::DramCoord c =
+                    mapping->decode(addr);
+                ASSERT_LT(c.channel, g.channels) << key;
+                ASSERT_LT(c.rank, g.ranksPerChannel) << key;
+                ASSERT_LT(c.bank, g.banksPerChannel()) << key;
+                ASSERT_EQ(c.rank, c.bank / g.banksPerRank) << key;
+                ASSERT_LT(c.row, g.rowsPerBank) << key;
+                ASSERT_LT(c.col, g.colsPerRow()) << key;
+                ASSERT_EQ(mapping->encode(c), addr) << key;
+
+                // Callers that fill only the flat bank slot (rank left
+                // zero) must encode to the same address.
+                dstrange::dram::DramCoord legacy = c;
+                legacy.rank = 0;
+                ASSERT_EQ(mapping->encode(legacy), addr) << key;
+            }
+        }
+    }
+}
+
+TEST(MappingProperty, FullAddressSpaceIsBijective)
+{
+    dstrange::dram::DramGeometry g;
+    g.channels = 3;
+    g.ranksPerChannel = 2;
+    g.banksPerRank = 4;
+    g.rowsPerBank = 5;
+    g.rowBytes = kLineBytes * 2;
+    const std::uint64_t lines = g.capacityBytes() / kLineBytes;
+
+    auto &registry = dstrange::dram::MappingRegistry::instance();
+    for (const std::string &key : registry.keys()) {
+        const auto mapping = registry.make(key, g);
+        std::set<std::tuple<unsigned, unsigned, unsigned, unsigned>>
+            seen;
+        for (std::uint64_t line = 0; line < lines; ++line) {
+            const Addr addr = line * kLineBytes;
+            const dstrange::dram::DramCoord c = mapping->decode(addr);
+            seen.emplace(c.channel, c.bank, c.row, c.col);
+            ASSERT_EQ(mapping->encode(c), addr) << key;
+        }
+        EXPECT_EQ(seen.size(), lines) << key << ": decode collides";
+    }
+}
+
+TEST(MappingProperty, PermuteBankRejectsNonPowerOfTwoBanks)
+{
+    dstrange::dram::DramGeometry g;
+    g.banksPerRank = 3;
+    EXPECT_THROW(dstrange::dram::MappingRegistry::instance().make(
+                     "permute-bank", g),
+                 std::invalid_argument);
+}
+
+TEST(MappingProperty, RankInterleavedMappingSpreadsLinesAcrossRanks)
+{
+    dstrange::dram::DramGeometry g;
+    g.ranksPerChannel = 2;
+    const auto mapping = dstrange::dram::MappingRegistry::instance()
+                             .make("row-bank-col-rank-ch", g);
+    // The rank digit sits directly above the channel digit, so lines
+    // one channel-stride apart land on alternating ranks.
+    const Addr stride = static_cast<Addr>(g.channels) * kLineBytes;
+    EXPECT_EQ(mapping->decode(0).rank, 0u);
+    EXPECT_EQ(mapping->decode(stride).rank, 1u);
+    EXPECT_EQ(mapping->decode(2 * stride).rank, 0u);
+    // The default mapping keeps them on one rank instead.
+    const auto deflt = dstrange::dram::MappingRegistry::instance().make(
+        dstrange::dram::MappingRegistry::kDefault, g);
+    EXPECT_EQ(deflt->decode(0).rank, 0u);
+    EXPECT_EQ(deflt->decode(stride).rank, 0u);
 }

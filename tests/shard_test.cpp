@@ -10,11 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "drstrange.h"
@@ -264,6 +267,111 @@ TEST(ResultStore, AloneRoundTripIsExact)
 
     EXPECT_FALSE(store.loadAlone("some-other-key").has_value());
     EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(ResultStore, SizeBoundEvictsLeastRecentlyUsed)
+{
+    TempDir dir;
+    sim::ResultStore store(dir.str());
+    EXPECT_EQ(store.maxBytesBound(), 0u); // Unlimited by default.
+
+    sim::AloneResult res;
+    res.execCpuCycles = 1000.0;
+    res.ipc = 1.5;
+    res.mcpi = 0.25;
+    ASSERT_TRUE(store.storeAlone("key-a", res));
+    const auto files = cacheFiles(dir.str());
+    ASSERT_EQ(files.size(), 1u);
+    const std::uint64_t one = fs::file_size(files[0]);
+
+    // Budget for two files: storing a third evicts the stalest one.
+    store.setMaxBytes(2 * one + one / 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(store.storeAlone("key-b", res));
+    EXPECT_EQ(cacheFiles(dir.str()).size(), 2u);
+
+    // Touch key-a via a hit so key-b becomes the LRU victim.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(store.loadAlone("key-a").has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(store.storeAlone("key-c", res));
+
+    EXPECT_EQ(cacheFiles(dir.str()).size(), 2u);
+    EXPECT_TRUE(store.loadAlone("key-a").has_value());
+    EXPECT_FALSE(store.loadAlone("key-b").has_value()); // Evicted.
+    EXPECT_TRUE(store.loadAlone("key-c").has_value());
+}
+
+TEST(ResultStore, MaxBytesSeedsFromEnvironment)
+{
+    TempDir dir;
+    ::setenv("DS_CACHE_MAX_MB", "3", 1);
+    sim::ResultStore bounded(dir.str());
+    ::unsetenv("DS_CACHE_MAX_MB");
+    EXPECT_EQ(bounded.maxBytesBound(), 3ull * 1024 * 1024);
+    sim::ResultStore unbounded(dir.str());
+    EXPECT_EQ(unbounded.maxBytesBound(), 0u);
+}
+
+TEST(ResultStore, EvictionNeverCorruptsConcurrentReaders)
+{
+    TempDir dir;
+    // Writer and readers use separate store handles on one directory,
+    // modelling separate processes. The budget is tiny, so nearly every
+    // store evicts; readers must only ever observe a clean hit with the
+    // exact stored values or a clean miss — never a torn read or throw.
+    sim::ResultStore writer(dir.str());
+    sim::ResultStore reader(dir.str());
+
+    auto resultFor = [](unsigned i) {
+        sim::AloneResult r;
+        r.execCpuCycles = 1000.0 + i;
+        r.ipc = 1.0 / (i + 1);
+        r.mcpi = 0.125 * i;
+        return r;
+    };
+    auto keyFor = [](unsigned i) {
+        return "evict-key-" + std::to_string(i);
+    };
+
+    constexpr unsigned kKeys = 64;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> verified{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                for (unsigned i = 0; i < kKeys; ++i) {
+                    const auto got = reader.loadAlone(keyFor(i));
+                    if (!got)
+                        continue;
+                    const sim::AloneResult want = resultFor(i);
+                    ASSERT_EQ(got->execCpuCycles, want.execCpuCycles);
+                    ASSERT_EQ(got->ipc, want.ipc);
+                    ASSERT_EQ(got->mcpi, want.mcpi);
+                    verified.fetch_add(1);
+                }
+            }
+        });
+    }
+
+    ASSERT_TRUE(writer.storeAlone(keyFor(0), resultFor(0)));
+    const auto first = cacheFiles(dir.str());
+    ASSERT_EQ(first.size(), 1u);
+    writer.setMaxBytes(4 * fs::file_size(first[0]));
+    for (int round = 0; round < 3; ++round)
+        for (unsigned i = 0; i < kKeys; ++i)
+            ASSERT_TRUE(writer.storeAlone(keyFor(i), resultFor(i)));
+
+    stop.store(true);
+    for (std::thread &t : readers)
+        t.join();
+    EXPECT_GT(verified.load(), 0u);
+    // The directory respects the budget after the churn.
+    std::uint64_t total = 0;
+    for (const fs::path &p : cacheFiles(dir.str()))
+        total += fs::file_size(p);
+    EXPECT_LE(total, writer.maxBytesBound());
 }
 
 TEST(ResultStore, RunnerPersistsAndRestoresBaselines)

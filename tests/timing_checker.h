@@ -18,12 +18,17 @@
 
 namespace dstrange::testutil {
 
-/** Shadow JEDEC-constraint validator. */
+/** Shadow JEDEC-constraint validator. Banks are the flat rank-major
+ *  slots of one channel; @p banks_per_rank scopes tRRD/tFAW/REF to the
+ *  owning rank (defaulting to all banks, i.e. a single rank). */
 class TimingChecker
 {
   public:
-    TimingChecker(const dram::DramTimings &timings, unsigned banks)
-        : t(timings), bankState(banks)
+    TimingChecker(const dram::DramTimings &timings, unsigned banks,
+                  unsigned banks_per_rank = 0)
+        : t(timings), bankState(banks),
+          banksEach(banks_per_rank == 0 ? banks : banks_per_rank),
+          rankActTimes((banks + banksEach - 1) / banksEach)
     {
     }
 
@@ -73,6 +78,7 @@ class TimingChecker
         haveLastCmd = true;
 
         BankShadow &b = bankState[bank];
+        const unsigned rank = bank / banksEach;
         switch (cmd) {
           case dram::DramCmd::Act: {
             if (b.open)
@@ -84,6 +90,7 @@ class TimingChecker
             if (now < b.blockedUntil)
                 fail("ACT during tRFC", now);
             // Rank level: tRRD and tFAW.
+            std::deque<Cycle> &actTimes = rankActTimes[rank];
             if (!actTimes.empty() && now < actTimes.back() + t.tRRD)
                 fail("tRRD violation", now);
             if (actTimes.size() >= 4 &&
@@ -120,6 +127,17 @@ class TimingChecker
                 b.lastWr = now;
                 b.hasWr = true;
             }
+            // Data bus: a burst switching ranks needs tRTRS of gap
+            // after the previous burst drains.
+            const Cycle burstStart =
+                now + (cmd == dram::DramCmd::Rd ? t.tCL : t.tCWL);
+            if (haveBurst && rank != lastBurstRank &&
+                burstStart < lastBurstEnd + t.tRTRS) {
+                fail("tRTRS violation", now);
+            }
+            lastBurstEnd = burstStart + t.tBL;
+            lastBurstRank = rank;
+            haveBurst = true;
             if (cmd == dram::DramCmd::Rd) {
                 lastRdAnyAt = now;
                 haveLastRd = true;
@@ -147,7 +165,12 @@ class TimingChecker
             break;
           }
           case dram::DramCmd::Ref: {
-            for (BankShadow &bs : bankState) {
+            // Per-rank refresh: only the reported rank's banks must be
+            // closed and blocked for tRFC.
+            for (unsigned i = rank * banksEach;
+                 i < (rank + 1) * banksEach && i < bankState.size();
+                 ++i) {
+                BankShadow &bs = bankState[i];
                 if (bs.open)
                     fail("REF with open bank", now);
                 bs.blockedUntil = now + t.tRFC;
@@ -159,8 +182,12 @@ class TimingChecker
 
     const dram::DramTimings &t;
     std::vector<BankShadow> bankState;
-    std::deque<Cycle> actTimes;
+    unsigned banksEach;
+    std::vector<std::deque<Cycle>> rankActTimes;
     Cycle lastCmdAt = 0;
+    Cycle lastBurstEnd = 0;
+    unsigned lastBurstRank = 0;
+    bool haveBurst = false;
     bool haveLastCmd = false;
     Cycle lastColAt = 0;
     unsigned lastColBank = 0;

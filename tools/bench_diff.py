@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_run_all.json files and print a markdown report.
+
+Used by the CI bench-diff job: the current run's sweep record is
+compared against the one downloaded from the previous successful run's
+`bench-results` artifact, and the per-tier fast-forward speedup deltas
+land in the job summary. Exit code is always 0 — perf deltas on shared
+CI runners are informational, never a gate.
+
+Usage:
+    bench_diff.py CURRENT.json [PREVIOUS.json]
+
+With no previous file (the first run of a repository, or an expired
+artifact) the report simply tabulates the current run.
+"""
+
+import json
+import sys
+
+
+def load_sweep(path):
+    with open(path) as f:
+        return json.load(f)["sweep"]
+
+
+def tier_map(sweep):
+    return {t["name"]: t for t in sweep.get("fastforward", {}).get("tiers", [])}
+
+
+def fmt_delta(cur, prev):
+    if prev is None or prev == 0:
+        return "n/a"
+    pct = 100.0 * (cur - prev) / prev
+    return f"{pct:+.1f}%"
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    cur = load_sweep(argv[1])
+    prev = None
+    if len(argv) == 3:
+        try:
+            prev = load_sweep(argv[2])
+        except (OSError, KeyError, json.JSONDecodeError) as e:
+            print(f"<!-- previous run unreadable: {e} -->")
+
+    cur_tiers = tier_map(cur)
+    prev_tiers = tier_map(prev) if prev else {}
+
+    print("## Bench diff vs previous run")
+    print()
+    if prev is None:
+        print("_No previous `bench-results` artifact found — baseline run._")
+        print()
+    print("| tier | ff speedup | previous | delta | step-1 wall (ms) | ff wall (ms) |")
+    print("|------|------------|----------|-------|------------------|--------------|")
+    rows = list(cur_tiers.values())
+    ff = cur.get("fastforward")
+    if ff:
+        rows.append({**ff, "name": "**overall**"})
+    for t in rows:
+        p = prev_tiers.get(t["name"])
+        if t["name"] == "**overall**" and prev:
+            p = prev.get("fastforward")
+        prev_speedup = p.get("speedup") if p else None
+        prev_txt = f"{prev_speedup:.2f}x" if prev_speedup else "—"
+        print(
+            "| {name} | {speedup:.2f}x | {prev} | {delta} "
+            "| {step1_wall_ms:.1f} | {ff_wall_ms:.1f} |".format(
+                prev=prev_txt,
+                delta=fmt_delta(t["speedup"], prev_speedup),
+                **t,
+            )
+        )
+    print()
+
+    prev_wall = prev.get("wall_ms") if prev else None
+    print(
+        f"Parallel sweep: {len(cur['cells'])} cells in "
+        f"{cur['wall_ms']:.1f} ms on {cur['jobs']} job(s) "
+        f"({fmt_delta(cur['wall_ms'], prev_wall)} wall vs previous); "
+        f"bit-identical: **{cur['bit_identical']}**"
+    )
+    if prev:
+        cur_names = {c["name"] for c in cur["cells"]}
+        prev_names = {c["name"] for c in prev["cells"]}
+        added = sorted(cur_names - prev_names)
+        removed = sorted(prev_names - cur_names)
+        if added:
+            print()
+            print(f"New cells ({len(added)}): " + ", ".join(added[:10]))
+        if removed:
+            print()
+            print(f"Removed cells ({len(removed)}): " + ", ".join(removed[:10]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
