@@ -70,9 +70,8 @@ run(const Variant &v, const workloads::WorkloadSpec &spec)
             static_cast<CoreId>(i), core_cfg, *traces[i], mc));
     }
     mc.setCompletionCallback(
-        [&](CoreId core, std::uint64_t token, mem::ReqType) {
-            cores[core]->onCompletion(token);
-        });
+        [&](CoreId core, std::uint64_t token, mem::ReqType,
+            mem::ServePath) { cores[core]->onCompletion(token); });
 
     Cycle now = 0;
     auto all_done = [&] {

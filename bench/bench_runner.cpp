@@ -26,7 +26,10 @@
  *                           # default 8)
  *   run_all --shard I/N     # run only sweep cells owned by shard I of
  *                           # N (cross-process sharding; writes a
- *                           # BENCH_run_all.shard-I.json fragment)
+ *                           # BENCH_run_all.shard-I.json fragment);
+ *                           # I/N:balanced splits by recorded per-cell
+ *                           # wall-clock costs instead of by hash
+ *                           # (needs --cache-dir)
  *   run_all --merge-shards DIR  # join the shard fragments in DIR into
  *                           # the canonical BENCH_run_all.json
  *   run_all --cache-dir DIR # persistent alone-run cache (sets
@@ -126,7 +129,9 @@ usage(const char *prog)
            "  --sweep-mixes N  dual-core mixes in the sweep (0 disables)\n"
            "  --shard I/N      run only the sweep cells owned by shard I\n"
            "                   of N (default: DS_SHARD); writes a\n"
-           "                   BENCH_run_all.shard-I.json fragment\n"
+           "                   BENCH_run_all.shard-I.json fragment;\n"
+           "                   I/N:balanced balances shards by recorded\n"
+           "                   per-cell costs (needs --cache-dir)\n"
            "  --merge-shards DIR  join shard fragments in DIR into the\n"
            "                   canonical BENCH_run_all.json and exit\n"
            "  --cache-dir DIR  persistent alone-run cache directory\n"
@@ -137,7 +142,7 @@ usage(const char *prog)
 std::vector<std::pair<std::string, double>>
 cellMetrics(const dstrange::sim::Runner::WorkloadResult &res)
 {
-    return {
+    std::vector<std::pair<std::string, double>> metrics = {
         {"non_rng_slowdown", res.avgNonRngSlowdown()},
         {"rng_slowdown", res.rngSlowdown()},
         {"unfairness", res.unfairnessIndex},
@@ -145,6 +150,20 @@ cellMetrics(const dstrange::sim::Runner::WorkloadResult &res)
         {"energy_nj", res.energyNj},
         {"bus_cycles", static_cast<double>(res.busCycles)},
     };
+    // Service cells add their tail-latency metrics; all integer-valued
+    // (cycle counts, request counts, a flag), so they take part in the
+    // bit-identity comparison like everything else.
+    if (res.service) {
+        const dstrange::service::SloReport &s = *res.service;
+        metrics.emplace_back("svc_completed",
+                             static_cast<double>(s.completed));
+        metrics.emplace_back("svc_p50", static_cast<double>(s.p50));
+        metrics.emplace_back("svc_p99", static_cast<double>(s.p99));
+        metrics.emplace_back("svc_p999", static_cast<double>(s.p999));
+        metrics.emplace_back("svc_goodput_rps", s.goodputRps);
+        metrics.emplace_back("svc_saturated", s.saturated ? 1.0 : 0.0);
+    }
+    return metrics;
 }
 
 /** Set (or clear the override of) DS_FAST_FORWARD for child systems. */
@@ -162,10 +181,11 @@ setFastForwardEnv(const char *value)
  * The sweep grid, stratified into workload tiers mirroring the bench
  * suite: the Figure-6 heavy dual-core mixes at 5 Gb/s, the Section-8.8
  * low-intensity duals at 640 Mb/s, and a Figure-2-style TRNG
- * throughput tier (rng-alone cells over both mechanisms), plus a
- * multi-rank topology tier sweeping the address interleaving on a
- * two-rank channel. Each cell carries its tier label for the
- * fast-forward accounting.
+ * throughput tier (rng-alone cells over both mechanisms), an open-loop
+ * service tier sweeping offered RNG load over the designs (tail-latency
+ * metrics), plus a multi-rank topology tier sweeping the address
+ * interleaving on a two-rank channel. Each cell carries its tier label
+ * for the fast-forward accounting.
  */
 struct TieredGrid
 {
@@ -221,6 +241,28 @@ buildSweepGrid(unsigned n_mixes)
                 grid.cells.push_back(std::move(cell));
                 grid.tiers.push_back("trng-sweep");
             }
+        }
+    }
+    // Service tier: open-loop RNG-as-a-service cells (no traced cores)
+    // sweeping offered load over the paper's designs, so run_all tracks
+    // where each design's tail latency collapses. Explicit configs,
+    // since service.* knobs are orthogonal to the design presets.
+    for (double mbps : {2560.0, 5120.0, 10240.0}) {
+        for (const char *d : {"oblivious", "greedy", "drstrange"}) {
+            SweepRunner::Cell cell;
+            dstrange::sim::SimConfig cfg = bench::baseConfig();
+            dstrange::sim::DesignRegistry::instance().apply(d, cfg);
+            cfg.service.enabled = true;
+            cfg.service.offeredMbps = mbps;
+            cfg.service.durationCycles = 20000;
+            cfg.service.sloTargetCycles = 500;
+            cell.config = std::move(cfg);
+            cell.spec.name =
+                "svc-poisson-" + std::to_string(static_cast<int>(mbps));
+            grid.names.push_back("service/" + std::string(d) + "/" +
+                                 cell.spec.name);
+            grid.cells.push_back(std::move(cell));
+            grid.tiers.push_back("service");
         }
     }
     // Multi-rank tier: a two-rank channel under each registered-default
@@ -288,10 +330,6 @@ runSweep(unsigned jobs, unsigned n_mixes,
     const auto &cells = grid.cells;
     sweep.shardIndex = shard.index;
     sweep.shardCount = shard.count;
-    std::size_t n_owned = 0;
-    for (const auto &cell : cells)
-        if (shard.owns(cell))
-            ++n_owned;
 
     // The comparison phases control DS_FAST_FORWARD themselves;
     // remember any inherited override and restore it afterwards.
@@ -303,6 +341,15 @@ runSweep(unsigned jobs, unsigned n_mixes,
         bench::baseBuilder().buildSweepRunner(jobs);
     runner.setShard(shard);
     sweep.jobs = runner.jobs();
+    // One owner assignment for all three phases. Computed here, with
+    // the persistent store attached, so a balanced spec resolves
+    // against the cost records exactly once; the reference runs below
+    // (which bypass the cache) are pinned to the same assignment.
+    const std::vector<unsigned> owners = runner.shardOwners(cells);
+    std::size_t n_owned = 0;
+    for (const unsigned owner : owners)
+        if (shard.full() || owner == shard.index)
+            ++n_owned;
     runner.setProgress([](std::size_t done, std::size_t total,
                           std::size_t cell, double cell_ms) {
         std::cerr << "[run_all] sweep " << done << "/" << total
@@ -310,15 +357,20 @@ runSweep(unsigned jobs, unsigned n_mixes,
                   << bench::num(cell_ms, 1) << " ms)\n";
     });
 
+    std::vector<std::string> tier_names;
+    for (const std::string &t : grid.tiers)
+        if (std::find(tier_names.begin(), tier_names.end(), t) ==
+            tier_names.end())
+            tier_names.push_back(t);
     std::cout << "[run_all] sweep: ";
     if (!shard.full())
         std::cout << n_owned << " of " << cells.size() << " cells "
                   << "(shard " << shard.index << "/" << shard.count
-                  << ") in 3 ";
+                  << (shard.balanced ? ", balanced" : "") << ") in ";
     else
-        std::cout << cells.size() << " cells in 3 ";
-    std::cout << "tiers on " << runner.jobs() << " thread(s) ... "
-              << std::flush;
+        std::cout << cells.size() << " cells in ";
+    std::cout << tier_names.size() << " tiers on " << runner.jobs()
+              << " thread(s) ... " << std::flush;
     bench::WallTimer timer;
     const auto results = runner.run(cells);
     sweep.wallMs = timer.elapsedMs();
@@ -354,6 +406,7 @@ runSweep(unsigned jobs, unsigned n_mixes,
         dstrange::sim::SweepRunner serial =
             bench::baseBuilder().cacheDir("").buildSweepRunner(1);
         serial.setShard(shard);
+        serial.setShardOwners(owners);
         timer.reset();
         serial_owned = serial.run(cells);
         sweep.serialWallMs = timer.elapsedMs();
@@ -367,6 +420,7 @@ runSweep(unsigned jobs, unsigned n_mixes,
     dstrange::sim::SweepRunner step1 =
         bench::baseBuilder().cacheDir("").buildSweepRunner(1);
     step1.setShard(shard);
+    step1.setShardOwners(owners);
     timer.reset();
     const auto step1_results = step1.run(cells);
     sweep.step1WallMs = timer.elapsedMs();

@@ -36,9 +36,8 @@ class Channel
         mc = std::make_unique<mem::MemoryController>(
             mc_cfg, timings, geom, sc.mechanism, 2);
         mc->setCompletionCallback(
-            [this](CoreId core, std::uint64_t, mem::ReqType) {
-                done[core]++;
-            });
+            [this](CoreId core, std::uint64_t, mem::ReqType,
+                   mem::ServePath) { done[core]++; });
     }
 
     /** Let the buffer fill. */

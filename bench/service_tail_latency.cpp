@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Open-loop tail-latency sweep: the service layer (src/service/) offers
+ * a Poisson stream of RNG requests at increasing load to each of the
+ * paper's designs and records the full latency distribution. The table
+ * is the classic throughput-latency curve — p50/p99/p999 versus offered
+ * load — and the last column marks the saturation point, the load at
+ * which a design can no longer complete the offered work before its
+ * backlog diverges (DR-STRaNGe's buffering pushes it to a visibly
+ * higher load than the RNG-oblivious baseline).
+ *
+ * The whole grid is run twice through sim::SweepRunner; any difference
+ * between the two runs' serialized results is a determinism bug and
+ * fails the bench.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dstrange;
+
+namespace {
+
+const std::vector<std::string> kDesigns = {"oblivious", "greedy",
+                                           "drstrange"};
+const std::vector<double> kLoadsMbps = {1280.0, 2560.0, 5120.0, 10240.0,
+                                        20480.0};
+
+/** Load-major grid: all designs at kLoadsMbps[0], then [1], ... */
+std::vector<sim::SweepRunner::Cell>
+buildGrid()
+{
+    std::vector<sim::SweepRunner::Cell> cells;
+    for (const double mbps : kLoadsMbps) {
+        for (const std::string &design : kDesigns) {
+            sim::SimConfig cfg = bench::baseConfig();
+            sim::DesignRegistry::instance().apply(design, cfg);
+            cfg.service.enabled = true;
+            cfg.service.arrival = "poisson";
+            cfg.service.offeredMbps = mbps;
+            cfg.service.durationCycles = 20000;
+            cfg.service.sloTargetCycles = 500;
+            sim::SweepRunner::Cell cell;
+            cell.config = std::move(cfg);
+            cell.spec.name = design + "-svc-" +
+                             std::to_string(static_cast<int>(mbps));
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+const sim::SweepRunner::CellResult &
+cellAt(const std::vector<sim::SweepRunner::CellResult> &results,
+       std::size_t load_idx, std::size_t design_idx)
+{
+    return results[load_idx * kDesigns.size() + design_idx];
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Open-loop service tail latency vs offered load",
+                  "RNG-as-a-service SLO analysis over the paper's "
+                  "designs (Sections 5 and 7)");
+
+    const std::vector<sim::SweepRunner::Cell> cells = buildGrid();
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const auto results = bench::runCellsOrExit(sweep, cells);
+
+    TablePrinter t;
+    t.setHeader({"design", "offered Mb/s", "completed", "p50", "p99",
+                 "p999", "% over SLO", "goodput req/s", "saturated"});
+    std::vector<double> saturation_mbps(kDesigns.size(), 0.0);
+    for (std::size_t d = 0; d < kDesigns.size(); ++d) {
+        for (std::size_t l = 0; l < kLoadsMbps.size(); ++l) {
+            const auto &res = cellAt(results, l, d).result;
+            const service::SloReport &s = *res.service;
+            if (s.saturated && saturation_mbps[d] == 0.0)
+                saturation_mbps[d] = kLoadsMbps[l];
+            t.addRow({kDesigns[d], bench::num(kLoadsMbps[l], 0),
+                      std::to_string(s.completed),
+                      std::to_string(s.p50), std::to_string(s.p99),
+                      std::to_string(s.p999), bench::num(s.pctOverSlo, 2),
+                      bench::num(s.goodputRps, 0),
+                      s.saturated ? "yes" : "no"});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSaturation points (first offered load the design "
+                 "could not absorb):\n";
+    for (std::size_t d = 0; d < kDesigns.size(); ++d) {
+        std::cout << "  " << kDesigns[d] << ": ";
+        if (saturation_mbps[d] > 0.0)
+            std::cout << bench::num(saturation_mbps[d], 0) << " Mb/s\n";
+        else
+            std::cout << "not reached (> "
+                      << bench::num(kLoadsMbps.back(), 0) << " Mb/s)\n";
+    }
+
+    // Determinism: the same grid must reproduce bit-identically —
+    // including every histogram bucket, via the serialized SloReport.
+    const auto again = bench::runCellsOrExit(sweep, cells);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (sim::serializeWorkloadResult(results[i].result) !=
+            sim::serializeWorkloadResult(again[i].result)) {
+            std::cerr << "service cell '" << cells[i].spec.name
+                      << "' is not bit-identical across reruns — "
+                         "determinism bug\n";
+            return 1;
+        }
+    }
+    std::cout << "\nRerun check: all " << results.size()
+              << " cells bit-identical.\n";
+
+    // Perf/trajectory record: each design's saturation load plus its
+    // p99 at the middle of the load ladder.
+    bench::BenchRecord rec;
+    rec.name = "service_tail_latency";
+    const std::size_t mid = kLoadsMbps.size() / 2;
+    for (std::size_t d = 0; d < kDesigns.size(); ++d) {
+        rec.metrics.emplace_back(kDesigns[d] + "_saturation_mbps",
+                                 saturation_mbps[d]);
+        rec.metrics.emplace_back(
+            kDesigns[d] + "_p99_at_mid_load",
+            static_cast<double>(
+                cellAt(results, mid, d).result.service->p99));
+    }
+    bench::writeBenchJson("service_tail_latency", {rec});
+    return 0;
+}

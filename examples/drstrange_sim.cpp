@@ -25,7 +25,9 @@
  *     --set key=value     set any config-text knob (repeatable; see
  *                         sim/config_text.h for the grammar), e.g.
  *                         geometry.ranks=2, mapping=row-bank-col-rank-ch,
- *                         fill-placement=round-robin, timings.trtrs=2
+ *                         fill-placement=round-robin, timings.trtrs=2,
+ *                         service.enabled=1, service.arrival=bursty,
+ *                         service.offered-mbps=2560, service.slo=500
  *     --print-config      print the canonical config text and exit
  *     --json              machine-readable output
  *
@@ -92,6 +94,7 @@ main(int argc, char **argv)
     std::vector<std::string> apps;
     std::vector<std::string> trace_files;
     double rng_mbps = 5120.0;
+    bool rng_given = false;
     bool json = false;
     bool print_config = false;
 
@@ -113,6 +116,7 @@ main(int argc, char **argv)
                 trace_files.push_back(next_arg("--trace"));
             } else if (arg == "--rng-mbps") {
                 rng_mbps = std::stod(next_arg("--rng-mbps"));
+                rng_given = true;
             } else if (arg == "--mechanism") {
                 builder.mechanism(next_arg("--mechanism"));
             } else if (arg == "--hybrid-fill") {
@@ -178,6 +182,14 @@ main(int argc, char **argv)
                        " mapping=row-bank-col-rank-ch\n"
                        "                      fill-placement=round-robin"
                        " timings.trtrs=2\n"
+                       "                      service.enabled=1"
+                       " service.arrival=bursty\n"
+                       "                      service.offered-mbps=2560"
+                       " service.clients=1024\n"
+                       "                      service.burst=4"
+                       " service.period=20000\n"
+                       "                      service.slo=500"
+                       " service.duration=100000\n"
                        "  --print-config      print the canonical"
                        " config text and exit\n"
                        "  --json              machine-readable output\n";
@@ -195,7 +207,14 @@ main(int argc, char **argv)
         std::cout << builder.toText() << "\n";
         return 0;
     }
-    if (apps.empty() && trace_files.empty())
+    // With the open-loop service enabled and no workload asked for
+    // explicitly, run service-only: the service layer is the workload.
+    const bool service_only = builder.config().service.enabled &&
+                              apps.empty() && trace_files.empty() &&
+                              !rng_given;
+    if (service_only)
+        rng_mbps = 0.0;
+    else if (apps.empty() && trace_files.empty())
         apps = {"soplex"};
 
     // Build the system directly so trace-file cores can join.
@@ -251,6 +270,11 @@ main(int argc, char **argv)
         w.key("bufferServeRate").value(mcs.bufferServeRate());
         if (auto ps = sys.mc().predictorStats())
             w.key("predictorAccuracy").value(ps->accuracy());
+        if (const service::OpenLoopService *svc = sys.service()) {
+            w.key("service");
+            service::SloReport::from(svc->config(), svc->stats())
+                .writeJson(w);
+        }
         w.key("cores").beginArray();
         for (unsigned i = 0; i < sys.numCores(); ++i) {
             const auto &s = sys.coreStats(i);
@@ -290,5 +314,22 @@ main(int argc, char **argv)
                   std::to_string(s.rngRequests)});
     }
     t.print(std::cout);
+
+    if (const service::OpenLoopService *svc = sys.service()) {
+        const service::SloReport rep =
+            service::SloReport::from(svc->config(), svc->stats());
+        std::cout << "\nservice (" << rep.arrival << ", "
+                  << rep.offeredMbps << " Mb/s offered):\n"
+                  << "  completed: " << rep.completed << "/"
+                  << rep.offered << "  goodput: "
+                  << TablePrinter::num(rep.goodputRps) << " req/s\n"
+                  << "  latency cycles  p50: " << rep.p50
+                  << "  p99: " << rep.p99 << "  p999: " << rep.p999
+                  << "  max: " << rep.maxLatency << "\n"
+                  << "  over SLO (>" << rep.sloTargetCycles
+                  << "): " << TablePrinter::num(rep.pctOverSlo)
+                  << "%  saturated: " << (rep.saturated ? "yes" : "no")
+                  << "\n";
+    }
     return 0;
 }

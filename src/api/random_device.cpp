@@ -16,7 +16,9 @@ RandomDevice::RandomDevice(const Config &config)
         cfg.sim.mechanism,
         /*num_cores=*/1);
     mc->setCompletionCallback(
-        [this](CoreId, std::uint64_t, mem::ReqType) { completions++; });
+        [this](CoreId, std::uint64_t, mem::ReqType, mem::ServePath) {
+            completions++;
+        });
 }
 
 void

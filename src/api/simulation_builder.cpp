@@ -4,6 +4,7 @@
 
 #include "dram/mapping_registry.h"
 #include "mem/scheduler_registry.h"
+#include "service/arrival_process.h"
 #include "sim/config_text.h"
 #include "sim/design_registry.h"
 #include "sim/result_store.h"
@@ -237,6 +238,51 @@ SimulationBuilder &
 SimulationBuilder::seed(std::uint64_t s)
 {
     cfg.seed = s;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::serviceEnabled(bool on)
+{
+    cfg.service.enabled = on;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::serviceArrival(std::string registry_key)
+{
+    if (!service::ArrivalRegistry::instance().contains(registry_key))
+        throw std::out_of_range("unknown arrival process '" +
+                                registry_key + "' (register it first)");
+    cfg.service.arrival = std::move(registry_key);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::serviceOfferedMbps(double mbps)
+{
+    cfg.service.offeredMbps = mbps;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::serviceClients(unsigned clients)
+{
+    cfg.service.clients = clients;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::serviceSloTarget(Cycle cycles)
+{
+    cfg.service.sloTargetCycles = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::serviceDuration(Cycle cycles)
+{
+    cfg.service.durationCycles = cycles;
     return *this;
 }
 

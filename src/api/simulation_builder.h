@@ -107,6 +107,24 @@ class SimulationBuilder
     SimulationBuilder &priorities(std::vector<int> per_core);
     SimulationBuilder &seed(std::uint64_t s);
 
+    // --- Open-loop service layer (service::OpenLoopService) ----------
+    /** Attach the open-loop RNG request service to the built system. */
+    SimulationBuilder &serviceEnabled(bool on);
+    /** Arrival process (service::ArrivalRegistry key, e.g. "poisson",
+     *  "bursty", "diurnal", "closed-loop").
+     *  @throws std::out_of_range when the key is not registered. */
+    SimulationBuilder &serviceArrival(std::string registry_key);
+    /** Aggregate offered RNG load in Mbps across all logical clients. */
+    SimulationBuilder &serviceOfferedMbps(double mbps);
+    /** Logical client population (closed-loop concurrency; also the
+     *  bursty/diurnal modulation base). */
+    SimulationBuilder &serviceClients(unsigned clients);
+    /** SLO latency target in bus cycles (requests above it count as
+     *  over-SLO in the SloReport). */
+    SimulationBuilder &serviceSloTarget(Cycle cycles);
+    /** Bus cycles over which new requests are generated. */
+    SimulationBuilder &serviceDuration(Cycle cycles);
+
     // --- Execution environment ---------------------------------------
     /**
      * Persistent alone-run cache directory for the built Runner /

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fixed-bucket log-linear latency histogram (HDR-histogram style) for
+ * the open-loop service layer's tail-latency metrics. Buckets are a
+ * pure function of the recorded value — integer counts, no floating
+ * accumulation — so percentiles are deterministic regardless of
+ * recording order and two histograms merge by plain count addition.
+ *
+ * Layout: values below 2^kLinearBits land in exact single-value
+ * buckets; above that each power-of-two octave is split into
+ * 2^kSubBits sub-buckets, bounding the relative quantization error at
+ * 2^-kSubBits (~1.6%). Percentiles are nearest-rank and report the
+ * bucket's upper bound, so p50 <= p99 <= p999 <= max() always holds.
+ */
+
+#ifndef DSTRANGE_COMMON_LATENCY_HISTOGRAM_H
+#define DSTRANGE_COMMON_LATENCY_HISTOGRAM_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dstrange {
+
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^6 = 64 sub-buckets per octave. */
+    static constexpr unsigned kSubBits = 6;
+    /** Values below 2^(kSubBits+1) are counted exactly. */
+    static constexpr unsigned kLinearBits = kSubBits + 1;
+    /** One linear region + one (shift+1) band per remaining octave. */
+    static constexpr std::size_t kBuckets =
+        (64 - kSubBits + 1) << kSubBits;
+
+    /** Bucket index of @p v (total over all uint64 values). */
+    static constexpr std::size_t
+    bucketOf(std::uint64_t v)
+    {
+        if (v < (std::uint64_t{1} << kLinearBits))
+            return static_cast<std::size_t>(v);
+        const unsigned msb = std::bit_width(v) - 1;
+        const unsigned shift = msb - kSubBits;
+        return (static_cast<std::size_t>(shift + 1) << kSubBits) |
+               static_cast<std::size_t>((v >> shift) &
+                                        ((1u << kSubBits) - 1));
+    }
+
+    /** Largest value mapping to bucket @p idx (the reported quantile). */
+    static constexpr std::uint64_t
+    bucketUpperBound(std::size_t idx)
+    {
+        if (idx < (std::size_t{1} << kLinearBits))
+            return static_cast<std::uint64_t>(idx);
+        const unsigned shift =
+            static_cast<unsigned>(idx >> kSubBits) - 1;
+        const std::uint64_t base =
+            ((std::uint64_t{1} << kSubBits) + (idx & ((1u << kSubBits) - 1)))
+            << shift;
+        return base + ((std::uint64_t{1} << shift) - 1);
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        counts[bucketOf(v)]++;
+        total++;
+        sum += v;
+        if (total == 1 || v < minValue)
+            minValue = v;
+        if (v > maxValue)
+            maxValue = v;
+    }
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t valueSum() const { return sum; }
+    std::uint64_t min() const { return total == 0 ? 0 : minValue; }
+    std::uint64_t max() const { return maxValue; }
+    double
+    mean() const
+    {
+        return total == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(total);
+    }
+
+    /**
+     * Nearest-rank percentile for @p p in (0, 1]: the upper bound of
+     * the bucket holding the ceil(p * count)-th smallest sample.
+     * Exact for values below 2^kLinearBits; within 2^-kSubBits above.
+     * Returns 0 for an empty histogram.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        if (total == 0)
+            return 0;
+        // ceil(p * total) without float-rounding surprises at p = 1.
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            p * static_cast<double>(total));
+        if (static_cast<double>(rank) < p * static_cast<double>(total))
+            ++rank;
+        if (rank == 0)
+            rank = 1;
+        if (rank > total)
+            rank = total;
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += counts[i];
+            if (seen >= rank)
+                return bucketUpperBound(i);
+        }
+        return maxValue; // Unreachable: seen reaches total.
+    }
+
+    /** Add @p other's counts into this histogram (exact: integers). */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            counts[i] += other.counts[i];
+        if (other.total > 0) {
+            if (total == 0 || other.minValue < minValue)
+                minValue = other.minValue;
+            if (other.maxValue > maxValue)
+                maxValue = other.maxValue;
+        }
+        total += other.total;
+        sum += other.sum;
+    }
+
+    /** Order-independent FNV fingerprint (lockstep verification). */
+    std::uint64_t
+    fingerprint() const
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        auto mix = [&h](std::uint64_t v) {
+            for (int i = 0; i < 8; ++i) {
+                h ^= (v >> (8 * i)) & 0xff;
+                h *= 0x100000001b3ull;
+            }
+        };
+        mix(total);
+        mix(sum);
+        mix(minValue);
+        mix(maxValue);
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            if (counts[i] != 0) {
+                mix(i);
+                mix(counts[i]);
+            }
+        }
+        return h;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t minValue = 0;
+    std::uint64_t maxValue = 0;
+};
+
+} // namespace dstrange
+
+#endif // DSTRANGE_COMMON_LATENCY_HISTOGRAM_H

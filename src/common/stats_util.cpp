@@ -44,6 +44,32 @@ percentile(std::vector<double> values, double p)
     return values[lo] + (values[hi] - values[lo]) * frac;
 }
 
+double
+exactPercentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double n = static_cast<double>(values.size());
+    const double clamped = std::min(std::max(p, 0.0), 1.0);
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(clamped * n));
+    if (rank < 1)
+        rank = 1;
+    if (rank > values.size())
+        rank = values.size();
+    return values[rank - 1];
+}
+
+LatencyHistogram
+mergeHistograms(const std::vector<LatencyHistogram> &parts)
+{
+    LatencyHistogram merged;
+    for (const LatencyHistogram &part : parts)
+        merged.merge(part);
+    return merged;
+}
+
 BoxSummary
 boxSummary(const std::vector<double> &values)
 {

@@ -10,6 +10,8 @@
 
 #include <vector>
 
+#include "common/latency_histogram.h"
+
 namespace dstrange {
 
 /** Five-number box-plot summary plus outlier count (1.5 IQR rule). */
@@ -36,6 +38,23 @@ double geomean(const std::vector<double> &values);
  * @param p percentile in [0, 1]
  */
 double percentile(std::vector<double> values, double p);
+
+/**
+ * Exact nearest-rank percentile: the smallest sample such that at least
+ * ceil(p * n) samples are <= it — an actual member of the sample set,
+ * never an interpolated value, matching LatencyHistogram::percentile's
+ * convention on raw samples.
+ * @param values sample set (copied and sorted internally); 0 when empty
+ * @param p percentile in [0, 1] (clamped)
+ */
+double exactPercentile(std::vector<double> values, double p);
+
+/**
+ * Merge latency histograms (e.g. per-shard service histograms) into one.
+ * Bucket counts add, so percentiles of the merge are exactly those of
+ * the pooled sample set; an empty input yields an empty histogram.
+ */
+LatencyHistogram mergeHistograms(const std::vector<LatencyHistogram> &parts);
 
 /** Compute the box-plot summary of a sample set. */
 BoxSummary boxSummary(const std::vector<double> &values);

@@ -10,10 +10,14 @@
 
 #include "api/random_device.h"
 #include "api/simulation_builder.h"
+#include "common/latency_histogram.h"
 #include "common/stats_util.h"
 #include "common/table_printer.h"
 #include "dram/mapping_registry.h"
 #include "mem/scheduler_registry.h"
+#include "service/arrival_process.h"
+#include "service/open_loop_service.h"
+#include "service/slo_report.h"
 #include "sim/area_model.h"
 #include "sim/config_text.h"
 #include "sim/design_registry.h"

@@ -141,7 +141,8 @@ MemoryController::enqueue(Request req, Cycle now)
             statistics.rngRequests++;
             statistics.rngServedFromBuffer++;
             statistics.sumRngLatency += cfg.bufferServeLatency;
-            RngJob job{req.core, now, nextSeq++, req.token, 64.0};
+            RngJob job{req.core, now, nextSeq++, req.token, 64.0,
+                       ServePath::Buffer};
             pendingBufferServes.push_back(job);
             pendingBufferServeDone.push_back(now + cfg.bufferServeLatency);
             return true;
@@ -152,7 +153,8 @@ MemoryController::enqueue(Request req, Cycle now)
             statistics.rngRequests++;
             statistics.rngServedFromStaging++;
             statistics.sumRngLatency += cfg.bufferServeLatency;
-            RngJob job{req.core, now, nextSeq++, req.token, 64.0};
+            RngJob job{req.core, now, nextSeq++, req.token, 64.0,
+                       ServePath::Staging};
             pendingBufferServes.push_back(job);
             pendingBufferServeDone.push_back(now + cfg.bufferServeLatency);
             return true;
@@ -227,7 +229,7 @@ MemoryController::routeBits(double bits, Cycle now)
             statistics.rngJobsCompleted++;
             statistics.sumRngLatency += now - job.arrival;
             if (onComplete)
-                onComplete(job.core, job.token, ReqType::Rng);
+                onComplete(job.core, job.token, ReqType::Rng, job.path);
             rngJobs.pop_front();
         }
     }
@@ -488,7 +490,8 @@ MemoryController::tick(Cycle now)
         while (!cs.inflightDone.empty() && cs.inflightDone.front() <= now) {
             const Request &req = cs.inflightReads.front();
             if (onComplete)
-                onComplete(req.core, req.token, ReqType::Read);
+                onComplete(req.core, req.token, ReqType::Read,
+                           ServePath::Dram);
             cs.inflightReads.pop_front();
             cs.inflightDone.pop_front();
         }
@@ -497,7 +500,7 @@ MemoryController::tick(Cycle now)
            pendingBufferServeDone.front() <= now) {
         const RngJob &job = pendingBufferServes.front();
         if (onComplete)
-            onComplete(job.core, job.token, ReqType::Rng);
+            onComplete(job.core, job.token, ReqType::Rng, job.path);
         pendingBufferServes.pop_front();
         pendingBufferServeDone.pop_front();
     }

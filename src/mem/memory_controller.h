@@ -168,9 +168,11 @@ struct McStats
 class MemoryController
 {
   public:
-    /** Callback invoked when a read or RNG request completes. */
-    using CompletionCallback =
-        std::function<void(CoreId, std::uint64_t token, ReqType)>;
+    /** Callback invoked when a read or RNG request completes. The
+     *  ServePath tag names how it was served (Dram for reads; Buffer /
+     *  Staging / Engine for RNG requests). */
+    using CompletionCallback = std::function<void(
+        CoreId, std::uint64_t token, ReqType, ServePath)>;
 
     MemoryController(const McConfig &config,
                      const dram::DramTimings &timings,

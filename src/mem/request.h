@@ -22,6 +22,21 @@ enum class ReqType : std::uint8_t
     Rng,   ///< 64-bit true random number request.
 };
 
+/**
+ * How a request was ultimately served, tagged at the buffer/controller
+ * boundary when the request enters (buffer/staging hits are decided at
+ * enqueue) or completes (engine generation). Reads report Dram. The
+ * service layer's per-request lifecycle tracker uses the tag to split
+ * tail latency by serve path.
+ */
+enum class ServePath : std::uint8_t
+{
+    Dram,    ///< Ordinary DRAM read data burst.
+    Buffer,  ///< RNG request hit the random-number buffer.
+    Staging, ///< RNG request covered by staged leftover bits.
+    Engine,  ///< RNG request generated on demand by the TRNG engine.
+};
+
 /** One cache-line memory request. */
 struct Request
 {
@@ -46,6 +61,8 @@ struct RngJob
     std::uint64_t seq = 0;
     std::uint64_t token = 0;
     double bitsCollected = 0.0;
+    /** Serve-path tag reported to the completion callback. */
+    ServePath path = ServePath::Engine;
 
     bool done() const { return bitsCollected >= 64.0; }
 };

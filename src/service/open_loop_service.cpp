@@ -1,0 +1,126 @@
+#include "service/open_loop_service.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dstrange::service {
+
+OpenLoopService::OpenLoopService(const ServiceConfig &config, CoreId port,
+                                 mem::MemoryController &controller,
+                                 std::uint64_t seed)
+    : cfg(config), portId(port), mc(controller)
+{
+    ArrivalParams params;
+    params.meanGapCycles = meanGapCycles(cfg.offeredMbps);
+    params.clients = cfg.clients;
+    params.burstFactor = cfg.burstFactor;
+    params.periodCycles = cfg.periodCycles;
+    params.seed = mix64(seed ^ 0x5e21c0deull);
+    arrival = ArrivalRegistry::instance().make(cfg.arrival, params);
+}
+
+void
+OpenLoopService::tick(Cycle now)
+{
+    // 1. Generate every arrival due at or before this cycle. Arrival
+    // streams are monotone, so the first arrival at or past the window
+    // close ends generation for good.
+    if (!doneGenerating) {
+        if (now >= cfg.durationCycles) {
+            doneGenerating = true;
+        } else {
+            for (;;) {
+                const Cycle a = arrival->peek();
+                if (a == kNoEvent || a > now)
+                    break;
+                if (a >= cfg.durationCycles) {
+                    doneGenerating = true;
+                    break;
+                }
+                arrival->pop();
+                statistics.offered++;
+                backlog.push_back(a);
+            }
+        }
+    }
+
+    // 2. Drain the backlog into the controller, oldest first. A false
+    // return means the RNG queue is full: stop and retry next cycle
+    // (the request keeps its logical arrival time, so queueing delay
+    // counts against the latency SLO).
+    while (!backlog.empty()) {
+        mem::Request req;
+        req.type = mem::ReqType::Rng;
+        req.core = portId;
+        req.token = nextToken;
+        if (!mc.enqueue(req, now))
+            break;
+        inflight.emplace(nextToken, backlog.front());
+        ++nextToken;
+        backlog.pop_front();
+        statistics.issued++;
+    }
+    statistics.maxBacklog =
+        std::max(statistics.maxBacklog,
+                 static_cast<std::uint64_t>(backlog.size()));
+}
+
+Cycle
+OpenLoopService::nextEventCycle(Cycle now) const
+{
+    if (!backlog.empty())
+        return now;
+    if (doneGenerating)
+        return kNoEvent;
+    // The window close is always an event — the tick there flips
+    // doneGenerating, which the stop condition reads — so the horizon
+    // never extends past it even when the next arrival (or kNoEvent,
+    // e.g. closed-loop with all clients in flight) lies beyond.
+    const Cycle horizon = std::min(arrival->peek(), cfg.durationCycles);
+    return horizon <= now ? now : horizon;
+}
+
+void
+OpenLoopService::fastForward(Cycle from, Cycle to)
+{
+    (void)from;
+    (void)to;
+}
+
+void
+OpenLoopService::onCompletion(std::uint64_t token, Cycle now,
+                              mem::ServePath path)
+{
+    const auto it = inflight.find(token);
+    if (it == inflight.end())
+        return;
+    const Cycle latency = now - it->second;
+    inflight.erase(it);
+
+    statistics.completed++;
+    statistics.lastCompletion = now;
+    statistics.latency.record(latency);
+    if (latency > cfg.sloTargetCycles)
+        statistics.overSlo++;
+    switch (path) {
+      case mem::ServePath::Buffer:
+        statistics.servedBuffer++;
+        break;
+      case mem::ServePath::Staging:
+        statistics.servedStaging++;
+        break;
+      default:
+        statistics.servedEngine++;
+        break;
+    }
+    arrival->onCompletion(now);
+}
+
+bool
+OpenLoopService::drained() const
+{
+    return doneGenerating && backlog.empty() && inflight.empty();
+}
+
+} // namespace dstrange::service

@@ -1,0 +1,108 @@
+#include "service/slo_report.h"
+
+#include <algorithm>
+
+namespace dstrange::service {
+
+SloReport
+SloReport::from(const ServiceConfig &cfg, const ServiceStats &stats)
+{
+    SloReport r;
+    r.arrival = cfg.arrival;
+    r.offeredMbps = cfg.offeredMbps;
+    r.sloTargetCycles = cfg.sloTargetCycles;
+    r.durationCycles = cfg.durationCycles;
+
+    r.offered = stats.offered;
+    r.completed = stats.completed;
+    r.overSlo = stats.overSlo;
+    r.servedBuffer = stats.servedBuffer;
+    r.servedStaging = stats.servedStaging;
+    r.servedEngine = stats.servedEngine;
+    r.maxBacklog = stats.maxBacklog;
+    r.lastCompletion = stats.lastCompletion;
+
+    r.p50 = stats.latency.percentile(0.50);
+    r.p99 = stats.latency.percentile(0.99);
+    r.p999 = stats.latency.percentile(0.999);
+    r.maxLatency = stats.latency.max();
+    r.meanLatency = stats.latency.mean();
+
+    if (r.completed > 0) {
+        r.pctOverSlo = 100.0 * static_cast<double>(r.overSlo) /
+                       static_cast<double>(r.completed);
+        // Wall time spans the generation window plus any drain tail.
+        const Cycle wall =
+            std::max(r.lastCompletion, r.durationCycles);
+        const double seconds =
+            static_cast<double>(wall > 0 ? wall : 1) / kBusFreqHz;
+        r.completedRps = static_cast<double>(r.completed) / seconds;
+        r.goodputRps =
+            static_cast<double>(r.completed - r.overSlo) / seconds;
+    }
+
+    const Cycle drain_lag = r.lastCompletion > r.durationCycles
+                                ? r.lastCompletion - r.durationCycles
+                                : 0;
+    r.saturated = r.completed < r.offered ||
+                  drain_lag * 8 > r.durationCycles;
+    return r;
+}
+
+void
+SloReport::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("arrival").value(arrival);
+    w.key("offered_mbps").valueExact(offeredMbps);
+    w.key("slo_target_cycles").value(sloTargetCycles);
+    w.key("duration_cycles").value(durationCycles);
+    w.key("offered").value(offered);
+    w.key("completed").value(completed);
+    w.key("over_slo").value(overSlo);
+    w.key("served_buffer").value(servedBuffer);
+    w.key("served_staging").value(servedStaging);
+    w.key("served_engine").value(servedEngine);
+    w.key("max_backlog").value(maxBacklog);
+    w.key("last_completion").value(lastCompletion);
+    w.key("p50").value(p50);
+    w.key("p99").value(p99);
+    w.key("p999").value(p999);
+    w.key("max_latency").value(maxLatency);
+    w.key("mean_latency").valueExact(meanLatency);
+    w.key("pct_over_slo").valueExact(pctOverSlo);
+    w.key("completed_rps").valueExact(completedRps);
+    w.key("goodput_rps").valueExact(goodputRps);
+    w.key("saturated").value(saturated);
+    w.endObject();
+}
+
+SloReport
+SloReport::fromJson(const JsonValue &v)
+{
+    SloReport r;
+    r.arrival = v.at("arrival").asString();
+    r.offeredMbps = v.at("offered_mbps").asDouble();
+    r.sloTargetCycles = v.at("slo_target_cycles").asU64();
+    r.durationCycles = v.at("duration_cycles").asU64();
+    r.offered = v.at("offered").asU64();
+    r.completed = v.at("completed").asU64();
+    r.overSlo = v.at("over_slo").asU64();
+    r.servedBuffer = v.at("served_buffer").asU64();
+    r.servedStaging = v.at("served_staging").asU64();
+    r.servedEngine = v.at("served_engine").asU64();
+    r.maxBacklog = v.at("max_backlog").asU64();
+    r.lastCompletion = v.at("last_completion").asU64();
+    r.p50 = v.at("p50").asU64();
+    r.p99 = v.at("p99").asU64();
+    r.p999 = v.at("p999").asU64();
+    r.maxLatency = v.at("max_latency").asU64();
+    r.meanLatency = v.at("mean_latency").asDouble();
+    r.pctOverSlo = v.at("pct_over_slo").asDouble();
+    r.completedRps = v.at("completed_rps").asDouble();
+    r.goodputRps = v.at("goodput_rps").asDouble();
+    r.saturated = v.at("saturated").asBool();
+    return r;
+}
+
+} // namespace dstrange::service

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-run service-level report: goodput, tail-latency percentiles,
+ * SLO-violation share, serve-path mix, and a saturation verdict,
+ * derived from one OpenLoopService run's ServiceStats. Serializes
+ * bit-exactly through JsonWriter/JsonValue so service cells round-trip
+ * through the persistent sweep caches like any other result.
+ */
+
+#ifndef DSTRANGE_SERVICE_SLO_REPORT_H
+#define DSTRANGE_SERVICE_SLO_REPORT_H
+
+#include <string>
+
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "common/types.h"
+#include "service/open_loop_service.h"
+#include "service/service_config.h"
+
+namespace dstrange::service {
+
+/** The service layer's answer to "did this design survive the load". */
+struct SloReport
+{
+    std::string arrival;      ///< Arrival-process key of the run.
+    double offeredMbps = 0.0; ///< Configured offered load.
+    Cycle sloTargetCycles = 0;
+    Cycle durationCycles = 0;
+
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t overSlo = 0;
+    std::uint64_t servedBuffer = 0;
+    std::uint64_t servedStaging = 0;
+    std::uint64_t servedEngine = 0;
+    std::uint64_t maxBacklog = 0;
+    Cycle lastCompletion = 0;
+
+    Cycle p50 = 0;  ///< Nearest-rank percentiles in bus cycles.
+    Cycle p99 = 0;
+    Cycle p999 = 0;
+    Cycle maxLatency = 0;
+    double meanLatency = 0.0;
+
+    double pctOverSlo = 0.0;    ///< % of completions above the target.
+    double completedRps = 0.0;  ///< Completions per second of wall time.
+    double goodputRps = 0.0;    ///< Within-SLO completions per second.
+    /**
+     * The offered load exceeded the design's service capacity: the run
+     * could not complete every generated request, or draining the
+     * backlog took more than 1/8 of the generation window past its
+     * close. Purely integer-derived, so the verdict is deterministic.
+     */
+    bool saturated = false;
+
+    /** Derive the report from a finished run's counters. */
+    static SloReport from(const ServiceConfig &cfg,
+                          const ServiceStats &stats);
+
+    /** Emit as a JSON object (caller owns surrounding structure). */
+    void writeJson(JsonWriter &w) const;
+
+    /** Parse a writeJson() document back, bit-exactly. */
+    static SloReport fromJson(const JsonValue &v);
+};
+
+} // namespace dstrange::service
+
+#endif // DSTRANGE_SERVICE_SLO_REPORT_H

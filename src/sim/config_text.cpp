@@ -7,6 +7,7 @@
 
 #include "dram/mapping_registry.h"
 #include "mem/scheduler_registry.h"
+#include "service/arrival_process.h"
 #include "sim/design_registry.h"
 #include "strange/predictor_registry.h"
 
@@ -173,6 +174,34 @@ applyGeometryField(dram::DramGeometry &g, const std::string &field,
     return true;
 }
 
+bool
+applyServiceField(service::ServiceConfig &s, const std::string &field,
+                  const std::string &value)
+{
+    if (field == "enabled")
+        s.enabled = parseBool(value);
+    else if (field == "arrival") {
+        if (!service::ArrivalRegistry::instance().contains(value))
+            throw std::invalid_argument("unknown arrival process '" +
+                                        value + "'");
+        s.arrival = value;
+    } else if (field == "offered-mbps")
+        s.offeredMbps = parseDouble(value);
+    else if (field == "clients")
+        s.clients = parseUnsigned(value);
+    else if (field == "burst")
+        s.burstFactor = parseDouble(value);
+    else if (field == "period")
+        s.periodCycles = parseU64(value);
+    else if (field == "slo")
+        s.sloTargetCycles = parseU64(value);
+    else if (field == "duration")
+        s.durationCycles = parseU64(value);
+    else
+        return false;
+    return true;
+}
+
 void
 applyToken(SimConfig &cfg, const std::string &key,
            const std::string &value)
@@ -263,6 +292,9 @@ applyToken(SimConfig &cfg, const std::string &key,
     } else if (key.rfind("geometry.", 0) == 0) {
         if (!applyGeometryField(cfg.geometry, key.substr(9), value))
             throw std::invalid_argument("unknown key");
+    } else if (key.rfind("service.", 0) == 0) {
+        if (!applyServiceField(cfg.service, key.substr(8), value))
+            throw std::invalid_argument("unknown key");
     } else {
         throw std::invalid_argument("unknown key");
     }
@@ -317,6 +349,15 @@ serializeConfig(const SimConfig &cfg)
       << " geometry.banks=" << g.banksPerRank
       << " geometry.rows=" << g.rowsPerBank
       << " geometry.rowbytes=" << g.rowBytes;
+    const service::ServiceConfig &sv = cfg.service;
+    o << " service.enabled=" << (sv.enabled ? 1 : 0)
+      << " service.arrival=" << sv.arrival
+      << " service.offered-mbps=" << fmt(sv.offeredMbps)
+      << " service.clients=" << sv.clients
+      << " service.burst=" << fmt(sv.burstFactor)
+      << " service.period=" << sv.periodCycles
+      << " service.slo=" << sv.sloTargetCycles
+      << " service.duration=" << sv.durationCycles;
     return o.str();
 }
 

@@ -71,6 +71,21 @@ systemFingerprint(const System &sys)
             << "pred.false_neg=" << ps->falseNegatives << '\n';
     }
 
+    if (const service::OpenLoopService *svc = sys.service()) {
+        const service::ServiceStats &ss = svc->stats();
+        out << "svc.offered=" << ss.offered << '\n'
+            << "svc.issued=" << ss.issued << '\n'
+            << "svc.completed=" << ss.completed << '\n'
+            << "svc.over_slo=" << ss.overSlo << '\n'
+            << "svc.served_buffer=" << ss.servedBuffer << '\n'
+            << "svc.served_staging=" << ss.servedStaging << '\n'
+            << "svc.served_engine=" << ss.servedEngine << '\n'
+            << "svc.max_backlog=" << ss.maxBacklog << '\n'
+            << "svc.last_completion=" << ss.lastCompletion << '\n'
+            << "svc.backlog=" << svc->backlogDepth() << '\n'
+            << "svc.latency_fp=" << ss.latency.fingerprint() << '\n';
+    }
+
     for (unsigned ch = 0; ch < mc.numChannels(); ++ch) {
         const dram::ChannelEnergyCounters &c =
             mc.channel(ch).energyCounters();

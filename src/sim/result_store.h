@@ -95,6 +95,23 @@ class ResultStore
                     const AloneResult &result) const;
 
     /**
+     * Record the measured wall-clock cost of one sweep cell (identified
+     * by its canonical cell key) so later sharded runs can balance
+     * shards by real cost instead of a hash. Costs live in `cost-*.json`
+     * files — a separate namespace from the `alone-*` baselines, which
+     * the size-bounded eviction therefore never touches. Costs are
+     * estimates, not correctness data: the file embeds the key and
+     * schema but not the build fingerprint, so a rebuild keeps its
+     * timing hints. Atomic like storeAlone(); returns false on I/O
+     * failure.
+     */
+    bool storeCellCost(const std::string &cell_key, double wall_ms) const;
+
+    /** Recorded wall-clock cost for a sweep cell, or nullopt when no
+     *  (valid) record exists. Never throws. */
+    std::optional<double> loadCellCost(const std::string &cell_key) const;
+
+    /**
      * Bound the total size of cache files in the directory (bytes;
      * 0 = unlimited, the default). The constructor seeds this from the
      * DS_CACHE_MAX_MB environment variable. Enforcement happens on
@@ -117,6 +134,7 @@ class ResultStore
 
   private:
     std::string filePath(const std::string &key) const;
+    std::string costPath(const std::string &cell_key) const;
     /** Delete oldest-mtime cache files until the budget is met. Must
      *  be called with the exclusive directory lock held; never throws. */
     void evictOverBudget() const;

@@ -216,7 +216,9 @@ Runner::run(const SimConfig &cfg, const workloads::WorkloadSpec &spec)
     const bool has_rng = spec.rngThroughputMbps > 0.0;
     const unsigned n_cores =
         static_cast<unsigned>(spec.apps.size()) + (has_rng ? 1 : 0);
-    assert(n_cores >= 1);
+    // Pure service cells run without any traced core; everything else
+    // needs at least one.
+    assert(n_cores >= 1 || cfg.service.enabled);
 
     // The RNG benchmark occupies the last core. Traces derive from the
     // run's own configuration (seed/geometry), not from base().
@@ -236,6 +238,9 @@ Runner::run(const SimConfig &cfg, const workloads::WorkloadSpec &spec)
     result.group = spec.group;
     result.busCycles = sys.busCycles();
     result.mcStats = sys.mc().stats();
+    if (const service::OpenLoopService *svc = sys.service())
+        result.service =
+            service::SloReport::from(svc->config(), svc->stats());
     result.bufferServeRate = result.mcStats.bufferServeRate();
     if (auto ps = sys.mc().predictorStats())
         result.predictorAccuracy = ps->accuracy();
@@ -286,7 +291,8 @@ Runner::run(const SimConfig &cfg, const workloads::WorkloadSpec &spec)
         result.cores.push_back(std::move(cr));
     }
 
-    result.unfairnessIndex = unfairness(mem_slowdowns);
+    if (!mem_slowdowns.empty())
+        result.unfairnessIndex = unfairness(mem_slowdowns);
     result.weightedSpeedupNonRng = weightedSpeedup(ipc_shared, ipc_alone);
     return result;
 }

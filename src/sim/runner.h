@@ -14,9 +14,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "service/slo_report.h"
 #include "sim/metrics.h"
 #include "sim/system.h"
 #include "workloads/mixes.h"
@@ -66,6 +68,9 @@ class Runner
         /** Strict-idle period lengths across all channels (Fig. 5/18);
          *  populated only when setCollectIdlePeriods(true). */
         std::vector<std::uint32_t> idlePeriods;
+        /** Tail-latency/SLO report of the open-loop service layer;
+         *  present only when the run's config enables it. */
+        std::optional<service::SloReport> service;
 
         /** Mean slowdown of the non-RNG applications. */
         double avgNonRngSlowdown() const;

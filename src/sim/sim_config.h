@@ -23,6 +23,7 @@
 #include "dram/address_mapper.h"
 #include "dram/dram_timings.h"
 #include "mem/memory_controller.h"
+#include "service/service_config.h"
 #include "trng/trng_mechanism.h"
 
 namespace dstrange::sim {
@@ -113,6 +114,10 @@ struct SimConfig
     std::vector<int> priorities;
 
     std::uint64_t seed = 1; ///< Master seed for traces and entropy.
+
+    /** Open-loop RNG-as-a-service layer (off by default; orthogonal to
+     *  the design presets, which never touch it). */
+    service::ServiceConfig service;
 };
 
 /**

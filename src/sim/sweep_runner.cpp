@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "sim/config_text.h"
 #include "sim/design_registry.h"
+#include "sim/result_store.h"
 
 namespace dstrange::sim {
 
@@ -23,22 +24,30 @@ SweepRunner::ShardSpec::parse(const std::string &text)
     const auto fail = [&text] {
         throw std::invalid_argument(
             "bad shard spec '" + text +
-            "' (expected I/N with 0 <= I < N, e.g. \"0/4\")");
+            "' (expected I/N or I/N:balanced with 0 <= I < N, "
+            "e.g. \"0/4\")");
     };
-    const std::size_t slash = text.find('/');
-    if (slash == std::string::npos || slash == 0 ||
-        slash + 1 >= text.size())
-        fail();
     ShardSpec spec;
-    const auto parseField = [&](std::size_t begin, std::size_t end,
+    std::size_t end = text.size();
+    const std::size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+        if (text.substr(colon) != ":balanced")
+            fail();
+        spec.balanced = true;
+        end = colon;
+    }
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= end)
+        fail();
+    const auto parseField = [&](std::size_t begin, std::size_t stop,
                                 unsigned &out) {
         const auto res =
-            std::from_chars(text.data() + begin, text.data() + end, out);
-        if (res.ec != std::errc{} || res.ptr != text.data() + end)
+            std::from_chars(text.data() + begin, text.data() + stop, out);
+        if (res.ec != std::errc{} || res.ptr != text.data() + stop)
             fail();
     };
     parseField(0, slash, spec.index);
-    parseField(slash + 1, text.size(), spec.count);
+    parseField(slash + 1, end, spec.count);
     if (spec.count == 0 || spec.index >= spec.count)
         fail();
     return spec;
@@ -124,6 +133,52 @@ SweepRunner::grid(const std::vector<std::string> &designs,
     return cells;
 }
 
+std::vector<unsigned>
+SweepRunner::shardOwners(const std::vector<Cell> &cells) const
+{
+    std::vector<unsigned> owners(cells.size(), 0);
+    if (shard.count <= 1)
+        return owners;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        owners[i] = static_cast<unsigned>(cellHash(cells[i]) %
+                                          shard.count);
+    const std::shared_ptr<ResultStore> &store = shared.resultStore();
+    if (!shard.balanced || !store)
+        return owners;
+
+    // Longest-processing-time-first over the cells with recorded
+    // costs: sort by cost descending (grid index breaks ties), then
+    // greedily hand each to the currently least-loaded shard. Cells
+    // without a cost record keep their hash assignment above.
+    struct Costed
+    {
+        std::size_t idx;
+        double cost;
+    };
+    std::vector<Costed> costed;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (const auto cost = store->loadCellCost(cellKey(cells[i])))
+            costed.push_back({i, *cost});
+    }
+    std::sort(costed.begin(), costed.end(),
+              [](const Costed &a, const Costed &b) {
+                  if (a.cost != b.cost)
+                      return a.cost > b.cost;
+                  return a.idx < b.idx;
+              });
+    std::vector<double> load(shard.count, 0.0);
+    for (const Costed &c : costed) {
+        unsigned best = 0;
+        for (unsigned s = 1; s < shard.count; ++s) {
+            if (load[s] < load[best])
+                best = s;
+        }
+        owners[c.idx] = best;
+        load[best] += c.cost;
+    }
+    return owners;
+}
+
 SweepRunner::CellResult
 SweepRunner::runCell(const Cell &cell)
 {
@@ -149,6 +204,17 @@ SweepRunner::runCell(const Cell &cell)
     const auto elapsed = std::chrono::steady_clock::now() - start;
     out.wallMs =
         std::chrono::duration<double, std::milli>(elapsed).count();
+    // Record the measured cost so later balanced-shard runs can split
+    // the grid by real wall-clock (best-effort; failures are ignored).
+    // Sharded runs only *consume* costs: every shard of a family must
+    // compute the LPT assignment from the same store snapshot, so a
+    // shard finishing early cannot be allowed to rewrite the records a
+    // later-launched sibling would read.
+    if (out.ok && shard.count <= 1) {
+        if (const std::shared_ptr<ResultStore> &store =
+                shared.resultStore())
+            store->storeCellCost(cellKey(cell), out.wallMs);
+    }
     return out;
 }
 
@@ -160,10 +226,13 @@ SweepRunner::run(const std::vector<Cell> &cells)
     // Cross-process sharding: collect the cell indices this shard owns
     // and pre-mark everything else skipped, keeping the full grid shape
     // so results[i] still corresponds to cells[i].
+    const std::vector<unsigned> owners =
+        ownerOverride.size() == cells.size() ? ownerOverride
+                                             : shardOwners(cells);
     std::vector<std::size_t> owned;
     owned.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (shard.owns(cells[i])) {
+        if (shard.count <= 1 || owners[i] == shard.index) {
             owned.push_back(i);
         } else {
             results[i].skipped = true;

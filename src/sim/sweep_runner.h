@@ -74,18 +74,34 @@ class SweepRunner
     {
         unsigned index = 0;
         unsigned count = 1; ///< 1 = unsharded (owns every cell).
+        /**
+         * Balance shards by measured per-cell wall-clock instead of by
+         * hash, using the cost records a ResultStore keeps (see
+         * ResultStore::storeCellCost). Cells with a recorded cost are
+         * distributed longest-processing-time-first over the shards;
+         * cells without one fall back to the hash partition, and with
+         * no store attached the whole spec degrades to plain hashing.
+         * The assignment is a pure function of the grid, the shard
+         * count, and the recorded costs, so N shards sharing one cache
+         * directory (whose cost records a previous, e.g. unbalanced,
+         * run populated) still cover the grid exactly once.
+         */
+        bool balanced = false;
 
         /** True when this spec is the trivial single-shard partition. */
         bool full() const { return count <= 1; }
 
-        /** Does this shard own (and therefore run) @p cell? */
+        /** Does this shard own (and therefore run) @p cell under the
+         *  hash partition? (Balanced assignment is grid-wide; see
+         *  SweepRunner::shardOwners().) */
         bool owns(const Cell &cell) const
         {
             return count <= 1 || cellHash(cell) % count == index;
         }
 
         /**
-         * Parse "I/N" (e.g. "0/4"): N >= 1 shards, index I < N.
+         * Parse "I/N" or "I/N:balanced" (e.g. "0/4", "2/8:balanced"):
+         * N >= 1 shards, index I < N.
          * @throws std::invalid_argument on malformed text or I >= N.
          */
         static ShardSpec parse(const std::string &text);
@@ -169,6 +185,34 @@ class SweepRunner
     const ShardSpec &shardSpec() const { return shard; }
 
     /**
+     * Owning shard index for every cell of @p cells under the active
+     * ShardSpec. Hash-partitioned by default; with a balanced spec,
+     * cells whose wall-clock cost the attached ResultStore has recorded
+     * are assigned longest-first to the least-loaded shard (ties: the
+     * lowest shard index), and the rest keep their hash assignment.
+     * Deterministic for a given grid, spec, and cost-record set —
+     * every shard of an "I/N:balanced" ensemble computes the same
+     * owner vector, so the shards remain a disjoint exact cover.
+     */
+    std::vector<unsigned>
+    shardOwners(const std::vector<Cell> &cells) const;
+
+    /**
+     * Pin the per-cell owner assignment for subsequent run() calls
+     * instead of computing it via shardOwners(). run_all uses this to
+     * hand the balanced assignment (computed once, against the cost
+     * records) to its reference sweeps, which deliberately run without
+     * the cache attached and would otherwise fall back to hashing —
+     * skipping a different cell set than the measured run. Ignored
+     * when the vector's size does not match the grid passed to run();
+     * an empty vector (the default) restores the computed assignment.
+     */
+    void setShardOwners(std::vector<unsigned> owners)
+    {
+        ownerOverride = std::move(owners);
+    }
+
+    /**
      * Execute every cell and return results in cell order. A cell that
      * throws (unknown design key, bad configuration, ...) yields
      * ok == false with the exception message in error; the other cells
@@ -193,6 +237,7 @@ class SweepRunner
     Runner shared;
     ProgressFn progress;
     ShardSpec shard;
+    std::vector<unsigned> ownerOverride; ///< See setShardOwners().
 };
 
 } // namespace dstrange::sim

@@ -13,11 +13,17 @@ System::System(const SimConfig &config,
       entropySource(mix64(config.seed) ^ 0xdead),
       ffEnabled(envFlag("DS_FAST_FORWARD", true))
 {
-    assert(!traceOwners.empty());
+    // A system needs at least one request source: a traced core or the
+    // open-loop service port.
+    assert(!traceOwners.empty() || cfg.service.enabled);
 
+    // The service layer issues on one extra controller port past the
+    // last core, so its requests arbitrate like any application's.
+    const unsigned n_ports = static_cast<unsigned>(traceOwners.size()) +
+                             (cfg.service.enabled ? 1u : 0u);
     controller = std::make_unique<mem::MemoryController>(
         mcConfigFor(cfg), cfg.timings, cfg.geometry, cfg.mechanism,
-        static_cast<unsigned>(traceOwners.size()));
+        n_ports);
 
     cpu::Core::Config core_cfg;
     core_cfg.instrBudget = cfg.instrBudget;
@@ -27,9 +33,19 @@ System::System(const SimConfig &config,
             *controller));
     }
 
+    if (cfg.service.enabled) {
+        svc = std::make_unique<service::OpenLoopService>(
+            cfg.service, static_cast<CoreId>(cores.size()), *controller,
+            cfg.seed);
+    }
+
     controller->setCompletionCallback(
-        [this](CoreId core, std::uint64_t token, mem::ReqType) {
-            cores[core]->onCompletion(token);
+        [this](CoreId core, std::uint64_t token, mem::ReqType,
+               mem::ServePath path) {
+            if (core < cores.size())
+                cores[core]->onCompletion(token);
+            else if (svc)
+                svc->onCompletion(token, now, path);
         });
 
     for (unsigned i = 0; i < cfg.priorities.size() && i < cores.size(); ++i)
@@ -56,6 +72,11 @@ System::nextEventCycle() const
         if (horizon <= now)
             return now;
     }
+    if (svc) {
+        horizon = std::min(horizon, svc->nextEventCycle(now));
+        if (horizon <= now)
+            return now;
+    }
     horizon = std::min(horizon, controller->nextEventCycle(now));
     return horizon <= now ? now : horizon;
 }
@@ -72,7 +93,8 @@ System::advanceUntil(Cycle end, bool stop_when_finished)
     Cycle probe_at = 0;
     unsigned backoff = 0;
     while (now < end) {
-        if (stop_when_finished && allFinished())
+        if (stop_when_finished && allFinished() &&
+            (!svc || svc->drained()))
             return;
         if (ffEnabled && now >= probe_at) {
             const Cycle horizon = nextEventCycle();
@@ -92,12 +114,19 @@ System::advanceUntil(Cycle end, bool stop_when_finished)
                 controller->fastForward(now, to);
                 for (auto &core : cores)
                     core->fastForward(now, to);
+                if (svc)
+                    svc->fastForward(now, to);
                 ffCounters.skips++;
                 ffCounters.skippedCycles += to - now;
                 now = to;
                 continue;
             }
         }
+        // The service port issues before the controller tick, so an
+        // arrival at cycle t can be buffer-served with its completion
+        // scheduled from t — one fixed order keeps runs bit-identical.
+        if (svc)
+            svc->tick(now);
         controller->tick(now);
         for (auto &core : cores)
             core->tickBusCycle(now);

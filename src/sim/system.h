@@ -16,6 +16,7 @@
 
 #include "cpu/core.h"
 #include "cpu/trace_source.h"
+#include "service/open_loop_service.h"
 #include "sim/sim_config.h"
 #include "trng/entropy_source.h"
 
@@ -84,6 +85,8 @@ class System
     }
     mem::MemoryController &mc() { return *controller; }
     const mem::MemoryController &mc() const { return *controller; }
+    /** The open-loop service driver, or nullptr when not configured. */
+    const service::OpenLoopService *service() const { return svc.get(); }
     trng::EntropySource &entropy() { return entropySource; }
     Cycle busCycles() const { return now; }
     bool allFinished() const;
@@ -97,6 +100,8 @@ class System
     std::vector<std::unique_ptr<cpu::TraceSource>> traceOwners;
     std::unique_ptr<mem::MemoryController> controller;
     std::vector<std::unique_ptr<cpu::Core>> cores;
+    /** Open-loop service driver on the port past the last core. */
+    std::unique_ptr<service::OpenLoopService> svc;
     trng::EntropySource entropySource;
     Cycle now = 0;
     bool ffEnabled;

@@ -64,9 +64,8 @@ class CoreTest : public ::testing::Test
         cfg.instrBudget = budget;
         core = std::make_unique<Core>(0, cfg, *trace, *mc);
         mc->setCompletionCallback(
-            [this](CoreId, std::uint64_t token, mem::ReqType) {
-                core->onCompletion(token);
-            });
+            [this](CoreId, std::uint64_t token, mem::ReqType,
+                   mem::ServePath) { core->onCompletion(token); });
     }
 
     void

@@ -484,9 +484,8 @@ serveRateWith(unsigned fill_channel_limit, bool parking, bool abort_in)
     core_cfg.instrBudget = cfg.instrBudget;
     cpu::Core c0(0, core_cfg, app, mc), c1(1, core_cfg, rng, mc);
     mc.setCompletionCallback(
-        [&](CoreId core, std::uint64_t token, mem::ReqType) {
-            (core == 0 ? c0 : c1).onCompletion(token);
-        });
+        [&](CoreId core, std::uint64_t token, mem::ReqType,
+            mem::ServePath) { (core == 0 ? c0 : c1).onCompletion(token); });
     Cycle now = 0;
     while ((!c0.finished() || !c1.finished()) && now < 10'000'000) {
         mc.tick(now);

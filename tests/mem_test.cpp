@@ -303,9 +303,8 @@ class MemoryControllerTest : public ::testing::Test
         mc = std::make_unique<MemoryController>(
             cfg, timings, geom, trng::TrngMechanism::dRange(), 2);
         mc->setCompletionCallback(
-            [this](CoreId core, std::uint64_t token, ReqType type) {
-                completions.push_back({core, token, type});
-            });
+            [this](CoreId core, std::uint64_t token, ReqType type,
+                   ServePath) { completions.push_back({core, token, type}); });
     }
 
     void
@@ -463,7 +462,7 @@ TEST_F(MemoryControllerTest, StagingServesQuacLeftovers)
         cfg, timings, geom, trng::TrngMechanism::quacTrng(), 2);
     std::vector<Completion> done;
     mc->setCompletionCallback(
-        [&](CoreId core, std::uint64_t token, ReqType type) {
+        [&](CoreId core, std::uint64_t token, ReqType type, ServePath) {
             done.push_back({core, token, type});
         });
 

@@ -65,13 +65,28 @@ def main(argv):
         if t["name"] == "**overall**" and prev:
             p = prev.get("fastforward")
         prev_speedup = p.get("speedup") if p else None
-        prev_txt = f"{prev_speedup:.2f}x" if prev_speedup else "—"
+        # A tier with no counterpart in the previous run is new, not a
+        # regression; mark it rather than leaving the columns blank.
+        if prev_speedup:
+            prev_txt = f"{prev_speedup:.2f}x"
+        elif prev is not None and p is None and t["name"] != "**overall**":
+            prev_txt = "(new)"
+        else:
+            prev_txt = "—"
         print(
             "| {name} | {speedup:.2f}x | {prev} | {delta} "
             "| {step1_wall_ms:.1f} | {ff_wall_ms:.1f} |".format(
                 prev=prev_txt,
                 delta=fmt_delta(t["speedup"], prev_speedup),
                 **t,
+            )
+        )
+    # Tiers only in the previous run would otherwise vanish silently.
+    for name in sorted(set(prev_tiers) - set(cur_tiers)):
+        p = prev_tiers[name]
+        print(
+            "| {name} | (removed) | {speedup:.2f}x | n/a | — | — |".format(
+                name=name, speedup=p["speedup"]
             )
         )
     print()
