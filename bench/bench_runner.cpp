@@ -492,6 +492,68 @@ runSweep(unsigned jobs, unsigned n_mixes,
     return failures;
 }
 
+/**
+ * The record→replay trace tier: for each scheduler, record a dual-core
+ * live run's controller-boundary request stream, replay it into an
+ * identically-configured controller, and require the controller-side
+ * metrics to match bit-for-bit. The tape files land next to the JSON
+ * record (DS_BENCH_OUT) for reuse. Returns the number of failures.
+ * Skipped in sharded runs — the tier is a whole-grid artefact like the
+ * subprocess benches.
+ */
+int
+runTraceTier(bench::TraceTierRecord &tier, const std::string &out_dir)
+{
+    const std::vector<std::string> schedulers = {"fr-fcfs",
+                                                 "fr-fcfs-cap", "bliss"};
+    dstrange::workloads::WorkloadSpec spec;
+    spec.apps = {"soplex", "mcf"};
+    spec.rngThroughputMbps = 5120.0;
+
+    std::cout << "[run_all] trace tier: " << schedulers.size()
+              << " record/replay cells ... " << std::flush;
+    int failures = 0;
+    for (const std::string &sched : schedulers) {
+        dstrange::sim::SimConfig cfg = bench::baseConfig();
+        dstrange::sim::DesignRegistry::instance().apply("drstrange",
+                                                        cfg);
+        cfg.scheduler = sched;
+        const std::string path =
+            out_dir + "/trace_replay_" + sched + ".bin";
+        bench::TraceCellRecord cell;
+        try {
+            cell = bench::runTraceReplayCell(cfg, spec, path);
+        } catch (const std::exception &e) {
+            std::cerr << "[run_all] trace cell '" << sched
+                      << "' failed: " << e.what() << "\n";
+            ++failures;
+        }
+        cell.name = sched;
+        tier.liveMs += cell.liveMs;
+        tier.replayMs += cell.replayMs;
+        tier.bitIdentical = tier.bitIdentical && cell.bitIdentical;
+        tier.cells.push_back(std::move(cell));
+    }
+    if (!tier.bitIdentical)
+        ++failures;
+    std::cout << (failures == 0 ? "ok" : "FAIL") << " ("
+              << bench::num(tier.liveMs, 1) << " ms live -> "
+              << bench::num(tier.replayMs, 1) << " ms replay, "
+              << bench::num(tier.speedup(), 2) << "x, "
+              << (tier.bitIdentical ? "bit-identical" : "MISMATCH")
+              << ")\n";
+    for (const bench::TraceCellRecord &cell : tier.cells) {
+        std::cout << "[run_all]   trace " << cell.name << ": "
+                  << bench::num(cell.liveMs, 1) << " ms live -> "
+                  << bench::num(cell.replayMs, 1) << " ms replay ("
+                  << bench::num(cell.speedup(), 2) << "x, "
+                  << cell.records << " records, "
+                  << (cell.bitIdentical ? "bit-identical" : "MISMATCH")
+                  << ")\n";
+    }
+    return failures;
+}
+
 /** One parsed BENCH_run_all.shard-I.json fragment. */
 struct Fragment
 {
@@ -500,6 +562,7 @@ struct Fragment
     unsigned count = 1;
     std::uint64_t instrBudget = 0;
     std::string config;
+    std::string fingerprint; ///< Build fingerprint ("" in old files).
     std::vector<bench::BenchRecord> records;
     bench::SweepRecord sweep;
 };
@@ -523,6 +586,11 @@ parseFragment(const std::string &path)
                                  doc.at("schema").asString() + "'");
     frag.instrBudget = doc.at("instr_budget").asU64();
     frag.config = doc.at("config").asString();
+    // Fragments written before the fingerprint field existed parse as
+    // "" and fail the merge-time equality check below with a clear
+    // message rather than merging silently.
+    if (const dstrange::JsonValue *fp = doc.find("fingerprint"))
+        frag.fingerprint = fp->asString();
 
     for (const auto &rv : doc.at("results").array()) {
         bench::BenchRecord rec;
@@ -653,6 +721,17 @@ mergeShards(const std::string &dir, const std::string &out_dir)
             std::cerr << "--merge-shards: '" << f.path << "' ran a "
                       << "different configuration than '"
                       << frags[0].path << "'\n";
+            return 2;
+        }
+        // Fragments from different builds (or schema generations) are
+        // not comparable cell-for-cell even when their configs match.
+        if (f.fingerprint != frags[0].fingerprint) {
+            std::cerr << "--merge-shards: '" << f.path
+                      << "' has build fingerprint '" << f.fingerprint
+                      << "' but '" << frags[0].path << "' has '"
+                      << frags[0].fingerprint
+                      << "'; fragments must come from one build of one "
+                         "simulator — re-run the shards\n";
             return 2;
         }
         if (f.sweep.cells.size() != frags[0].sweep.cells.size()) {
@@ -1028,6 +1107,13 @@ main(int argc, char **argv)
     const bool ran_sweep = sweep_mixes > 0;
     if (ran_sweep)
         failures += runSweep(jobs, sweep_mixes, shard, sweep);
+
+    // Record→replay trace tier (whole-grid artefact: only unsharded
+    // runs execute it, like the subprocess benches).
+    if (ran_sweep && shard.full()) {
+        sweep.hasTrace = true;
+        failures += runTraceTier(sweep.trace, out_dir);
+    }
 
     // A shard writes a fragment; --merge-shards joins the family back
     // into the canonical BENCH_run_all.json.

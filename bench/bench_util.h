@@ -173,6 +173,36 @@ struct SweepCellRecord {
     std::vector<std::pair<std::string, double>> metrics;
 };
 
+/** One record→replay comparison cell of the trace tier. */
+struct TraceCellRecord {
+    std::string name;        ///< Scheduler (or other knob) label.
+    double liveMs = 0.0;     ///< Recorded live run wall-clock.
+    double replayMs = 0.0;   ///< Replay run wall-clock.
+    bool bitIdentical = false; ///< MC-side metrics matched exactly.
+    std::uint64_t records = 0; ///< Requests replayed from the tape.
+
+    double speedup() const
+    {
+        return replayMs > 0.0 ? liveMs / replayMs : 0.0;
+    }
+};
+
+/** Aggregate of the run_all trace tier: each cell records a live run,
+ *  replays the tape into an identically-configured controller, and
+ *  diffs the controller-side metrics — replay must be bit-identical
+ *  and materially faster (no core or service model executes). */
+struct TraceTierRecord {
+    double liveMs = 0.0;
+    double replayMs = 0.0;
+    bool bitIdentical = true;
+    std::vector<TraceCellRecord> cells;
+
+    double speedup() const
+    {
+        return replayMs > 0.0 ? liveMs / replayMs : 0.0;
+    }
+};
+
 /** Fast-forward speedup of one workload tier of the sweep grid. */
 struct FfTierRecord {
     std::string name;       ///< Tier label (e.g. "trng-sweep").
@@ -233,6 +263,8 @@ struct SweepRecord {
     std::uint64_t cacheStores = 0; ///< Baselines written to disk.
     std::vector<ShardSummaryRecord> shards; ///< Merged records only.
     std::vector<FfTierRecord> ffTiers; ///< Per-tier ff speedups.
+    bool hasTrace = false;      ///< Trace tier ran (unsharded only).
+    TraceTierRecord trace;      ///< Record→replay comparison tier.
     std::vector<SweepCellRecord> cells;
 
     double speedup() const
@@ -246,6 +278,84 @@ struct SweepRecord {
         return serialWallMs > 0.0 ? step1WallMs / serialWallMs : 0.0;
     }
 };
+
+/**
+ * The controller-side metric values a replay run must reproduce
+ * bit-identically from the recorded live run. Core-side statistics are
+ * deliberately absent: replay has no cores.
+ */
+inline std::vector<std::pair<std::string, double>>
+mcMetrics(const dstrange::sim::System &sys,
+          const dstrange::sim::SimConfig &cfg)
+{
+    const dstrange::mem::McStats &m = sys.mc().stats();
+    std::vector<std::pair<std::string, double>> out = {
+        {"bus_cycles", static_cast<double>(sys.busCycles())},
+        {"read_requests", static_cast<double>(m.readRequests)},
+        {"write_requests", static_cast<double>(m.writeRequests)},
+        {"rng_requests", static_cast<double>(m.rngRequests)},
+        {"rng_from_buffer", static_cast<double>(m.rngServedFromBuffer)},
+        {"rng_jobs_completed", static_cast<double>(m.rngJobsCompleted)},
+        {"reads_completed", static_cast<double>(m.readsCompleted)},
+        {"sum_read_latency", static_cast<double>(m.sumReadLatency)},
+        {"sum_rng_latency", static_cast<double>(m.sumRngLatency)},
+        {"buffer_serve_rate", m.bufferServeRate()},
+    };
+    double energy_nj = 0.0;
+    for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
+        energy_nj += dstrange::sim::channelEnergy(
+                         cfg.timings,
+                         sys.mc().channel(ch).energyCounters())
+                         .total();
+    }
+    out.emplace_back("energy_nj", energy_nj);
+    return out;
+}
+
+/**
+ * One record→replay comparison: run @p spec live under @p cfg while
+ * recording the controller-boundary request stream to @p trace_path,
+ * then replay the tape into a freshly-built controller with the same
+ * configuration, timing both runs and diffing their controller-side
+ * metrics. The trace file is left on disk for inspection or reuse.
+ */
+inline TraceCellRecord
+runTraceReplayCell(dstrange::sim::SimConfig cfg,
+                   const dstrange::workloads::WorkloadSpec &spec,
+                   const std::string &trace_path)
+{
+    namespace ds = dstrange;
+    TraceCellRecord cell;
+
+    cfg.traceRecord = trace_path;
+    cfg.traceReplay.clear();
+    std::vector<std::unique_ptr<ds::cpu::TraceSource>> traces;
+    for (unsigned i = 0; i < spec.apps.size(); ++i) {
+        traces.push_back(std::make_unique<ds::workloads::SyntheticTrace>(
+            ds::workloads::appByName(spec.apps[i]), cfg.geometry,
+            static_cast<ds::CoreId>(i), cfg.seed));
+    }
+    if (spec.rngThroughputMbps > 0.0) {
+        traces.push_back(std::make_unique<ds::workloads::RngBenchmark>(
+            spec.rngThroughputMbps, cfg.geometry,
+            cfg.seed + traces.size()));
+    }
+    WallTimer timer;
+    ds::sim::System live(cfg, std::move(traces));
+    live.run();
+    cell.liveMs = timer.elapsedMs();
+    const auto live_metrics = mcMetrics(live, cfg);
+
+    cfg.traceRecord.clear();
+    cfg.traceReplay = trace_path;
+    timer.reset();
+    ds::sim::System replay(cfg, {});
+    replay.run();
+    cell.replayMs = timer.elapsedMs();
+    cell.records = replay.replaySource()->replayedCount();
+    cell.bitIdentical = mcMetrics(replay, cfg) == live_metrics;
+    return cell;
+}
 
 /**
  * Directory for BENCH_*.json output. Defaults to the current working
@@ -280,6 +390,12 @@ writeBenchJson(const std::string &harness,
     w.beginObject();
     w.key("schema").value("drstrange-bench-v1");
     w.key("harness").value(harness);
+    // Build fingerprint (cache schema + compiler + source-tree hash +
+    // fast-forward mode): --merge-shards refuses to join fragments
+    // whose fingerprints differ, since their cells came from different
+    // simulators.
+    w.key("fingerprint").value(
+        dstrange::sim::ResultStore::buildFingerprint());
     const dstrange::sim::SimConfig base = baseConfig();
     w.key("instr_budget").value(
         static_cast<std::uint64_t>(base.instrBudget));
@@ -359,6 +475,26 @@ writeBenchJson(const std::string &harness,
         }
         w.endArray();
         w.endObject();
+        if (sweep->hasTrace) {
+            w.key("trace").beginObject();
+            w.key("live_wall_ms").value(sweep->trace.liveMs);
+            w.key("replay_wall_ms").value(sweep->trace.replayMs);
+            w.key("speedup").value(sweep->trace.speedup());
+            w.key("bit_identical").value(sweep->trace.bitIdentical);
+            w.key("cells").beginArray();
+            for (const TraceCellRecord &cell : sweep->trace.cells) {
+                w.beginObject();
+                w.key("name").value(cell.name);
+                w.key("live_wall_ms").value(cell.liveMs);
+                w.key("replay_wall_ms").value(cell.replayMs);
+                w.key("speedup").value(cell.speedup());
+                w.key("bit_identical").value(cell.bitIdentical);
+                w.key("records").value(cell.records);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
         w.key("cells").beginArray();
         for (const SweepCellRecord &cell : sweep->cells) {
             w.beginObject();

@@ -40,7 +40,12 @@
 #include <sstream>
 
 #include "common/json_writer.h"
+#include "dram/mapping_registry.h"
 #include "drstrange.h"
+#include "mem/backend_registry.h"
+#include "mem/scheduler_registry.h"
+#include "service/arrival_process.h"
+#include "strange/predictor_registry.h"
 #include "workloads/trace_file.h"
 
 using namespace dstrange;
@@ -82,6 +87,28 @@ designLabelFor(const sim::SimConfig &cfg)
         }
     }
     return "custom";
+}
+
+void
+printKeys(const char *label, const std::vector<std::string> &keys)
+{
+    std::cout << label << ":";
+    for (const std::string &k : keys)
+        std::cout << " " << k;
+    std::cout << "\n";
+}
+
+/** Enumerate every string-keyed extension point (--list). */
+void
+listRegistries()
+{
+    printKeys("designs", sim::DesignRegistry::instance().keys());
+    printKeys("schedulers", mem::SchedulerRegistry::instance().keys());
+    printKeys("predictors",
+              strange::PredictorRegistry::instance().keys());
+    printKeys("mappings", dram::MappingRegistry::instance().keys());
+    printKeys("arrivals", service::ArrivalRegistry::instance().keys());
+    printKeys("backends", mem::BackendRegistry::instance().keys());
 }
 
 } // namespace
@@ -141,6 +168,13 @@ main(int argc, char **argv)
                 builder.seed(std::stoull(next_arg("--seed")));
             } else if (arg == "--set") {
                 builder.applyText(next_arg("--set"));
+            } else if (arg == "--record-trace") {
+                builder.recordTrace(next_arg("--record-trace"));
+            } else if (arg == "--replay-trace") {
+                builder.replayTrace(next_arg("--replay-trace"));
+            } else if (arg == "--list") {
+                listRegistries();
+                return 0;
             } else if (arg == "--print-config") {
                 print_config = true;
             } else if (arg == "--json") {
@@ -190,6 +224,18 @@ main(int argc, char **argv)
                        " service.period=20000\n"
                        "                      service.slo=500"
                        " service.duration=100000\n"
+                       "  --record-trace FILE record every accepted"
+                       " controller request to a\n"
+                       "                      binary trace (replayable"
+                       " with --replay-trace)\n"
+                       "  --replay-trace FILE replay a recorded trace"
+                       " instead of simulating\n"
+                       "                      cores (controller metrics"
+                       " reproduce exactly)\n"
+                       "  --list              list every registry key"
+                       " (designs, schedulers,\n"
+                       "                      predictors, mappings,"
+                       " arrivals, backends)\n"
                        "  --print-config      print the canonical"
                        " config text and exit\n"
                        "  --json              machine-readable output\n";
@@ -207,6 +253,14 @@ main(int argc, char **argv)
         std::cout << builder.toText() << "\n";
         return 0;
     }
+    // In replay mode the tape stands in for every request source: no
+    // cores, no RNG benchmark, no service driver get built.
+    const bool replay_mode = !builder.config().traceReplay.empty();
+    if (replay_mode) {
+        apps.clear();
+        trace_files.clear();
+        rng_mbps = 0.0;
+    }
     // With the open-loop service enabled and no workload asked for
     // explicitly, run service-only: the service layer is the workload.
     const bool service_only = builder.config().service.enabled &&
@@ -214,7 +268,7 @@ main(int argc, char **argv)
                               !rng_given;
     if (service_only)
         rng_mbps = 0.0;
-    else if (apps.empty() && trace_files.empty())
+    else if (!replay_mode && apps.empty() && trace_files.empty())
         apps = {"soplex"};
 
     // Build the system directly so trace-file cores can join.
@@ -270,6 +324,8 @@ main(int argc, char **argv)
         w.key("bufferServeRate").value(mcs.bufferServeRate());
         if (auto ps = sys.mc().predictorStats())
             w.key("predictorAccuracy").value(ps->accuracy());
+        if (const trace::TraceReplaySource *rs = sys.replaySource())
+            w.key("replayedRecords").value(rs->replayedCount());
         if (const service::OpenLoopService *svc = sys.service()) {
             w.key("service");
             service::SloReport::from(svc->config(), svc->stats())
@@ -300,7 +356,11 @@ main(int argc, char **argv)
         std::cout << " (fill: " << cfg.fillMechanism->name << ")";
     std::cout << "\nbus cycles: " << sys.busCycles()
               << "  energy: " << energy_nj / 1000.0 << " uJ"
-              << "  buffer serve rate: " << mcs.bufferServeRate() << "\n\n";
+              << "  buffer serve rate: " << mcs.bufferServeRate() << "\n";
+    if (const trace::TraceReplaySource *rs = sys.replaySource())
+        std::cout << "replayed records: " << rs->replayedCount() << "/"
+                  << rs->tape().records.size() << "\n";
+    std::cout << "\n";
 
     TablePrinter t;
     t.setHeader({"core", "app", "instr", "cpu cycles", "IPC", "MCPI",

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dram/mapping_registry.h"
+#include "mem/backend_registry.h"
 #include "mem/scheduler_registry.h"
 #include "service/arrival_process.h"
 #include "sim/config_text.h"
@@ -125,6 +126,51 @@ SimulationBuilder::fillPlacement(std::string name)
 {
     mem::fillPlacementFromName(name); // validate early
     cfg.fillPlacement = std::move(name);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::backend(std::string registry_key)
+{
+    if (!mem::BackendRegistry::instance().contains(registry_key))
+        throw std::out_of_range("unknown backend '" + registry_key +
+                                "' (register it first)");
+    cfg.backend = std::move(registry_key);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::backendReadLatency(Cycle cycles)
+{
+    cfg.backendReadLatency = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::backendWriteLatency(Cycle cycles)
+{
+    cfg.backendWriteLatency = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::backendGap(Cycle cycles)
+{
+    cfg.backendGap = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::recordTrace(std::string path)
+{
+    cfg.traceRecord = std::move(path);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::replayTrace(std::string path)
+{
+    cfg.traceReplay = std::move(path);
     return *this;
 }
 

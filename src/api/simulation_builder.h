@@ -78,6 +78,23 @@ class SimulationBuilder
     /** Cross-channel placement of engine buffer-fill sessions
      *  ("first-idle" or "round-robin"). */
     SimulationBuilder &fillPlacement(std::string name);
+    /** Channel timing model behind the controller
+     *  (mem::BackendRegistry key: "ddr4" cycle-accurate, or
+     *  "fixed-latency" analytical). */
+    SimulationBuilder &backend(std::string registry_key);
+    /** Read/write service latency of the fixed-latency backend. */
+    SimulationBuilder &backendReadLatency(Cycle cycles);
+    SimulationBuilder &backendWriteLatency(Cycle cycles);
+    /** Minimum cycles between column commands (fixed-latency). */
+    SimulationBuilder &backendGap(Cycle cycles);
+
+    // --- Request-trace capture and replay ----------------------------
+    /** Record every accepted controller request to a binary trace at
+     *  @p path (written crash-safely when the run finishes). */
+    SimulationBuilder &recordTrace(std::string path);
+    /** Replay a recorded trace instead of simulating cores/service;
+     *  controller-side metrics reproduce the recorded run exactly. */
+    SimulationBuilder &replayTrace(std::string path);
 
     // --- Mechanisms and numeric parameters ---------------------------
     /** TRNG mechanism serving demand RNG requests. */

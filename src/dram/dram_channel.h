@@ -18,26 +18,10 @@
 #include "dram/address_mapper.h"
 #include "dram/bank.h"
 #include "dram/dram_timings.h"
+#include "dram/energy_counters.h"
+#include "mem/memory_backend.h"
 
 namespace dstrange::dram {
-
-/** Command and state-residency counters feeding the energy model. */
-struct ChannelEnergyCounters
-{
-    std::uint64_t nAct = 0;
-    std::uint64_t nPre = 0;
-    std::uint64_t nRd = 0;
-    std::uint64_t nWr = 0;
-    std::uint64_t nRef = 0;
-    /** TRNG rounds executed on this channel (see trng/rng_engine.h). */
-    std::uint64_t rngRounds = 0;
-    /** Cycles with at least one bank open (active standby). */
-    std::uint64_t cyclesActive = 0;
-    /** Cycles with all banks closed (precharge standby). */
-    std::uint64_t cyclesPrecharged = 0;
-    /** Cycles in precharge power-down (reduced background power). */
-    std::uint64_t cyclesPoweredDown = 0;
-};
 
 /**
  * Cycle-level model of one DDR3 channel with one or more ranks.
@@ -50,27 +34,46 @@ struct ChannelEnergyCounters
  * bankInRank` (DramCoord::bank), so single-rank callers are unchanged.
  * With ranksPerChannel == 1 every rank-scoped constraint degenerates to
  * the historical single-rank behaviour bit-identically.
+ *
+ * This is the default "ddr4" mem::MemoryBackend implementation (see
+ * mem::BackendRegistry); the controller drives it exclusively through
+ * the interface.
  */
-class DramChannel
+class DramChannel final : public mem::MemoryBackend
 {
   public:
     DramChannel(const DramTimings &timings, const DramGeometry &geometry);
 
     /** Bank slots across all ranks of the channel. */
-    unsigned numBanks() const { return static_cast<unsigned>(banks.size()); }
+    unsigned numBanks() const override
+    {
+        return static_cast<unsigned>(banks.size());
+    }
 
-    unsigned numRanks() const { return static_cast<unsigned>(ranks.size()); }
+    unsigned numRanks() const override
+    {
+        return static_cast<unsigned>(ranks.size());
+    }
 
     /** Rank that owns flat bank slot @p bankIdx. */
-    unsigned rankOf(unsigned bankIdx) const { return bankIdx / banksEach; }
+    unsigned rankOf(unsigned bankIdx) const override
+    {
+        return bankIdx / banksEach;
+    }
 
     const Bank &bank(unsigned i) const { return banks[i]; }
+
+    /** Open row of bank slot @p i; kNoOpenRow when closed. */
+    std::int64_t openRow(unsigned i) const override
+    {
+        return banks[i].openRow();
+    }
 
     /**
      * true if @p cmd may issue to @p bankIdx at @p now, considering bank,
      * rank, command-bus and data-bus constraints plus refresh state.
      */
-    bool canIssue(DramCmd cmd, unsigned bankIdx, Cycle now) const;
+    bool canIssue(DramCmd cmd, unsigned bankIdx, Cycle now) const override;
 
     /**
      * Earliest cycle at which @p cmd could legally issue to @p bankIdx
@@ -82,7 +85,7 @@ class DramChannel
      * cycle. Requires the bank open/closed state to match the command
      * (e.g. ACT on a closed bank).
      */
-    Cycle earliestIssueCycle(DramCmd cmd, unsigned bankIdx) const;
+    Cycle earliestIssueCycle(DramCmd cmd, unsigned bankIdx) const override;
 
     /**
      * Issue a command.
@@ -91,32 +94,32 @@ class DramChannel
      *         0 for other commands.
      */
     Cycle issue(DramCmd cmd, unsigned bankIdx, Cycle now,
-                std::int64_t row = kNoOpenRow);
+                std::int64_t row = kNoOpenRow) override;
 
     /**
      * Advance refresh housekeeping by one cycle. While a refresh is being
      * staged the channel precharges open banks itself and regular issue is
      * blocked; call once per bus cycle before scheduling.
      */
-    void tickRefresh(Cycle now);
+    void tickRefresh(Cycle now) override;
 
     /** true while any rank is staging a refresh or inside tRFC. */
-    bool refreshBusy(Cycle now) const;
+    bool refreshBusy(Cycle now) const override;
 
     /**
      * Occupy the whole channel for RNG-mode operation until @p until.
      * All banks are closed and fenced; regular traffic cannot issue.
      */
-    void occupyForRng(Cycle until);
+    void occupyForRng(Cycle until) override;
 
     /** true while the channel is held by the TRNG engine. */
-    bool rngBusy(Cycle now) const { return now < rngBusyUntil; }
+    bool rngBusy(Cycle now) const override { return now < rngBusyUntil; }
 
     /** Record one executed TRNG round for energy accounting. */
-    void noteRngRound() { counters.rngRounds++; }
+    void noteRngRound() override { counters.rngRounds++; }
 
     /** Accumulate state residency for this cycle; call once per cycle. */
-    void sampleState(Cycle now);
+    void sampleState(Cycle now) override;
 
     /**
      * Earliest cycle >= @p now at which per-cycle housekeeping
@@ -131,7 +134,7 @@ class DramChannel
      * The caller must not skip past the returned cycle; skipping less is
      * always safe.
      */
-    Cycle nextEventCycle(Cycle now, bool engine_active) const;
+    Cycle nextEventCycle(Cycle now, bool engine_active) const override;
 
     /**
      * Batch-apply sampleState() for bus cycles [@p from, @p to). The
@@ -140,12 +143,15 @@ class DramChannel
      * RNG-mode occupancy extensions are applied separately by
      * trng::RngEngine::fastForward().
      */
-    void fastForwardState(Cycle from, Cycle to);
+    void fastForwardState(Cycle from, Cycle to) override;
 
-    const ChannelEnergyCounters &energyCounters() const { return counters; }
+    const ChannelEnergyCounters &energyCounters() const override
+    {
+        return counters;
+    }
 
     /** Number of banks with an open row (across all ranks). */
-    unsigned openBankCount() const;
+    unsigned openBankCount() const override;
 
     /**
      * Enable precharge power-down: after @p idle_threshold cycles with
@@ -153,19 +159,19 @@ class DramChannel
      * down; waking costs tXP before the next command (0 disables the
      * policy).
      */
-    void setPowerDownPolicy(Cycle idle_threshold)
+    void setPowerDownPolicy(Cycle idle_threshold) override
     {
         pdThreshold = idle_threshold;
     }
 
     /** true while every rank is in precharge power-down. */
-    bool poweredDown() const;
+    bool poweredDown() const override;
 
     /** true while at least one rank is in precharge power-down. */
-    bool anyRankPoweredDown() const;
+    bool anyRankPoweredDown() const override;
 
     /** Begin waking all powered-down ranks; commands resume after tXP. */
-    void requestWake(Cycle now);
+    void requestWake(Cycle now) override;
 
     /**
      * Observe every issued command (including internally issued
@@ -173,9 +179,8 @@ class DramChannel
      * that independently re-check the JEDEC constraints. REF is
      * reported against the first bank slot of the refreshing rank.
      */
-    using CommandObserver =
-        std::function<void(DramCmd, unsigned bank, Cycle, std::int64_t row)>;
-    void setCommandObserver(CommandObserver observer)
+    using CommandObserver = mem::MemoryBackend::CommandObserver;
+    void setCommandObserver(CommandObserver observer) override
     {
         onCommand = std::move(observer);
     }

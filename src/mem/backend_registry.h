@@ -1,0 +1,85 @@
+/**
+ * @file
+ * String-keyed factory registry for memory-timing backends. The memory
+ * controller instantiates its per-channel mem::MemoryBackend through
+ * this registry, so an alternative DRAM timing model (a cross-validation
+ * stub, an external-simulator adapter) becomes available to every design
+ * sweep, the CLI (`--set backend.kind=`), and the benches by registering
+ * a factory — the controller code never names a concrete model.
+ */
+
+#ifndef DSTRANGE_MEM_BACKEND_REGISTRY_H
+#define DSTRANGE_MEM_BACKEND_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "dram/address_mapper.h"
+#include "dram/dram_timings.h"
+#include "mem/memory_backend.h"
+
+namespace dstrange::mem {
+
+struct McConfig;
+
+/** Everything a backend factory may need at construction time. */
+struct BackendContext
+{
+    const dram::DramTimings &timings;
+    const dram::DramGeometry &geometry;
+    const McConfig &cfg; ///< Numeric tuning knobs (latencies, thresholds).
+};
+
+/** Factory producing one channel's timing backend. */
+using BackendFactory =
+    std::function<std::unique_ptr<MemoryBackend>(const BackendContext &)>;
+
+/**
+ * Process-global backend registry. Built-in backends are registered on
+ * first access:
+ *
+ *   "ddr4"           the cycle-level dram::DramChannel (the default)
+ *   "fixed-latency"  the analytical constant-latency cross-check model
+ *
+ * Thread-safe: lookups take a shared lock and add() an exclusive one,
+ * so parallel sweeps (sim::SweepRunner) can instantiate backends while
+ * user code registers new ones.
+ */
+class BackendRegistry
+{
+  public:
+    static BackendRegistry &instance();
+
+    /**
+     * Register a factory under @p key.
+     * @throws std::invalid_argument if @p key is empty or already taken.
+     */
+    void add(const std::string &key, BackendFactory factory);
+
+    /**
+     * Instantiate the backend registered under @p key.
+     * @throws std::out_of_range if @p key is unknown (the message lists
+     *         the registered keys).
+     */
+    std::unique_ptr<MemoryBackend> make(const std::string &key,
+                                        const BackendContext &ctx) const;
+
+    bool contains(const std::string &key) const;
+
+    /** Registered keys in sorted order. */
+    std::vector<std::string> keys() const;
+
+  private:
+    BackendRegistry();
+
+    mutable std::shared_mutex mu;
+    std::map<std::string, BackendFactory> factories;
+};
+
+} // namespace dstrange::mem
+
+#endif // DSTRANGE_MEM_BACKEND_REGISTRY_H

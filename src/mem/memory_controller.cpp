@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dram/mapping_registry.h"
+#include "mem/backend_registry.h"
 #include "mem/scheduler_registry.h"
 #include "strange/predictor_registry.h"
 
@@ -56,9 +57,10 @@ MemoryController::MemoryController(const McConfig &config,
 {
     assert(timingsAreConsistent(timings));
 
+    const BackendContext bctx{timings, geometry, cfg};
     for (unsigned ch = 0; ch < geometry.channels; ++ch) {
         chans.push_back(
-            std::make_unique<dram::DramChannel>(timings, geometry));
+            BackendRegistry::instance().make(cfg.backend, bctx));
         chans.back()->setPowerDownPolicy(cfg.powerDownThreshold);
         engines.push_back(std::make_unique<trng::RngEngine>(
             mech, fillMech, *chans.back()));
@@ -132,7 +134,18 @@ bool
 MemoryController::enqueue(Request req, Cycle now)
 {
     req.arrival = now;
+    const bool accepted = enqueueAccept(req, now);
+    // The sink sees exactly the accepted-request stream: rejected
+    // requests are retried by the issuer and recorded on the cycle the
+    // retry succeeds, which is the cycle that shaped controller state.
+    if (accepted && traceSink)
+        traceSink(req, now);
+    return accepted;
+}
 
+bool
+MemoryController::enqueueAccept(Request &req, Cycle now)
+{
     if (req.type == ReqType::Rng) {
         if (rngPolicy)
             rngPolicy->markRngApp(req.core);
@@ -290,7 +303,7 @@ MemoryController::manageEngine(unsigned ch, Cycle now)
 {
     trng::RngEngine &eng = *engines[ch];
     ChannelState &cs = perChan[ch];
-    dram::DramChannel &chan = *chans[ch];
+    MemoryBackend &chan = *chans[ch];
 
     const unsigned occ = occupancy(cs);
     const bool want_demand =
@@ -391,7 +404,7 @@ void
 MemoryController::serveChannel(unsigned ch, Cycle now)
 {
     ChannelState &cs = perChan[ch];
-    dram::DramChannel &chan = *chans[ch];
+    MemoryBackend &chan = *chans[ch];
 
     if (engines[ch]->active() || chan.refreshBusy(now) ||
         chan.rngBusy(now)) {
@@ -581,7 +594,7 @@ MemoryController::manageEngineEventCycle(unsigned ch, Cycle now,
 {
     const ChannelState &cs = perChan[ch];
     const trng::RngEngine &eng = *engines[ch];
-    const dram::DramChannel &chan = *chans[ch];
+    const MemoryBackend &chan = *chans[ch];
     const unsigned occ = occupancy(cs);
     const bool want_demand =
         !rngJobs.empty() && choice == QueueChoice::Rng;
@@ -642,7 +655,7 @@ MemoryController::nextIssueCycle(const RequestQueue &queue, unsigned ch,
     // Work-conserving schedulers issue on the first cycle any request's
     // next command is legal; with nothing issuable before that, queue
     // and bank state are static and pick() stays kNoPick.
-    const dram::DramChannel &chan = *chans[ch];
+    const MemoryBackend &chan = *chans[ch];
     Cycle earliest = kNoEvent;
     for (const Request &req : queue.all()) {
         const dram::DramCmd cmd = nextCommandFor(req, chan);
@@ -659,7 +672,7 @@ MemoryController::serveChannelEventCycle(unsigned ch, Cycle now,
                                          QueueChoice choice) const
 {
     const ChannelState &cs = perChan[ch];
-    const dram::DramChannel &chan = *chans[ch];
+    const MemoryBackend &chan = *chans[ch];
 
     // serveChannel() early-outs before touching any state; the engine,
     // refresh, and RNG-fence edges are tracked as their own events.

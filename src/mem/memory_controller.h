@@ -22,9 +22,9 @@
 
 #include "common/pop_vector.h"
 #include "dram/address_mapper.h"
-#include "dram/dram_channel.h"
 #include "dram/dram_timings.h"
 #include "mem/fr_fcfs.h"
+#include "mem/memory_backend.h"
 #include "mem/request.h"
 #include "mem/request_queue.h"
 #include "mem/rng_aware.h"
@@ -133,6 +133,15 @@ struct McConfig
     /** Address-interleaving policy (dram::MappingRegistry key). */
     std::string addressMapping = "row-bank-col-ch";
 
+    /** Per-channel timing model (mem::BackendRegistry key). */
+    std::string backend = "ddr4";
+    /** Data-completion latency of a read under "fixed-latency". */
+    Cycle backendReadLatency = 20;
+    /** Data-completion latency of a write under "fixed-latency". */
+    Cycle backendWriteLatency = 20;
+    /** Column-to-column gap under "fixed-latency". */
+    Cycle backendGap = 4;
+
     strange::RlIdlenessPredictor::Config rlConfig{};
 };
 
@@ -219,11 +228,21 @@ class MemoryController
      */
     void fastForward(Cycle from, Cycle to);
 
+    /**
+     * Observe every successfully enqueued request with its arrival
+     * cycle, after address mapping — the controller-boundary stream the
+     * trace recorder captures (see trace/trace_writer.h). The stream
+     * fully determines the controller's evolution for a fixed
+     * configuration, which is what makes replay bit-identical.
+     */
+    using TraceSink = std::function<void(const Request &, Cycle)>;
+    void setTraceSink(TraceSink sink) { traceSink = std::move(sink); }
+
     // --- Introspection -----------------------------------------------
     const McStats &stats() const { return statistics; }
-    const dram::DramChannel &channel(unsigned i) const { return *chans[i]; }
+    const MemoryBackend &channel(unsigned i) const { return *chans[i]; }
     /** Mutable access for verification harnesses (command observers). */
-    dram::DramChannel &channelMutable(unsigned i) { return *chans[i]; }
+    MemoryBackend &channelMutable(unsigned i) { return *chans[i]; }
     /** One channel's TRNG engine (telemetry/lockstep fingerprinting). */
     const trng::RngEngine &engine(unsigned i) const { return *engines[i]; }
     unsigned numChannels() const
@@ -313,6 +332,9 @@ class MemoryController
     unsigned occupancy(const ChannelState &cs) const;
     void updateIdleState(unsigned ch, Cycle now);
 
+    /** enqueue() minus the trace-sink notification (fills in coord/seq). */
+    bool enqueueAccept(Request &req, Cycle now);
+
     /** The queue choice the next tick would compute for @p ch. */
     QueueChoice peekChoice(unsigned ch) const;
     /** Earliest cycle >= @p now at which manageEngine(ch) changes any
@@ -387,7 +409,7 @@ class MemoryController
     trng::TrngMechanism fillMech; ///< Fill mechanism (== mech unless hybrid).
     unsigned numCores;
 
-    std::vector<std::unique_ptr<dram::DramChannel>> chans;
+    std::vector<std::unique_ptr<MemoryBackend>> chans;
     std::vector<std::unique_ptr<trng::RngEngine>> engines;
     std::vector<ChannelState> perChan;
 
@@ -409,6 +431,7 @@ class MemoryController
     PopVector<Cycle> pendingBufferServeDone;
 
     CompletionCallback onComplete;
+    TraceSink traceSink;
     std::uint64_t nextSeq = 0;
     McStats statistics;
 

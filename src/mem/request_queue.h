@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "dram/bank.h"
-#include "dram/dram_channel.h"
+#include "mem/memory_backend.h"
 #include "mem/request.h"
 
 namespace dstrange::mem {
@@ -60,12 +60,12 @@ class RequestQueue
  * closed bank needs ACT.
  */
 inline dram::DramCmd
-nextCommandFor(const Request &req, const dram::DramChannel &chan)
+nextCommandFor(const Request &req, const MemoryBackend &chan)
 {
-    const dram::Bank &bank = chan.bank(req.coord.bank);
-    if (!bank.isOpen())
+    const std::int64_t open_row = chan.openRow(req.coord.bank);
+    if (open_row == dram::kNoOpenRow)
         return dram::DramCmd::Act;
-    if (bank.openRow() == static_cast<std::int64_t>(req.coord.row))
+    if (open_row == static_cast<std::int64_t>(req.coord.row))
         return req.type == ReqType::Write ? dram::DramCmd::Wr
                                           : dram::DramCmd::Rd;
     return dram::DramCmd::Pre;
@@ -73,7 +73,7 @@ nextCommandFor(const Request &req, const dram::DramChannel &chan)
 
 /** true when the request's next command is its column command. */
 inline bool
-isRowHit(const Request &req, const dram::DramChannel &chan)
+isRowHit(const Request &req, const MemoryBackend &chan)
 {
     const dram::DramCmd cmd = nextCommandFor(req, chan);
     return cmd == dram::DramCmd::Rd || cmd == dram::DramCmd::Wr;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "dram/mapping_registry.h"
+#include "mem/backend_registry.h"
 #include "mem/scheduler_registry.h"
 #include "service/arrival_process.h"
 #include "sim/design_registry.h"
@@ -175,6 +176,54 @@ applyGeometryField(dram::DramGeometry &g, const std::string &field,
 }
 
 bool
+applyBackendField(SimConfig &cfg, const std::string &field,
+                  const std::string &value)
+{
+    if (field == "kind") {
+        if (!mem::BackendRegistry::instance().contains(value))
+            throw std::invalid_argument("unknown backend '" + value + "'");
+        cfg.backend = value;
+    } else if (field == "read-latency")
+        cfg.backendReadLatency = parseU64(value);
+    else if (field == "write-latency")
+        cfg.backendWriteLatency = parseU64(value);
+    else if (field == "gap")
+        cfg.backendGap = parseU64(value);
+    else
+        return false;
+    return true;
+}
+
+bool
+applyTraceField(SimConfig &cfg, const std::string &field,
+                const std::string &value)
+{
+    // "-" is the canonical empty-path sentinel (matching priorities=-).
+    if (field == "record")
+        cfg.traceRecord = value == "-" ? "" : value;
+    else if (field == "replay")
+        cfg.traceReplay = value == "-" ? "" : value;
+    else
+        return false;
+    return true;
+}
+
+/** Paths tokenize on whitespace like every other value; sanitize so
+ *  serialization stays total (a sanitized path no longer points at the
+ *  original file, but config text is a cache key, not a loader). */
+std::string
+pathToken(const std::string &path)
+{
+    if (path.empty())
+        return "-";
+    std::string out = path;
+    for (char &c : out)
+        if (std::isspace(static_cast<unsigned char>(c)))
+            c = '-';
+    return out;
+}
+
+bool
 applyServiceField(service::ServiceConfig &s, const std::string &field,
                   const std::string &value)
 {
@@ -295,6 +344,12 @@ applyToken(SimConfig &cfg, const std::string &key,
     } else if (key.rfind("service.", 0) == 0) {
         if (!applyServiceField(cfg.service, key.substr(8), value))
             throw std::invalid_argument("unknown key");
+    } else if (key.rfind("backend.", 0) == 0) {
+        if (!applyBackendField(cfg, key.substr(8), value))
+            throw std::invalid_argument("unknown key");
+    } else if (key.rfind("trace.", 0) == 0) {
+        if (!applyTraceField(cfg, key.substr(6), value))
+            throw std::invalid_argument("unknown key");
     } else {
         throw std::invalid_argument("unknown key");
     }
@@ -358,6 +413,12 @@ serializeConfig(const SimConfig &cfg)
       << " service.period=" << sv.periodCycles
       << " service.slo=" << sv.sloTargetCycles
       << " service.duration=" << sv.durationCycles;
+    o << " backend.kind=" << cfg.backend
+      << " backend.read-latency=" << cfg.backendReadLatency
+      << " backend.write-latency=" << cfg.backendWriteLatency
+      << " backend.gap=" << cfg.backendGap;
+    o << " trace.record=" << pathToken(cfg.traceRecord)
+      << " trace.replay=" << pathToken(cfg.traceReplay);
     return o.str();
 }
 

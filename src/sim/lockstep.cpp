@@ -30,7 +30,11 @@ std::string
 systemFingerprint(const System &sys)
 {
     std::ostringstream out;
-    out << "bus_cycles=" << sys.busCycles() << '\n';
+    out << "bus_cycles=" << sys.busCycles() << '\n'
+        << "backend=" << sys.config().backend << '\n';
+    if (const trace::TraceReplaySource *rs = sys.replaySource())
+        out << "replay.records=" << rs->replayedCount() << '\n'
+            << "replay.finished=" << rs->finished() << '\n';
 
     for (unsigned i = 0; i < sys.numCores(); ++i) {
         const cpu::CoreStats &s = sys.coreStats(i);

@@ -67,6 +67,10 @@ Runner::aloneConfig(const SimConfig &from, SystemDesign design)
     SimConfig cfg = from;
     applyDesign(cfg, design);
     cfg.priorities.clear();
+    // Alone baselines never record (they would clobber the workload's
+    // tape) and never replay (the tape stands in for the shared run).
+    cfg.traceRecord.clear();
+    cfg.traceReplay.clear();
     return cfg;
 }
 
@@ -213,6 +217,40 @@ Runner::run(const std::string &design,
 Runner::WorkloadResult
 Runner::run(const SimConfig &cfg, const workloads::WorkloadSpec &spec)
 {
+    // Replay cells substitute the recorded tape for the traced cores
+    // and the service driver: no core model executes and no alone
+    // baselines exist, so only controller-side metrics are meaningful
+    // (the per-core slowdown list stays empty).
+    if (!cfg.traceReplay.empty()) {
+        const auto sys_ptr = runSystem(cfg, [] {
+            return std::vector<std::unique_ptr<cpu::TraceSource>>();
+        });
+        const System &sys = *sys_ptr;
+        WorkloadResult result;
+        result.name = spec.name;
+        result.group = spec.group;
+        result.busCycles = sys.busCycles();
+        result.mcStats = sys.mc().stats();
+        result.bufferServeRate = result.mcStats.bufferServeRate();
+        if (auto ps = sys.mc().predictorStats())
+            result.predictorAccuracy = ps->accuracy();
+        if (collectIdlePeriods) {
+            for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
+                const auto &periods = sys.mc().idlePeriods(ch);
+                result.idlePeriods.insert(result.idlePeriods.end(),
+                                          periods.begin(),
+                                          periods.end());
+            }
+        }
+        for (unsigned ch = 0; ch < sys.mc().numChannels(); ++ch) {
+            result.energyNj += channelEnergy(
+                                   cfg.timings,
+                                   sys.mc().channel(ch).energyCounters())
+                                   .total();
+        }
+        return result;
+    }
+
     const bool has_rng = spec.rngThroughputMbps > 0.0;
     const unsigned n_cores =
         static_cast<unsigned>(spec.apps.size()) + (has_rng ? 1 : 0);

@@ -158,6 +158,10 @@ mcConfigFor(const SimConfig &cfg)
         40, fill_mech.switchInLatency + fill_mech.roundLatency +
                 fill_mech.switchOutLatency);
     mc.powerDownThreshold = cfg.powerDownThreshold;
+    mc.backend = cfg.backend;
+    mc.backendReadLatency = cfg.backendReadLatency;
+    mc.backendWriteLatency = cfg.backendWriteLatency;
+    mc.backendGap = cfg.backendGap;
     return mc;
 }
 

@@ -90,6 +90,8 @@ struct SimConfig
     /** Cross-channel placement of engine buffer-fill sessions:
      *  "first-idle" (historical) or "round-robin". */
     std::string fillPlacement = "first-idle";
+    /** Per-channel memory-timing model (mem::BackendRegistry key). */
+    std::string backend = "ddr4";
 
     // --- Mechanisms and hardware parameters --------------------------
     trng::TrngMechanism mechanism = trng::TrngMechanism::dRange();
@@ -107,6 +109,11 @@ struct SimConfig
     /** Precharge power-down after this many idle cycles (0 = off). */
     Cycle powerDownThreshold = 0;
 
+    /** "fixed-latency" backend parameters (ignored by "ddr4"). */
+    Cycle backendReadLatency = 20;
+    Cycle backendWriteLatency = 20;
+    Cycle backendGap = 4;
+
     std::uint64_t instrBudget = 300000; ///< Per-core retired instructions.
     Cycle maxBusCycles = 40'000'000;    ///< Safety bound.
 
@@ -118,6 +125,13 @@ struct SimConfig
     /** Open-loop RNG-as-a-service layer (off by default; orthogonal to
      *  the design presets, which never touch it). */
     service::ServiceConfig service;
+
+    /** Record the controller-boundary request stream to this file
+     *  (empty = off; see trace/trace_writer.h). */
+    std::string traceRecord;
+    /** Replay a recorded request stream instead of simulating cores
+     *  (empty = off; see trace/trace_replay_source.h). */
+    std::string traceReplay;
 };
 
 /**

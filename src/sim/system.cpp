@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "common/env_util.h"
+#include "trace/trace_reader.h"
 
 namespace dstrange::sim {
 
@@ -13,32 +15,46 @@ System::System(const SimConfig &config,
       entropySource(mix64(config.seed) ^ 0xdead),
       ffEnabled(envFlag("DS_FAST_FORWARD", true))
 {
-    // A system needs at least one request source: a traced core or the
-    // open-loop service port.
-    assert(!traceOwners.empty() || cfg.service.enabled);
+    // A system needs at least one request source: a traced core, the
+    // open-loop service port, or a replay tape standing in for both.
+    assert(!traceOwners.empty() || cfg.service.enabled ||
+           !cfg.traceReplay.empty());
+
+    // In replay mode the tape dictates the port topology; the cores and
+    // the service driver of the recorded run are not instantiated — the
+    // tape re-issues their accepted requests at the recorded cycles.
+    unsigned n_ports = static_cast<unsigned>(traceOwners.size()) +
+                       (cfg.service.enabled ? 1u : 0u);
+    if (!cfg.traceReplay.empty()) {
+        replay = std::make_unique<trace::TraceReplaySource>(
+            trace::loadTrace(cfg.traceReplay));
+        n_ports = replay->tape().numPorts();
+    }
 
     // The service layer issues on one extra controller port past the
     // last core, so its requests arbitrate like any application's.
-    const unsigned n_ports = static_cast<unsigned>(traceOwners.size()) +
-                             (cfg.service.enabled ? 1u : 0u);
     controller = std::make_unique<mem::MemoryController>(
         mcConfigFor(cfg), cfg.timings, cfg.geometry, cfg.mechanism,
         n_ports);
 
-    cpu::Core::Config core_cfg;
-    core_cfg.instrBudget = cfg.instrBudget;
-    for (unsigned i = 0; i < traceOwners.size(); ++i) {
-        cores.push_back(std::make_unique<cpu::Core>(
-            static_cast<CoreId>(i), core_cfg, *traceOwners[i],
-            *controller));
+    if (!replay) {
+        cpu::Core::Config core_cfg;
+        core_cfg.instrBudget = cfg.instrBudget;
+        for (unsigned i = 0; i < traceOwners.size(); ++i) {
+            cores.push_back(std::make_unique<cpu::Core>(
+                static_cast<CoreId>(i), core_cfg, *traceOwners[i],
+                *controller));
+        }
+
+        if (cfg.service.enabled) {
+            svc = std::make_unique<service::OpenLoopService>(
+                cfg.service, static_cast<CoreId>(cores.size()),
+                *controller, cfg.seed);
+        }
     }
 
-    if (cfg.service.enabled) {
-        svc = std::make_unique<service::OpenLoopService>(
-            cfg.service, static_cast<CoreId>(cores.size()), *controller,
-            cfg.seed);
-    }
-
+    // In replay mode no issuer waits on completions, so the callback
+    // finds neither a core nor the service driver and does nothing.
     controller->setCompletionCallback(
         [this](CoreId core, std::uint64_t token, mem::ReqType,
                mem::ServePath path) {
@@ -48,8 +64,57 @@ System::System(const SimConfig &config,
                 svc->onCompletion(token, now, path);
         });
 
-    for (unsigned i = 0; i < cfg.priorities.size() && i < cores.size(); ++i)
-        controller->setPriority(static_cast<CoreId>(i), cfg.priorities[i]);
+    if (replay) {
+        const auto &ports = replay->tape().header.ports;
+        for (unsigned i = 0; i < ports.size(); ++i)
+            if (ports[i].hasPriority)
+                controller->setPriority(static_cast<CoreId>(i),
+                                        ports[i].priority);
+    } else {
+        for (unsigned i = 0; i < cfg.priorities.size() && i < cores.size();
+             ++i)
+            controller->setPriority(static_cast<CoreId>(i),
+                                    cfg.priorities[i]);
+    }
+
+    if (!cfg.traceRecord.empty()) {
+        // The record port field is one byte; no simulated topology comes
+        // close, but fail loudly rather than wrap silently.
+        if (n_ports > 255)
+            throw std::runtime_error(
+                "trace recording supports at most 255 ports");
+        trace::TraceHeader header;
+        if (replay) {
+            // Re-recording a replay reproduces the original header (and
+            // with matching bounds, a byte-identical tape).
+            header = replay->tape().header;
+        } else {
+            for (unsigned i = 0; i < n_ports; ++i) {
+                trace::TracePortInfo p;
+                p.hasPriority =
+                    i < cfg.priorities.size() && i < cores.size();
+                p.priority = p.hasPriority ? cfg.priorities[i] : 0;
+                header.ports.push_back(p);
+            }
+            header.servicePort =
+                svc ? static_cast<std::int32_t>(n_ports) - 1 : -1;
+        }
+        recorder =
+            std::make_unique<trace::TraceWriter>(cfg.traceRecord, header);
+        std::vector<std::int32_t> port_priority;
+        for (const trace::TracePortInfo &p : header.ports)
+            port_priority.push_back(p.priority);
+        controller->setTraceSink(
+            [this, port_priority](const mem::Request &req, Cycle at) {
+                trace::TraceRecord rec;
+                rec.cycle = at;
+                rec.addr = req.addr;
+                rec.type = trace::reqTypeToByte(req.type);
+                rec.port = static_cast<std::uint8_t>(req.core);
+                rec.priority = port_priority[req.core];
+                recorder->append(rec);
+            });
+    }
 }
 
 bool
@@ -74,6 +139,13 @@ System::nextEventCycle() const
     }
     if (svc) {
         horizon = std::min(horizon, svc->nextEventCycle(now));
+        if (horizon <= now)
+            return now;
+    }
+    if (replay) {
+        // The head record's arrival cycle is the tape's only event; a
+        // skip must never jump past a pending enqueue.
+        horizon = std::min(horizon, replay->nextEventCycle());
         if (horizon <= now)
             return now;
     }
@@ -125,11 +197,17 @@ System::advanceUntil(Cycle end, bool stop_when_finished)
         // The service port issues before the controller tick, so an
         // arrival at cycle t can be buffer-served with its completion
         // scheduled from t — one fixed order keeps runs bit-identical.
+        // Replay preserves both enqueue phases: recorded service-port
+        // requests land pre-tick, recorded core requests post-tick.
         if (svc)
             svc->tick(now);
+        if (replay)
+            replay->tickService(now, *controller);
         controller->tick(now);
         for (auto &core : cores)
             core->tickBusCycle(now);
+        if (replay)
+            replay->tickCores(now, *controller);
         ffCounters.steppedCycles++;
         ++now;
     }
@@ -144,7 +222,18 @@ System::step(Cycle cycles)
 void
 System::run()
 {
-    advanceUntil(cfg.maxBusCycles, /*stop_when_finished=*/true);
+    if (replay) {
+        // The recorded run stopped at endCycle; advancing to exactly
+        // that cycle reproduces every controller-side metric. The
+        // all-finished early exit must stay off: with no cores, every
+        // budget is vacuously retired at cycle 0.
+        advanceUntil(std::min(cfg.maxBusCycles, replay->endCycle()),
+                     /*stop_when_finished=*/false);
+    } else {
+        advanceUntil(cfg.maxBusCycles, /*stop_when_finished=*/true);
+    }
+    if (recorder)
+        recorder->finalize(now);
 }
 
 } // namespace dstrange::sim

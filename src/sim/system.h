@@ -18,6 +18,8 @@
 #include "cpu/trace_source.h"
 #include "service/open_loop_service.h"
 #include "sim/sim_config.h"
+#include "trace/trace_replay_source.h"
+#include "trace/trace_writer.h"
 #include "trng/entropy_source.h"
 
 namespace dstrange::sim {
@@ -87,6 +89,11 @@ class System
     const mem::MemoryController &mc() const { return *controller; }
     /** The open-loop service driver, or nullptr when not configured. */
     const service::OpenLoopService *service() const { return svc.get(); }
+    /** The replay source, or nullptr outside replay mode. */
+    const trace::TraceReplaySource *replaySource() const
+    {
+        return replay.get();
+    }
     trng::EntropySource &entropy() { return entropySource; }
     Cycle busCycles() const { return now; }
     bool allFinished() const;
@@ -102,6 +109,10 @@ class System
     std::vector<std::unique_ptr<cpu::Core>> cores;
     /** Open-loop service driver on the port past the last core. */
     std::unique_ptr<service::OpenLoopService> svc;
+    /** Tape standing in for cores + service when cfg.traceReplay set. */
+    std::unique_ptr<trace::TraceReplaySource> replay;
+    /** Recorder hooked into the controller when cfg.traceRecord set. */
+    std::unique_ptr<trace::TraceWriter> recorder;
     trng::EntropySource entropySource;
     Cycle now = 0;
     bool ffEnabled;

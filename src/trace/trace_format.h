@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The binary request-trace format shared by the writer and the reader:
+ * a versioned little-endian container for the controller-boundary
+ * request stream (one record per *accepted* enqueue — cycle, address,
+ * type, port, priority), framed by a header carrying the port topology
+ * and a footer carrying the record count, the final simulated cycle,
+ * and an FNV-1a fingerprint of the record bytes.
+ *
+ * Layout (all integers little-endian, no padding):
+ *
+ *   header   u32 magic ("DSRT")     u32 version (=1)
+ *            u32 numPorts           i32 servicePort (-1 = none)
+ *            numPorts x { i32 priority, u8 hasPriority }
+ *   records  recordCount x { u64 cycle, u64 addr, u8 type, u8 port,
+ *                            i32 priority }              (22 bytes)
+ *   footer   u32 footerMagic ("DSRF")
+ *            u64 recordCount        u64 endCycle
+ *            u64 fnv1a64 over the raw record bytes
+ *
+ * The footer doubles as the crash marker: a file without a valid
+ * footer (the writer appends it only in finalize(), after which the
+ * tmp file is renamed into place) is rejected by the reader, so a
+ * torn write can never replay as a silently shorter run.
+ */
+
+#ifndef DSTRANGE_TRACE_TRACE_FORMAT_H
+#define DSTRANGE_TRACE_TRACE_FORMAT_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/request.h"
+
+namespace dstrange::trace {
+
+inline constexpr std::uint32_t kMagic = 0x54525344;       ///< "DSRT" (LE).
+inline constexpr std::uint32_t kFooterMagic = 0x46525344; ///< "DSRF" (LE).
+inline constexpr std::uint32_t kVersion = 1;
+
+/** Fixed encoded sizes (the structs below are in-memory forms only). */
+inline constexpr std::size_t kRecordBytes = 22;
+inline constexpr std::size_t kHeaderFixedBytes = 16;
+inline constexpr std::size_t kPortEntryBytes = 5;
+inline constexpr std::size_t kFooterBytes = 28;
+
+/** One accepted controller-boundary request. */
+struct TraceRecord
+{
+    Cycle cycle = 0;
+    Addr addr = 0;
+    std::uint8_t type = 0; ///< 0 = Read, 1 = Write, 2 = Rng.
+    std::uint8_t port = 0; ///< Issuing port (core index or service port).
+    std::int32_t priority = 0; ///< The port's OS priority (0 if unset).
+};
+
+/** Per-port configuration captured at record time. */
+struct TracePortInfo
+{
+    std::int32_t priority = 0;
+    bool hasPriority = false; ///< Was a priority explicitly configured?
+};
+
+/** Port topology of the recorded system. */
+struct TraceHeader
+{
+    /** Enqueuing ports; cores first, the service driver (if any) last. */
+    std::vector<TracePortInfo> ports;
+    /** Port index of the service driver, or -1 when none was present. */
+    std::int32_t servicePort = -1;
+};
+
+/** Stable wire encoding of a mem::ReqType. */
+inline std::uint8_t
+reqTypeToByte(mem::ReqType type)
+{
+    switch (type) {
+      case mem::ReqType::Read:
+        return 0;
+      case mem::ReqType::Write:
+        return 1;
+      case mem::ReqType::Rng:
+        return 2;
+    }
+    throw std::logic_error("unrepresentable request type");
+}
+
+/** Inverse of reqTypeToByte; throws std::runtime_error on junk. */
+inline mem::ReqType
+byteToReqType(std::uint8_t b)
+{
+    switch (b) {
+      case 0:
+        return mem::ReqType::Read;
+      case 1:
+        return mem::ReqType::Write;
+      case 2:
+        return mem::ReqType::Rng;
+      default:
+        throw std::runtime_error("trace record has unknown request type " +
+                                 std::to_string(static_cast<unsigned>(b)));
+    }
+}
+
+/** Append @p v to @p out as little-endian bytes (shift-based, so the
+ *  encoding is identical on any host endianness). */
+inline void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+putI32(std::string &out, std::int32_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+}
+
+/** Encode one record into its 22-byte wire form. */
+inline std::string
+encodeRecord(const TraceRecord &rec)
+{
+    std::string out;
+    out.reserve(kRecordBytes);
+    putU64(out, rec.cycle);
+    putU64(out, rec.addr);
+    out.push_back(static_cast<char>(rec.type));
+    out.push_back(static_cast<char>(rec.port));
+    putI32(out, rec.priority);
+    return out;
+}
+
+/** Fold @p data into a streaming FNV-1a state (basis = dstrange::fnv1a64
+ *  of the empty string). */
+inline std::uint64_t
+fnv1a64Update(std::uint64_t h, std::string_view data)
+{
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace dstrange::trace
+
+#endif // DSTRANGE_TRACE_TRACE_FORMAT_H

@@ -1,0 +1,132 @@
+#include "trace/trace_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dstrange::trace {
+
+namespace {
+
+std::uint32_t
+getU32(const std::string &data, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data[off + i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::string &data, std::size_t off)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data[off + i]))
+             << (8 * i);
+    return v;
+}
+
+std::int32_t
+getI32(const std::string &data, std::size_t off)
+{
+    return static_cast<std::int32_t>(getU32(data, off));
+}
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &why)
+{
+    throw std::runtime_error("bad trace file '" + path + "': " + why);
+}
+
+} // namespace
+
+TraceTape
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open trace file '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+
+    if (data.size() < kHeaderFixedBytes + kFooterBytes)
+        fail(path, "truncated (smaller than header + footer)");
+    if (getU32(data, 0) != kMagic)
+        fail(path, "wrong magic (not a drstrange request trace)");
+    const std::uint32_t version = getU32(data, 4);
+    if (version != kVersion)
+        fail(path, "unsupported version " + std::to_string(version) +
+                       " (supported: " + std::to_string(kVersion) + ")");
+
+    TraceTape tape;
+    const std::uint32_t n_ports = getU32(data, 8);
+    tape.header.servicePort = getI32(data, 12);
+    // A port count beyond any real topology means the field is garbage;
+    // bound it before using it to size the header.
+    if (n_ports > 4096)
+        fail(path, "implausible port count " + std::to_string(n_ports));
+    if (tape.header.servicePort >= 0 &&
+        static_cast<std::uint32_t>(tape.header.servicePort) >= n_ports)
+        fail(path, "service port out of range");
+
+    const std::size_t header_size =
+        kHeaderFixedBytes + n_ports * kPortEntryBytes;
+    if (data.size() < header_size + kFooterBytes)
+        fail(path, "truncated inside the port table");
+    for (std::uint32_t i = 0; i < n_ports; ++i) {
+        const std::size_t off = kHeaderFixedBytes + i * kPortEntryBytes;
+        TracePortInfo p;
+        p.priority = getI32(data, off);
+        p.hasPriority = data[off + 4] != 0;
+        tape.header.ports.push_back(p);
+    }
+
+    const std::size_t body_size = data.size() - header_size - kFooterBytes;
+    if (body_size % kRecordBytes != 0)
+        fail(path, "record region is not a whole number of records "
+                   "(truncated or torn write)");
+    const std::size_t n_records = body_size / kRecordBytes;
+
+    const std::size_t foot = data.size() - kFooterBytes;
+    if (getU32(data, foot) != kFooterMagic)
+        fail(path, "missing footer (recording did not finalize)");
+    if (getU64(data, foot + 4) != n_records)
+        fail(path, "record count mismatch (footer says " +
+                       std::to_string(getU64(data, foot + 4)) +
+                       ", file holds " + std::to_string(n_records) + ")");
+    tape.endCycle = getU64(data, foot + 12);
+    const std::uint64_t want_fnv = getU64(data, foot + 20);
+    const std::uint64_t got_fnv = fnv1a64(
+        std::string_view(data).substr(header_size, body_size));
+    if (got_fnv != want_fnv)
+        fail(path, "fingerprint mismatch (file corrupted)");
+
+    tape.records.reserve(n_records);
+    Cycle prev_cycle = 0;
+    for (std::size_t i = 0; i < n_records; ++i) {
+        const std::size_t off = header_size + i * kRecordBytes;
+        TraceRecord rec;
+        rec.cycle = getU64(data, off);
+        rec.addr = getU64(data, off + 8);
+        rec.type = static_cast<std::uint8_t>(data[off + 16]);
+        rec.port = static_cast<std::uint8_t>(data[off + 17]);
+        rec.priority = getI32(data, off + 18);
+        byteToReqType(rec.type); // Validate the type byte.
+        if (rec.port >= n_ports)
+            fail(path, "record " + std::to_string(i) +
+                           " names port " + std::to_string(rec.port) +
+                           " of " + std::to_string(n_ports));
+        if (rec.cycle < prev_cycle)
+            fail(path, "record " + std::to_string(i) +
+                           " goes backwards in time");
+        prev_cycle = rec.cycle;
+        tape.records.push_back(rec);
+    }
+    return tape;
+}
+
+} // namespace dstrange::trace

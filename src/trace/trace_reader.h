@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Loader for recorded request traces. Every malformation — wrong magic
+ * or version, a truncated or torn file, a record-count or fingerprint
+ * mismatch — is a hard std::runtime_error, never a silently shorter or
+ * garbled tape: replay results are only meaningful when the tape is
+ * exactly what the recorder wrote.
+ */
+
+#ifndef DSTRANGE_TRACE_TRACE_READER_H
+#define DSTRANGE_TRACE_TRACE_READER_H
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.h"
+
+namespace dstrange::trace {
+
+/** A fully-loaded, verified trace. */
+struct TraceTape
+{
+    TraceHeader header;
+    std::vector<TraceRecord> records;
+    /** Bus cycle the recorded run stopped at (the replay run bound). */
+    Cycle endCycle = 0;
+
+    unsigned numPorts() const
+    {
+        return static_cast<unsigned>(header.ports.size());
+    }
+};
+
+/**
+ * Load and verify @p path.
+ * @throws std::runtime_error on I/O failure or any format violation.
+ */
+TraceTape loadTrace(const std::string &path);
+
+} // namespace dstrange::trace
+
+#endif // DSTRANGE_TRACE_TRACE_READER_H

@@ -1,0 +1,69 @@
+#include "trace/trace_replay_source.h"
+
+#include <utility>
+
+#include "mem/memory_controller.h"
+
+namespace dstrange::trace {
+
+namespace {
+
+bool
+isServicePort(const TraceRecord &rec, std::int32_t service_port)
+{
+    return service_port >= 0 &&
+           rec.port == static_cast<std::uint32_t>(service_port);
+}
+
+} // namespace
+
+TraceReplaySource::TraceReplaySource(TraceTape recorded_tape)
+    : recording(std::move(recorded_tape))
+{
+}
+
+void
+TraceReplaySource::tickService(Cycle now, mem::MemoryController &mc)
+{
+    while (cursor < recording.records.size()) {
+        const TraceRecord &rec = recording.records[cursor];
+        if (rec.cycle > now || !isServicePort(rec, recording.header.servicePort))
+            break;
+        mem::Request req;
+        req.type = byteToReqType(rec.type);
+        req.addr = rec.addr;
+        req.core = rec.port;
+        req.token = cursor;
+        if (!mc.enqueue(req, now))
+            break; // Degraded mode: head-of-line retry next cycle.
+        ++cursor;
+    }
+}
+
+void
+TraceReplaySource::tickCores(Cycle now, mem::MemoryController &mc)
+{
+    while (cursor < recording.records.size()) {
+        const TraceRecord &rec = recording.records[cursor];
+        // A service-port record at the head belongs to the *next*
+        // cycle's pre-tick phase, never to this post-tick phase.
+        if (rec.cycle > now || isServicePort(rec, recording.header.servicePort))
+            break;
+        mem::Request req;
+        req.type = byteToReqType(rec.type);
+        req.addr = rec.addr;
+        req.core = rec.port;
+        req.token = cursor;
+        if (!mc.enqueue(req, now))
+            break; // Degraded mode: head-of-line retry next cycle.
+        ++cursor;
+    }
+}
+
+Cycle
+TraceReplaySource::nextEventCycle() const
+{
+    return finished() ? kNoEvent : recording.records[cursor].cycle;
+}
+
+} // namespace dstrange::trace

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Replays a recorded request tape into a memory controller, standing in
+ * for the cores (and the service driver) of the original run. Because
+ * the controller's evolution is a pure function of its configuration
+ * and the accepted-request stream, replaying the stream with the same
+ * configuration reproduces every controller-side metric bit-identically
+ * — at a fraction of the recorded run's cost, since no core or service
+ * model executes.
+ */
+
+#ifndef DSTRANGE_TRACE_TRACE_REPLAY_SOURCE_H
+#define DSTRANGE_TRACE_TRACE_REPLAY_SOURCE_H
+
+#include <cstddef>
+
+#include "trace/trace_reader.h"
+
+namespace dstrange::mem {
+class MemoryController;
+}
+
+namespace dstrange::trace {
+
+/**
+ * Cursor over a TraceTape that re-enqueues records at their recorded
+ * cycles, preserving the two enqueue phases of sim::System's tick:
+ * service-port records enqueue before the controller tick of their
+ * cycle (tickService) and every other record after it (tickCores),
+ * exactly as the original issuers did. One cursor suffices because the
+ * recorder appends in enqueue order, which puts a cycle's service
+ * records ahead of its core records.
+ *
+ * With the recorded configuration a re-enqueue can never fail (the
+ * original enqueue succeeded against the same controller state); should
+ * a caller replay into a smaller-queued controller anyway, the head
+ * record retries next cycle and the tape degrades to a load generator
+ * instead of a bit-identical replay.
+ */
+class TraceReplaySource
+{
+  public:
+    explicit TraceReplaySource(TraceTape recorded_tape);
+
+    const TraceTape &tape() const { return recording; }
+
+    /** Enqueue due service-port records (call before mc.tick(now)). */
+    void tickService(Cycle now, mem::MemoryController &mc);
+
+    /** Enqueue due core-port records (call after mc.tick(now)). */
+    void tickCores(Cycle now, mem::MemoryController &mc);
+
+    bool finished() const { return cursor >= recording.records.size(); }
+
+    /** Arrival cycle of the head record; kNoEvent when exhausted. */
+    Cycle nextEventCycle() const;
+
+    /** Bus cycle the recorded run stopped at (the replay run bound). */
+    Cycle endCycle() const { return recording.endCycle; }
+
+    std::uint64_t replayedCount() const { return cursor; }
+
+  private:
+    TraceTape recording;
+    std::size_t cursor = 0;
+};
+
+} // namespace dstrange::trace
+
+#endif // DSTRANGE_TRACE_TRACE_REPLAY_SOURCE_H

@@ -1,0 +1,70 @@
+#include "trace/trace_writer.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dstrange::trace {
+
+TraceWriter::TraceWriter(const std::string &path, const TraceHeader &header)
+    : targetPath(path), tmpPath(path + ".tmp"),
+      out(tmpPath, std::ios::binary | std::ios::trunc),
+      fnv(fnv1a64(std::string_view{}))
+{
+    if (!out)
+        throw std::runtime_error("cannot create trace file '" + tmpPath +
+                                 "'");
+    std::string head;
+    putU32(head, kMagic);
+    putU32(head, kVersion);
+    putU32(head, static_cast<std::uint32_t>(header.ports.size()));
+    putI32(head, header.servicePort);
+    for (const TracePortInfo &p : header.ports) {
+        putI32(head, p.priority);
+        head.push_back(p.hasPriority ? 1 : 0);
+    }
+    out.write(head.data(), static_cast<std::streamsize>(head.size()));
+    if (!out)
+        throw std::runtime_error("cannot write trace header to '" +
+                                 tmpPath + "'");
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finalized) {
+        out.close();
+        std::remove(tmpPath.c_str());
+    }
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    const std::string bytes = encodeRecord(rec);
+    fnv = fnv1a64Update(fnv, bytes);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ++nRecords;
+}
+
+void
+TraceWriter::finalize(Cycle end_cycle)
+{
+    if (finalized)
+        return;
+    std::string foot;
+    putU32(foot, kFooterMagic);
+    putU64(foot, nRecords);
+    putU64(foot, end_cycle);
+    putU64(foot, fnv);
+    out.write(foot.data(), static_cast<std::streamsize>(foot.size()));
+    out.flush();
+    if (!out)
+        throw std::runtime_error("cannot write trace footer to '" +
+                                 tmpPath + "'");
+    out.close();
+    if (std::rename(tmpPath.c_str(), targetPath.c_str()) != 0)
+        throw std::runtime_error("cannot rename '" + tmpPath + "' to '" +
+                                 targetPath + "'");
+    finalized = true;
+}
+
+} // namespace dstrange::trace

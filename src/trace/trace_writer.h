@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Streaming binary trace recorder for the controller-boundary request
+ * stream. Writes to `<path>.tmp` and renames into place on finalize()
+ * (the sim::ResultStore crash-safety idiom), fingerprinting the record
+ * bytes with FNV-1a as they stream so the reader can detect corruption
+ * without a second pass.
+ */
+
+#ifndef DSTRANGE_TRACE_TRACE_WRITER_H
+#define DSTRANGE_TRACE_TRACE_WRITER_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "trace/trace_format.h"
+
+namespace dstrange::trace {
+
+/**
+ * Records one run's accepted requests. Append order must be the
+ * enqueue-success order (sim::System guarantees this by hooking
+ * mem::MemoryController's trace sink), because replay re-enqueues
+ * records in file order.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Open `<path>.tmp` and write the header.
+     * @throws std::runtime_error when the file cannot be created.
+     */
+    TraceWriter(const std::string &path, const TraceHeader &header);
+
+    /** Remove the tmp file if finalize() was never reached. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record (streams its bytes and updates the FNV state). */
+    void append(const TraceRecord &rec);
+
+    /**
+     * Write the footer, flush, and atomically rename the tmp file onto
+     * the target path.
+     * @throws std::runtime_error when any write or the rename fails.
+     */
+    void finalize(Cycle end_cycle);
+
+    std::uint64_t recordCount() const { return nRecords; }
+
+  private:
+    std::string targetPath;
+    std::string tmpPath;
+    std::ofstream out;
+    std::uint64_t nRecords = 0;
+    std::uint64_t fnv;
+    bool finalized = false;
+};
+
+} // namespace dstrange::trace
+
+#endif // DSTRANGE_TRACE_TRACE_WRITER_H
