@@ -157,11 +157,27 @@ cellMetrics(const dstrange::sim::Runner::WorkloadResult &res)
         const dstrange::service::SloReport &s = *res.service;
         metrics.emplace_back("svc_completed",
                              static_cast<double>(s.completed));
+        metrics.emplace_back("svc_shed", static_cast<double>(s.shed));
         metrics.emplace_back("svc_p50", static_cast<double>(s.p50));
         metrics.emplace_back("svc_p99", static_cast<double>(s.p99));
         metrics.emplace_back("svc_p999", static_cast<double>(s.p999));
         metrics.emplace_back("svc_goodput_rps", s.goodputRps);
         metrics.emplace_back("svc_saturated", s.saturated ? 1.0 : 0.0);
+    }
+    // Fault cells add their injection/mitigation counters — exact
+    // integers, so they join the bit-identity comparison too.
+    if (res.fault) {
+        const dstrange::fault::FaultReport &f = *res.fault;
+        metrics.emplace_back("fault_audited",
+                             static_cast<double>(f.roundsAudited));
+        metrics.emplace_back("fault_discarded",
+                             static_cast<double>(f.roundsDiscarded));
+        metrics.emplace_back("fault_corrupted_bits",
+                             static_cast<double>(f.corruptedBits));
+        metrics.emplace_back("fault_blacklisted",
+                             static_cast<double>(f.blacklisted));
+        metrics.emplace_back("fault_remapped",
+                             static_cast<double>(f.remapped));
     }
     return metrics;
 }
@@ -263,6 +279,44 @@ buildSweepGrid(unsigned n_mixes)
                                  cell.spec.name);
             grid.cells.push_back(std::move(cell));
             grid.tiers.push_back("service");
+        }
+    }
+    // Fault tier: open-loop service cells under deterministic fault
+    // injection (fault/<design>/<intensity>-<mit|nomit>), pairing each
+    // fault intensity with the health monitor on and off. writeBenchJson
+    // derives the goodput-retention comparison table from these names,
+    // and bench/fault_resilience studies the same axis in depth.
+    {
+        struct Intensity {
+            const char *label;
+            unsigned weak;
+            unsigned stuck;
+        };
+        for (const char *d : {"oblivious", "drstrange"}) {
+            for (const Intensity &in :
+                 {Intensity{"w8s2", 8, 2}, Intensity{"w16s4", 16, 4}}) {
+                for (const bool mit : {true, false}) {
+                    SweepRunner::Cell cell;
+                    dstrange::sim::SimConfig cfg = bench::baseConfig();
+                    dstrange::sim::DesignRegistry::instance().apply(d,
+                                                                    cfg);
+                    cfg.service.enabled = true;
+                    cfg.service.offeredMbps = 5120.0;
+                    cfg.service.durationCycles = 20000;
+                    cfg.service.sloTargetCycles = 500;
+                    cfg.fault.models = "bitflip,weak-cell,stuck-row";
+                    cfg.fault.weakCells = in.weak;
+                    cfg.fault.stuckRows = in.stuck;
+                    cfg.fault.monitor = mit;
+                    cell.config = std::move(cfg);
+                    cell.spec.name = std::string(in.label) +
+                                     (mit ? "-mit" : "-nomit");
+                    grid.names.push_back("fault/" + std::string(d) +
+                                         "/" + cell.spec.name);
+                    grid.cells.push_back(std::move(cell));
+                    grid.tiers.push_back("fault");
+                }
+            }
         }
     }
     // Multi-rank tier: a two-rank channel under each registered-default
@@ -383,6 +437,7 @@ runSweep(unsigned jobs, unsigned n_mixes,
         rec.wallMs = results[i].wallMs;
         rec.ok = results[i].ok;
         rec.skipped = results[i].skipped;
+        rec.outcome = results[i].outcome;
         sweep.cellsTotalMs += results[i].wallMs;
         if (results[i].ok) {
             rec.metrics = cellMetrics(results[i].result);
@@ -641,6 +696,10 @@ parseFragment(const std::string &path)
             cell.skipped = sk->asBool();
         if (const dstrange::JsonValue *err = cv.find("error"))
             cell.error = err->asString();
+        // Fragments written before the outcome field existed keep the
+        // "ok" default.
+        if (const dstrange::JsonValue *oc = cv.find("outcome"))
+            cell.outcome = oc->asString();
         for (const auto &[metric, value] : cv.at("metrics").members())
             cell.metrics.emplace_back(metric, value.asDouble());
         sweep.cells.push_back(std::move(cell));

@@ -8,6 +8,7 @@
 #define DSTRANGE_BENCH_BENCH_UTIL_H
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -170,6 +171,9 @@ struct SweepCellRecord {
     /** Owned by a different shard; not executed by this process. */
     bool skipped = false;
     std::string error; ///< Exception message when !ok.
+    /** Execution-hygiene tag from SweepRunner::CellResult::outcome:
+     *  ok / retried / timeout / error / skipped. */
+    std::string outcome = "ok";
     std::vector<std::pair<std::string, double>> metrics;
 };
 
@@ -505,6 +509,7 @@ writeBenchJson(const std::string &harness,
                 w.key("skipped").value(true);
             if (!cell.ok && !cell.skipped)
                 w.key("error").value(cell.error);
+            w.key("outcome").value(cell.outcome);
             w.key("metrics").beginObject();
             for (const auto &[metric, value] : cell.metrics)
                 w.key(metric).value(value);
@@ -512,6 +517,92 @@ writeBenchJson(const std::string &harness,
             w.endObject();
         }
         w.endArray();
+        // Derived mitigation-vs-none comparison over the fault tier's
+        // "fault/<design>/<rate>-<mit|nomit>" cells. Computed here by
+        // scanning cell names rather than carried through the sweep, so
+        // a --merge-shards reassembly (which only concatenates cells)
+        // reproduces it for free.
+        {
+            struct FaultSide {
+                double goodput = -1.0;
+                double p99 = 0.0;
+            };
+            struct FaultPair {
+                FaultSide mit, nomit;
+            };
+            std::vector<std::pair<std::string, FaultPair>> pairs;
+            auto side_of = [&](const std::string &base,
+                               bool mit) -> FaultSide & {
+                for (auto &[name, pair] : pairs) {
+                    if (name == base)
+                        return mit ? pair.mit : pair.nomit;
+                }
+                pairs.emplace_back(base, FaultPair{});
+                return mit ? pairs.back().second.mit
+                           : pairs.back().second.nomit;
+            };
+            for (const SweepCellRecord &cell : sweep->cells) {
+                if (cell.name.rfind("fault/", 0) != 0 || !cell.ok)
+                    continue;
+                bool mit;
+                std::string base;
+                if (cell.name.size() > 4 &&
+                    cell.name.rfind("-mit") == cell.name.size() - 4) {
+                    mit = true;
+                    base = cell.name.substr(0, cell.name.size() - 4);
+                } else if (cell.name.size() > 6 &&
+                           cell.name.rfind("-nomit") ==
+                               cell.name.size() - 6) {
+                    mit = false;
+                    base = cell.name.substr(0, cell.name.size() - 6);
+                } else {
+                    continue;
+                }
+                // Round through the JSON number format (6 significant
+                // digits) before deriving ratios: a --merge-shards
+                // reassembly reads these metrics back from fragment
+                // text, and the derived table must come out
+                // bit-identical either way.
+                auto rounded = [](double v) {
+                    char buf[32];
+                    std::snprintf(buf, sizeof(buf), "%.6g", v);
+                    return std::strtod(buf, nullptr);
+                };
+                FaultSide &side = side_of(base, mit);
+                for (const auto &[metric, value] : cell.metrics) {
+                    if (metric == "svc_goodput_rps")
+                        side.goodput = rounded(value);
+                    else if (metric == "svc_p99")
+                        side.p99 = rounded(value);
+                }
+            }
+            bool any = false;
+            for (const auto &[base, pair] : pairs)
+                any = any || (pair.mit.goodput >= 0.0 &&
+                              pair.nomit.goodput >= 0.0);
+            if (any) {
+                w.key("fault_comparison").beginArray();
+                for (const auto &[base, pair] : pairs) {
+                    if (pair.mit.goodput < 0.0 ||
+                        pair.nomit.goodput < 0.0)
+                        continue;
+                    w.beginObject();
+                    w.key("name").value(base);
+                    w.key("goodput_mit").value(pair.mit.goodput);
+                    w.key("goodput_nomit").value(pair.nomit.goodput);
+                    w.key("retention").value(
+                        pair.nomit.goodput > 0.0
+                            ? pair.mit.goodput / pair.nomit.goodput
+                            : 0.0);
+                    w.key("p99_mit").value(pair.mit.p99);
+                    w.key("p99_nomit").value(pair.nomit.p99);
+                    w.key("mitigation_wins").value(
+                        pair.mit.goodput > pair.nomit.goodput);
+                    w.endObject();
+                }
+                w.endArray();
+            }
+        }
         w.endObject();
     }
     w.endObject();

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Fault-resilience study: the open-loop service layer offers a fixed
+ * Poisson load while the fault plane (src/fault/) injects silent bit
+ * flips, weak RNG cells, and stuck rows at increasing intensity. Each
+ * intensity runs twice per design — health monitor enabled (blacklist,
+ * remap onto screened spares, bounded retry) versus disabled (every
+ * faulty round is discarded and regenerated inline) — and the table
+ * contrasts the resulting discard counts, tail latency, and goodput.
+ * The summary prints goodput retention (mitigated / unmitigated) per
+ * pair; the bench FAILS unless mitigation delivers strictly higher
+ * goodput at every intensity, which is the subsystem's whole point.
+ *
+ * The grid is run twice through sim::SweepRunner; any difference
+ * between the two runs' serialized results (service histograms and
+ * fault counters included) is a determinism bug and fails the bench.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dstrange;
+
+namespace {
+
+const std::vector<std::string> kDesigns = {"oblivious", "drstrange"};
+
+struct Intensity {
+    const char *label; ///< row label, e.g. "w8s2"
+    unsigned weakCells;
+    unsigned stuckRows;
+};
+
+const std::vector<Intensity> kIntensities = {
+    {"w4s1", 4, 1}, {"w8s2", 8, 2}, {"w16s4", 16, 4}};
+
+/** Design-major grid: per design, per intensity, monitor on then off. */
+std::vector<sim::SweepRunner::Cell>
+buildGrid()
+{
+    std::vector<sim::SweepRunner::Cell> cells;
+    for (const std::string &design : kDesigns) {
+        for (const Intensity &in : kIntensities) {
+            for (const bool monitor : {true, false}) {
+                sim::SimConfig cfg = bench::baseConfig();
+                sim::DesignRegistry::instance().apply(design, cfg);
+                cfg.service.enabled = true;
+                cfg.service.arrival = "poisson";
+                cfg.service.offeredMbps = 5120.0;
+                cfg.service.durationCycles = 20000;
+                cfg.service.sloTargetCycles = 500;
+                cfg.fault.models = "bitflip,weak-cell,stuck-row";
+                cfg.fault.weakCells = in.weakCells;
+                cfg.fault.stuckRows = in.stuckRows;
+                cfg.fault.monitor = monitor;
+                sim::SweepRunner::Cell cell;
+                cell.config = std::move(cfg);
+                cell.spec.name = design + "-" + in.label +
+                                 (monitor ? "-mit" : "-nomit");
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return cells;
+}
+
+const sim::SweepRunner::CellResult &
+cellAt(const std::vector<sim::SweepRunner::CellResult> &results,
+       std::size_t design_idx, std::size_t intensity_idx, bool monitor)
+{
+    const std::size_t per_design = kIntensities.size() * 2;
+    return results[design_idx * per_design + intensity_idx * 2 +
+                   (monitor ? 0 : 1)];
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fault injection: goodput under mitigation vs none",
+                  "Weak-cell/stuck-row/bitflip faults against the "
+                  "TRNG health monitor (blacklist + spare remap)");
+
+    const std::vector<sim::SweepRunner::Cell> cells = buildGrid();
+    sim::SweepRunner sweep = bench::baseSweepRunner();
+    const auto results = bench::runCellsOrExit(sweep, cells);
+
+    TablePrinter t;
+    t.setHeader({"design", "faults", "monitor", "discarded",
+                 "blacklisted", "remapped", "silent bits", "p99",
+                 "goodput req/s", "saturated"});
+    for (std::size_t d = 0; d < kDesigns.size(); ++d) {
+        for (std::size_t i = 0; i < kIntensities.size(); ++i) {
+            for (const bool monitor : {true, false}) {
+                const auto &res = cellAt(results, d, i, monitor).result;
+                const fault::FaultReport &f = *res.fault;
+                const service::SloReport &s = *res.service;
+                t.addRow({kDesigns[d], kIntensities[i].label,
+                          monitor ? "on" : "off",
+                          std::to_string(f.roundsDiscarded),
+                          std::to_string(f.blacklisted),
+                          std::to_string(f.remapped),
+                          std::to_string(f.corruptedBits),
+                          std::to_string(s.p99),
+                          bench::num(s.goodputRps, 0),
+                          s.saturated ? "yes" : "no"});
+            }
+        }
+    }
+    t.print(std::cout);
+
+    // Goodput retention: the acceptance bar is mitigation strictly
+    // ahead of no-mitigation at the same fault rate, for every pair.
+    std::cout << "\nGoodput retention (monitor on / monitor off):\n";
+    bool all_win = true;
+    bench::BenchRecord rec;
+    rec.name = "fault_resilience";
+    for (std::size_t d = 0; d < kDesigns.size(); ++d) {
+        for (std::size_t i = 0; i < kIntensities.size(); ++i) {
+            const service::SloReport &mit =
+                *cellAt(results, d, i, true).result.service;
+            const service::SloReport &nomit =
+                *cellAt(results, d, i, false).result.service;
+            const double retention =
+                nomit.goodputRps > 0.0
+                    ? mit.goodputRps / nomit.goodputRps
+                    : 0.0;
+            const bool wins = mit.goodputRps > nomit.goodputRps;
+            all_win = all_win && wins;
+            std::cout << "  " << kDesigns[d] << " @ "
+                      << kIntensities[i].label << ": "
+                      << bench::num(retention, 2) << "x ("
+                      << bench::num(mit.goodputRps, 0) << " vs "
+                      << bench::num(nomit.goodputRps, 0) << ")"
+                      << (wins ? "" : "  <-- MITIGATION LOST") << "\n";
+            rec.metrics.emplace_back(kDesigns[d] + "_" +
+                                         kIntensities[i].label +
+                                         "_retention",
+                                     retention);
+        }
+    }
+    if (!all_win) {
+        std::cerr << "\nmitigation did not improve goodput at every "
+                     "fault intensity — health-monitor regression\n";
+        return 1;
+    }
+
+    // Determinism: the same grid must reproduce bit-identically,
+    // including the fault counters serialized with each result.
+    const auto again = bench::runCellsOrExit(sweep, cells);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (sim::serializeWorkloadResult(results[i].result) !=
+            sim::serializeWorkloadResult(again[i].result)) {
+            std::cerr << "fault cell '" << cells[i].spec.name
+                      << "' is not bit-identical across reruns — "
+                         "determinism bug\n";
+            return 1;
+        }
+    }
+    std::cout << "\nRerun check: all " << results.size()
+              << " cells bit-identical.\n";
+
+    bench::writeBenchJson("fault_resilience", {rec});
+    return 0;
+}

@@ -44,7 +44,10 @@
 #include "drstrange.h"
 #include "mem/backend_registry.h"
 #include "mem/scheduler_registry.h"
+#include "fault/fault_plane.h"
+#include "fault/fault_registry.h"
 #include "service/arrival_process.h"
+#include "service/shed_policy.h"
 #include "strange/predictor_registry.h"
 #include "workloads/trace_file.h"
 
@@ -109,6 +112,8 @@ listRegistries()
     printKeys("mappings", dram::MappingRegistry::instance().keys());
     printKeys("arrivals", service::ArrivalRegistry::instance().keys());
     printKeys("backends", mem::BackendRegistry::instance().keys());
+    printKeys("fault-models", fault::FaultRegistry::instance().keys());
+    printKeys("shed-policies", service::ShedRegistry::instance().keys());
 }
 
 } // namespace
@@ -224,6 +229,10 @@ main(int argc, char **argv)
                        " service.period=20000\n"
                        "                      service.slo=500"
                        " service.duration=100000\n"
+                       "                      service.shed=shed-tail"
+                       " fault.models=bitflip,weak-cell\n"
+                       "                      fault.bitflip-rate=0.05"
+                       " fault.monitor=1\n"
                        "  --record-trace FILE record every accepted"
                        " controller request to a\n"
                        "                      binary trace (replayable"
@@ -235,7 +244,9 @@ main(int argc, char **argv)
                        "  --list              list every registry key"
                        " (designs, schedulers,\n"
                        "                      predictors, mappings,"
-                       " arrivals, backends)\n"
+                       " arrivals, backends,\n"
+                       "                      fault-models,"
+                       " shed-policies)\n"
                        "  --print-config      print the canonical"
                        " config text and exit\n"
                        "  --json              machine-readable output\n";
@@ -331,6 +342,10 @@ main(int argc, char **argv)
             service::SloReport::from(svc->config(), svc->stats())
                 .writeJson(w);
         }
+        if (const fault::FaultPlane *fp = sys.mc().faultInjection()) {
+            w.key("fault");
+            fp->report().writeJson(w);
+        }
         w.key("cores").beginArray();
         for (unsigned i = 0; i < sys.numCores(); ++i) {
             const auto &s = sys.coreStats(i);
@@ -375,13 +390,31 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
+    if (const fault::FaultPlane *fp = sys.mc().faultInjection()) {
+        const fault::FaultReport rep = fp->report();
+        std::cout << "\nfault injection (" << rep.models << ", monitor "
+                  << (rep.monitor ? "on" : "off") << "):\n"
+                  << "  rounds  passed: " << rep.roundsAudited
+                  << "  discarded: " << rep.roundsDiscarded << " (stuck "
+                  << rep.discardsStuck << ", weak " << rep.discardsWeak
+                  << ", other " << rep.discardsOther << ")\n"
+                  << "  silent corrupted bits: " << rep.corruptedBits
+                  << "\n  cells  blacklisted: " << rep.blacklisted
+                  << "  remapped: " << rep.remapped
+                  << "  forced: " << rep.forcedBlacklists
+                  << "  spares exhausted: " << rep.blacklistExhausted
+                  << "\n";
+    }
+
     if (const service::OpenLoopService *svc = sys.service()) {
         const service::SloReport rep =
             service::SloReport::from(svc->config(), svc->stats());
         std::cout << "\nservice (" << rep.arrival << ", "
-                  << rep.offeredMbps << " Mb/s offered):\n"
+                  << rep.offeredMbps << " Mb/s offered, "
+                  << rep.shedPolicy << "):\n"
                   << "  completed: " << rep.completed << "/"
-                  << rep.offered << "  goodput: "
+                  << rep.offered << "  shed: " << rep.shed << " ("
+                  << TablePrinter::num(rep.pctShed) << "%)  goodput: "
                   << TablePrinter::num(rep.goodputRps) << " req/s\n"
                   << "  latency cycles  p50: " << rep.p50
                   << "  p99: " << rep.p99 << "  p999: " << rep.p999

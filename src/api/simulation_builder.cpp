@@ -3,9 +3,11 @@
 #include <stdexcept>
 
 #include "dram/mapping_registry.h"
+#include "fault/fault_registry.h"
 #include "mem/backend_registry.h"
 #include "mem/scheduler_registry.h"
 #include "service/arrival_process.h"
+#include "service/shed_policy.h"
 #include "sim/config_text.h"
 #include "sim/design_registry.h"
 #include "sim/result_store.h"
@@ -329,6 +331,145 @@ SimulationBuilder &
 SimulationBuilder::serviceDuration(Cycle cycles)
 {
     cfg.service.durationCycles = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::serviceShedPolicy(std::string registry_key)
+{
+    if (!service::ShedRegistry::instance().contains(registry_key))
+        throw std::out_of_range("unknown shed policy '" + registry_key +
+                                "' (register it first)");
+    cfg.service.shed = std::move(registry_key);
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::serviceShedLimit(std::uint64_t limit)
+{
+    cfg.service.shedLimit = limit;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultModels(const std::string &models_csv)
+{
+    std::size_t pos = 0;
+    while (pos <= models_csv.size() && !models_csv.empty()) {
+        const std::size_t comma = models_csv.find(',', pos);
+        const std::string key = models_csv.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (!key.empty() &&
+            !fault::FaultRegistry::instance().contains(key))
+            throw std::out_of_range("unknown fault model '" + key +
+                                    "' (register it first)");
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    cfg.fault.models = models_csv;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultSeed(std::uint64_t s)
+{
+    cfg.fault.seed = s;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultBitflipRate(double rate)
+{
+    cfg.fault.bitflipRate = rate;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultCells(unsigned cells_per_channel)
+{
+    cfg.fault.cellsPerChannel = cells_per_channel;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultWeakCells(unsigned cells)
+{
+    cfg.fault.weakCells = cells;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultWeakSeverity(unsigned severity)
+{
+    cfg.fault.weakSeverity = severity;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultDriftInterval(std::uint64_t uses)
+{
+    cfg.fault.driftInterval = uses;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultStuckRows(unsigned rows)
+{
+    cfg.fault.stuckRows = rows;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultSpares(unsigned cells)
+{
+    cfg.fault.spareCells = cells;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultMonitor(bool on)
+{
+    cfg.fault.monitor = on;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultBlacklistThreshold(unsigned failures)
+{
+    cfg.fault.blacklistThreshold = failures;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultRetryLimit(unsigned rounds)
+{
+    cfg.fault.retryLimit = rounds;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultOutagePeriod(Cycle cycles)
+{
+    cfg.fault.outagePeriod = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultOutageDuration(Cycle cycles)
+{
+    cfg.fault.outageDuration = cycles;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::faultOutageScope(std::string scope)
+{
+    if (scope != "channel" && scope != "rank")
+        throw std::out_of_range("unknown outage scope '" + scope +
+                                "' (known: channel, rank)");
+    cfg.fault.outageScope = std::move(scope);
     return *this;
 }
 

@@ -141,6 +141,44 @@ class SimulationBuilder
     SimulationBuilder &serviceSloTarget(Cycle cycles);
     /** Bus cycles over which new requests are generated. */
     SimulationBuilder &serviceDuration(Cycle cycles);
+    /** Admission-control policy (service::ShedRegistry key:
+     *  "shed-none", "shed-tail", "shed-priority").
+     *  @throws std::out_of_range when the key is not registered. */
+    SimulationBuilder &serviceShedPolicy(std::string registry_key);
+    /** Backlog bound the shed policy trips at (0 = derive from the SLO
+     *  target and offered rate). */
+    SimulationBuilder &serviceShedLimit(std::uint64_t limit);
+
+    // --- Fault injection (fault::FaultPlane / fault::FaultyBackend) --
+    /**
+     * Comma-separated fault::FaultRegistry keys to inject ("bitflip",
+     * "weak-cell", "stuck-row", "outage"); empty disables injection.
+     * @throws std::out_of_range when any key is not registered.
+     */
+    SimulationBuilder &faultModels(const std::string &models_csv);
+    /** Seed of the fault plane (independent of the master seed). */
+    SimulationBuilder &faultSeed(std::uint64_t s);
+    /** Expected silently-flipped bits per 256-bit round ("bitflip"). */
+    SimulationBuilder &faultBitflipRate(double rate);
+    /** RNG cell pool per channel / weak and stuck population sizes. */
+    SimulationBuilder &faultCells(unsigned cells_per_channel);
+    SimulationBuilder &faultWeakCells(unsigned cells);
+    SimulationBuilder &faultWeakSeverity(unsigned severity);
+    /** Uses per severity step a weak cell drifts by (0 = no drift). */
+    SimulationBuilder &faultDriftInterval(std::uint64_t uses);
+    SimulationBuilder &faultStuckRows(unsigned rows);
+    /** Screened spare cells per channel for blacklist remapping. */
+    SimulationBuilder &faultSpares(unsigned cells);
+    /** Health monitor on/off and its escalation bounds. */
+    SimulationBuilder &faultMonitor(bool on);
+    SimulationBuilder &faultBlacklistThreshold(unsigned failures);
+    SimulationBuilder &faultRetryLimit(unsigned rounds);
+    /** Periodic rank/channel outage windows ("outage" model). */
+    SimulationBuilder &faultOutagePeriod(Cycle cycles);
+    SimulationBuilder &faultOutageDuration(Cycle cycles);
+    /** Outage blast radius: "channel" or "rank".
+     *  @throws std::out_of_range on any other value. */
+    SimulationBuilder &faultOutageScope(std::string scope);
 
     // --- Execution environment ---------------------------------------
     /**

@@ -1,0 +1,83 @@
+#include "fault/faulty_backend.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace dstrange::fault {
+
+namespace {
+
+constexpr std::uint64_t kPhaseSalt = 0x60642e2a34326f15ULL;
+constexpr std::uint64_t kRankPickSalt = 0x3c79ac492ba7b653ULL;
+
+} // namespace
+
+FaultyBackend::FaultyBackend(std::unique_ptr<mem::MemoryBackend> in,
+                             const FaultConfig &cfg,
+                             unsigned channel_index)
+    : inner(std::move(in)), period(cfg.outagePeriod),
+      duration(cfg.outageDuration),
+      rankScope(cfg.outageScope == "rank")
+{
+    if (period > 0) {
+        phase =
+            mix64(cfg.seed ^ kPhaseSalt ^ channel_index) % period;
+        if (duration > period)
+            duration = period; // A window can't outlast its period.
+    }
+    const unsigned ranks = inner->numRanks();
+    if (ranks > 0)
+        affectedRank = static_cast<unsigned>(
+            mix64(cfg.seed ^ kRankPickSalt ^ channel_index) % ranks);
+}
+
+bool
+FaultyBackend::outageActive(Cycle now) const
+{
+    if (period == 0 || duration == 0 || now < phase)
+        return false;
+    return (now - phase) % period < duration;
+}
+
+Cycle
+FaultyBackend::nextOutageEdge(Cycle now) const
+{
+    if (period == 0 || duration == 0)
+        return kNoEvent;
+    if (now < phase)
+        return phase;
+    const Cycle pos = (now - phase) % period;
+    return pos < duration ? now + (duration - pos)
+                          : now + (period - pos);
+}
+
+bool
+FaultyBackend::canIssue(dram::DramCmd cmd, unsigned bankIdx,
+                        Cycle now) const
+{
+    if (outageActive(now) &&
+        (!rankScope || inner->rankOf(bankIdx) == affectedRank))
+        return false;
+    return inner->canIssue(cmd, bankIdx, now);
+}
+
+bool
+FaultyBackend::refreshBusy(Cycle now) const
+{
+    // A channel-scope outage blocks like a long refresh, which also
+    // keeps the engine/fill paths (all gated on refreshBusy) out of the
+    // window. Rank-scope outages leave the channel schedulable.
+    return inner->refreshBusy(now) ||
+           (!rankScope && outageActive(now));
+}
+
+Cycle
+FaultyBackend::nextEventCycle(Cycle now, bool engine_active) const
+{
+    const Cycle inner_ev = inner->nextEventCycle(now, engine_active);
+    const Cycle edge = nextOutageEdge(now);
+    return edge < inner_ev ? edge : inner_ev;
+}
+
+} // namespace dstrange::fault

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "dram/mapping_registry.h"
+#include "fault/fault_plane.h"
+#include "fault/faulty_backend.h"
 #include "mem/backend_registry.h"
 #include "mem/scheduler_registry.h"
 #include "strange/predictor_registry.h"
@@ -59,12 +61,22 @@ MemoryController::MemoryController(const McConfig &config,
 
     const BackendContext bctx{timings, geometry, cfg};
     for (unsigned ch = 0; ch < geometry.channels; ++ch) {
-        chans.push_back(
-            BackendRegistry::instance().make(cfg.backend, bctx));
+        auto backend = BackendRegistry::instance().make(cfg.backend, bctx);
+        // Outage injection decorates the timing model, so it composes
+        // with any registered backend; the engine and every controller
+        // path see the decorator's overlaid availability.
+        if (fault::hasOutageModel(cfg.fault))
+            backend = std::make_unique<fault::FaultyBackend>(
+                std::move(backend), cfg.fault, ch);
+        chans.push_back(std::move(backend));
         chans.back()->setPowerDownPolicy(cfg.powerDownThreshold);
         engines.push_back(std::make_unique<trng::RngEngine>(
             mech, fillMech, *chans.back()));
     }
+
+    if (fault::hasCellModels(cfg.fault))
+        faultPlane = std::make_unique<fault::FaultPlane>(
+            cfg.fault, geometry.channels);
 
     perChan.resize(geometry.channels);
     for (unsigned ch = 0; ch < geometry.channels; ++ch) {
@@ -110,6 +122,8 @@ MemoryController::MemoryController(const McConfig &config,
     pendingBufferServeDone.reserve(
         4 * static_cast<std::size_t>(num_cores));
 }
+
+MemoryController::~MemoryController() = default;
 
 void
 MemoryController::setCompletionCallback(CompletionCallback cb)
@@ -518,13 +532,20 @@ MemoryController::tick(Cycle now)
         pendingBufferServeDone.pop_front();
     }
 
-    // 2. Advance RNG-mode engines; route any bits a finished round yields.
+    // 2. Advance RNG-mode engines; route any bits a finished round
+    //    yields. With fault injection active, each round is audited by
+    //    the fault plane first: a failing round's bits are discarded
+    //    (and the health monitor reacts), which also withholds the
+    //    round's noteServed — fault pressure surfaces as RNG stall.
     for (unsigned ch = 0; ch < chans.size(); ++ch) {
         const double bits = engines[ch]->tick(now);
         if (bits > 0.0) {
-            routeBits(bits, now);
-            if (rngPolicy)
-                rngPolicy->noteServed(ch, QueueChoice::Rng);
+            if (!faultPlane ||
+                faultPlane->onRound(ch, !rngJobs.empty())) {
+                routeBits(bits, now);
+                if (rngPolicy)
+                    rngPolicy->noteServed(ch, QueueChoice::Rng);
+            }
         }
     }
 
@@ -789,11 +810,17 @@ MemoryController::productionEventCycle(Cycle now, Cycle bound) const
     // round early and let normal ticks handle the exact crossing.
     double spare = 0.0;
     if (!jobs) {
-        if (!buf)
-            return kNoEvent; // Staging absorbs everything (pure).
-        spare = buf->capacityBits() - buf->levelBits();
+        // Without a fault plane, bufferless production is pure (staging
+        // absorbs everything); with one, rounds must still be walked so
+        // a failing audit ends the span.
+        if (!buf && !faultPlane)
+            return kNoEvent;
+        if (buf)
+            spare = buf->capacityBits() - buf->levelBits();
     }
 
+    if (faultPlane)
+        faultPlane->beginPeek();
     for (unsigned step = 0; step < kMaxProductionSteps; ++step) {
         std::size_t best = producerScratch.size();
         for (std::size_t i = 0; i < producerScratch.size(); ++i) {
@@ -804,13 +831,18 @@ MemoryController::productionEventCycle(Cycle now, Cycle bound) const
         Producer &p = producerScratch[best];
         if (p.next >= bound)
             return kNoEvent;
+        // A round whose audit fails delivers nothing and mutates the
+        // health monitor — always a span-ending event. Peeked-and-passed
+        // rounds are exactly what fastForward() later commits.
+        if (faultPlane && !faultPlane->peekRound(p.ch))
+            return p.next;
         if (jobs) {
             const double need = 64.0 - collected;
             const double take = std::min(need, p.bits);
             if (collected + take >= 64.0)
                 return p.next; // The front job completes here.
             collected += take;
-        } else {
+        } else if (buf) {
             if (2.0 * p.bits >= spare)
                 return p.next; // At (or one round before) buffer-full.
             spare -= p.bits;
@@ -950,6 +982,10 @@ MemoryController::fastForward(Cycle from, Cycle to)
             else
                 eng.fastForwardPhases(1);
             if (round_end) {
+                // The horizon only spans peeked-and-passed rounds, so
+                // the commit mirrors the tick path's pass branch.
+                if (faultPlane)
+                    faultPlane->commitRound(p.ch);
 #ifndef NDEBUG
                 const std::size_t jobs_before = rngJobs.size();
 #endif

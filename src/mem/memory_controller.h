@@ -23,6 +23,7 @@
 #include "common/pop_vector.h"
 #include "dram/address_mapper.h"
 #include "dram/dram_timings.h"
+#include "fault/fault_config.h"
 #include "mem/fr_fcfs.h"
 #include "mem/memory_backend.h"
 #include "mem/request.h"
@@ -36,6 +37,10 @@
 #include "strange/simple_predictor.h"
 #include "trng/rng_engine.h"
 #include "trng/trng_mechanism.h"
+
+namespace dstrange::fault {
+class FaultPlane;
+}
 
 namespace dstrange::mem {
 
@@ -142,6 +147,10 @@ struct McConfig
     /** Column-to-column gap under "fixed-latency". */
     Cycle backendGap = 4;
 
+    /** Deterministic fault injection + health-monitor mitigation (a
+     *  default-constructed config is inert). */
+    fault::FaultConfig fault;
+
     strange::RlIdlenessPredictor::Config rlConfig{};
 };
 
@@ -188,6 +197,7 @@ class MemoryController
                      const dram::DramGeometry &geometry,
                      const trng::TrngMechanism &mechanism,
                      unsigned num_cores);
+    ~MemoryController(); // Out-of-line: fault::FaultPlane is incomplete.
 
     void setCompletionCallback(CompletionCallback cb);
 
@@ -289,6 +299,13 @@ class MemoryController
     const McConfig &config() const { return cfg; }
 
     const RngAwarePolicy *policy() const { return rngPolicy.get(); }
+
+    /** The fault-injection plane, or nullptr when no cell-fault model
+     *  is configured (see fault/fault_plane.h). */
+    const fault::FaultPlane *faultInjection() const
+    {
+        return faultPlane.get();
+    }
 
   private:
     struct ChannelState
@@ -419,6 +436,9 @@ class MemoryController
 
     std::deque<RngJob> rngJobs;
     std::unique_ptr<strange::BufferSet> buf;
+    /** Round auditing + health monitor; null when no cell-fault model
+     *  is listed (the common case — zero overhead when off). */
+    std::unique_ptr<fault::FaultPlane> faultPlane;
     /**
      * The TRNG mechanism's output staging register: bits left over from
      * demand rounds beyond the requested 64 (significant for QUAC-TRNG's

@@ -18,6 +18,24 @@ OpenLoopService::OpenLoopService(const ServiceConfig &config, CoreId port,
     params.periodCycles = cfg.periodCycles;
     params.seed = mix64(seed ^ 0x5e21c0deull);
     arrival = ArrivalRegistry::instance().make(cfg.arrival, params);
+
+    ShedContext sctx;
+    sctx.seed = mix64(seed ^ 0x5ed9a7c3ull); // Distinct salt: shedding
+                                             // never correlates with
+                                             // arrival randomness.
+    sctx.limit = cfg.shedLimit;
+    if (sctx.limit == 0) {
+        // Auto limit: the arrivals that fit inside one SLO window at
+        // the offered rate — a deeper backlog guarantees the newcomer
+        // misses the SLO, so shedding it loses no goodput.
+        const double per_window =
+            static_cast<double>(cfg.sloTargetCycles) /
+            meanGapCycles(cfg.offeredMbps);
+        sctx.limit = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(per_window));
+    }
+    resolvedShedLimit = sctx.limit;
+    shedPolicy = ShedRegistry::instance().make(cfg.shed, sctx);
 }
 
 void
@@ -40,7 +58,18 @@ OpenLoopService::tick(Cycle now)
                 }
                 arrival->pop();
                 statistics.offered++;
-                backlog.push_back(a);
+                // Admission control: a shed arrival is counted offered
+                // but never queued (its closed-loop slot, if any, is
+                // released immediately). Decisions depend only on the
+                // seeded policy, the arrival ordinal, and the backlog
+                // depth — all deterministic at generation ticks, which
+                // are span-ending events already.
+                if (shedPolicy->admit(arrivalIndex++, backlog.size())) {
+                    backlog.push_back(a);
+                } else {
+                    statistics.shed++;
+                    arrival->onCompletion(now);
+                }
             }
         }
     }

@@ -22,6 +22,7 @@
 #include "mem/memory_controller.h"
 #include "service/arrival_process.h"
 #include "service/service_config.h"
+#include "service/shed_policy.h"
 
 namespace dstrange::service {
 
@@ -29,6 +30,7 @@ namespace dstrange::service {
 struct ServiceStats
 {
     std::uint64_t offered = 0;   ///< Arrivals generated in the window.
+    std::uint64_t shed = 0;      ///< Arrivals refused by admission control.
     std::uint64_t issued = 0;    ///< Accepted by the memory controller.
     std::uint64_t completed = 0; ///< Completions delivered.
     std::uint64_t overSlo = 0;   ///< Completions above the SLO target.
@@ -82,6 +84,8 @@ class OpenLoopService
     const ServiceConfig &config() const { return cfg; }
     CoreId port() const { return portId; }
     std::size_t backlogDepth() const { return backlog.size(); }
+    /** Backlog bound the shed policy was built with (0-auto resolved). */
+    std::uint64_t shedLimit() const { return resolvedShedLimit; }
 
     /** Offered-load conversion: mean cycles between 64-bit requests. */
     static double
@@ -96,6 +100,10 @@ class OpenLoopService
     CoreId portId;
     mem::MemoryController &mc;
     std::unique_ptr<ArrivalProcess> arrival;
+    /** Admission control applied as each arrival is generated. */
+    std::unique_ptr<ShedPolicy> shedPolicy;
+    std::uint64_t resolvedShedLimit = 0;
+    std::uint64_t arrivalIndex = 0; ///< Generated-arrival ordinal.
     /** Logical arrival cycles awaiting controller admission. */
     std::deque<Cycle> backlog;
     /** token -> logical arrival cycle of requests inside the MC. */

@@ -48,6 +48,14 @@ struct ServiceConfig
     /** Arrival-generation window in bus cycles; the run then drains
      *  the backlog (until maxBusCycles). */
     Cycle durationCycles = 100000;
+    /** Admission-control policy (service::ShedRegistry key):
+     *  "shed-none" (default, bit-identical to an unshedded run),
+     *  "shed-tail", or "shed-priority". */
+    std::string shed = "shed-none";
+    /** Backlog bound consulted by the shedding policies; 0 = auto
+     *  (the arrivals that fit inside one SLO window at the configured
+     *  offered load — deeper backlogs guarantee SLO misses). */
+    std::uint64_t shedLimit = 0;
 };
 
 } // namespace dstrange::service

@@ -1,0 +1,165 @@
+#include "service/shed_policy.h"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "common/registry_key.h"
+#include "common/rng.h"
+
+namespace dstrange::service {
+
+namespace {
+
+constexpr std::uint64_t kClassSalt = 0x7b6f3e1d5ca94281ULL;
+
+class ShedNone final : public ShedPolicy
+{
+  public:
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "shed-none";
+        return n;
+    }
+
+    bool
+    admit(std::uint64_t, std::size_t) override
+    {
+        return true;
+    }
+};
+
+/** Drop new arrivals while the backlog sits at the limit: the classic
+ *  bounded-queue admission control, shedding exactly the requests that
+ *  would have waited longest. */
+class ShedTail final : public ShedPolicy
+{
+  public:
+    explicit ShedTail(const ShedContext &ctx) : limit(ctx.limit) {}
+
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "shed-tail";
+        return n;
+    }
+
+    bool
+    admit(std::uint64_t, std::size_t backlog) override
+    {
+        return backlog < limit;
+    }
+
+  private:
+    std::uint64_t limit;
+};
+
+/** Hash each arrival into four priority classes (0 = highest). The low
+ *  two classes shed at half the limit, everything at the limit, so
+ *  high-priority traffic keeps its latency budget deep into overload. */
+class ShedPriority final : public ShedPolicy
+{
+  public:
+    explicit ShedPriority(const ShedContext &ctx)
+        : seed(ctx.seed), limit(ctx.limit)
+    {
+    }
+
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "shed-priority";
+        return n;
+    }
+
+    bool
+    admit(std::uint64_t arrival_index, std::size_t backlog) override
+    {
+        if (backlog >= limit)
+            return false;
+        if (2 * backlog >= limit) {
+            const std::uint64_t cls =
+                mix64(seed ^ kClassSalt ^ arrival_index) & 3;
+            return cls < 2;
+        }
+        return true;
+    }
+
+  private:
+    std::uint64_t seed;
+    std::uint64_t limit;
+};
+
+} // namespace
+
+ShedRegistry::ShedRegistry()
+{
+    add("shed-none", [](const ShedContext &) {
+        return std::make_unique<ShedNone>();
+    });
+    add("shed-tail", [](const ShedContext &ctx) {
+        return std::make_unique<ShedTail>(ctx);
+    });
+    add("shed-priority", [](const ShedContext &ctx) {
+        return std::make_unique<ShedPriority>(ctx);
+    });
+}
+
+ShedRegistry &
+ShedRegistry::instance()
+{
+    static ShedRegistry registry;
+    return registry;
+}
+
+void
+ShedRegistry::add(const std::string &key, ShedPolicyFactory factory)
+{
+    validateRegistryKey("shed policy", key);
+    if (!factory)
+        throw std::invalid_argument("shed policy factory for '" + key +
+                                    "' must not be empty");
+    std::unique_lock<std::shared_mutex> lock(mu);
+    if (!factories.emplace(key, std::move(factory)).second)
+        throw std::invalid_argument("shed policy '" + key +
+                                    "' is already registered");
+}
+
+std::unique_ptr<ShedPolicy>
+ShedRegistry::make(const std::string &key, const ShedContext &ctx) const
+{
+    // Copy the factory out so user factories run lock-free.
+    ShedPolicyFactory factory;
+    {
+        std::shared_lock<std::shared_mutex> lock(mu);
+        const auto it = factories.find(key);
+        if (it == factories.end()) {
+            std::string known;
+            for (const auto &[k, f] : factories)
+                known += (known.empty() ? "" : ", ") + k;
+            throw std::out_of_range("unknown shed policy '" + key +
+                                    "' (registered: " + known + ")");
+        }
+        factory = it->second;
+    }
+    return factory(ctx);
+}
+
+bool
+ShedRegistry::contains(const std::string &key) const
+{
+    std::shared_lock<std::shared_mutex> lock(mu);
+    return factories.count(key) != 0;
+}
+
+std::vector<std::string>
+ShedRegistry::keys() const
+{
+    std::shared_lock<std::shared_mutex> lock(mu);
+    std::vector<std::string> out;
+    for (const auto &[key, factory] : factories)
+        out.push_back(key);
+    return out;
+}
+
+} // namespace dstrange::service

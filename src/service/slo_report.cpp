@@ -9,11 +9,13 @@ SloReport::from(const ServiceConfig &cfg, const ServiceStats &stats)
 {
     SloReport r;
     r.arrival = cfg.arrival;
+    r.shedPolicy = cfg.shed;
     r.offeredMbps = cfg.offeredMbps;
     r.sloTargetCycles = cfg.sloTargetCycles;
     r.durationCycles = cfg.durationCycles;
 
     r.offered = stats.offered;
+    r.shed = stats.shed;
     r.completed = stats.completed;
     r.overSlo = stats.overSlo;
     r.servedBuffer = stats.servedBuffer;
@@ -28,6 +30,9 @@ SloReport::from(const ServiceConfig &cfg, const ServiceStats &stats)
     r.maxLatency = stats.latency.max();
     r.meanLatency = stats.latency.mean();
 
+    if (r.offered > 0)
+        r.pctShed = 100.0 * static_cast<double>(r.shed) /
+                    static_cast<double>(r.offered);
     if (r.completed > 0) {
         r.pctOverSlo = 100.0 * static_cast<double>(r.overSlo) /
                        static_cast<double>(r.completed);
@@ -44,7 +49,9 @@ SloReport::from(const ServiceConfig &cfg, const ServiceStats &stats)
     const Cycle drain_lag = r.lastCompletion > r.durationCycles
                                 ? r.lastCompletion - r.durationCycles
                                 : 0;
-    r.saturated = r.completed < r.offered ||
+    // Shed arrivals were never admitted, so capacity is judged against
+    // the admitted volume (identical to the old formula when shed==0).
+    r.saturated = r.completed < r.offered - r.shed ||
                   drain_lag * 8 > r.durationCycles;
     return r;
 }
@@ -54,10 +61,12 @@ SloReport::writeJson(JsonWriter &w) const
 {
     w.beginObject();
     w.key("arrival").value(arrival);
+    w.key("shed_policy").value(shedPolicy);
     w.key("offered_mbps").valueExact(offeredMbps);
     w.key("slo_target_cycles").value(sloTargetCycles);
     w.key("duration_cycles").value(durationCycles);
     w.key("offered").value(offered);
+    w.key("shed").value(shed);
     w.key("completed").value(completed);
     w.key("over_slo").value(overSlo);
     w.key("served_buffer").value(servedBuffer);
@@ -71,6 +80,7 @@ SloReport::writeJson(JsonWriter &w) const
     w.key("max_latency").value(maxLatency);
     w.key("mean_latency").valueExact(meanLatency);
     w.key("pct_over_slo").valueExact(pctOverSlo);
+    w.key("pct_shed").valueExact(pctShed);
     w.key("completed_rps").valueExact(completedRps);
     w.key("goodput_rps").valueExact(goodputRps);
     w.key("saturated").value(saturated);
@@ -82,10 +92,12 @@ SloReport::fromJson(const JsonValue &v)
 {
     SloReport r;
     r.arrival = v.at("arrival").asString();
+    r.shedPolicy = v.at("shed_policy").asString();
     r.offeredMbps = v.at("offered_mbps").asDouble();
     r.sloTargetCycles = v.at("slo_target_cycles").asU64();
     r.durationCycles = v.at("duration_cycles").asU64();
     r.offered = v.at("offered").asU64();
+    r.shed = v.at("shed").asU64();
     r.completed = v.at("completed").asU64();
     r.overSlo = v.at("over_slo").asU64();
     r.servedBuffer = v.at("served_buffer").asU64();
@@ -99,6 +111,7 @@ SloReport::fromJson(const JsonValue &v)
     r.maxLatency = v.at("max_latency").asU64();
     r.meanLatency = v.at("mean_latency").asDouble();
     r.pctOverSlo = v.at("pct_over_slo").asDouble();
+    r.pctShed = v.at("pct_shed").asDouble();
     r.completedRps = v.at("completed_rps").asDouble();
     r.goodputRps = v.at("goodput_rps").asDouble();
     r.saturated = v.at("saturated").asBool();

@@ -24,11 +24,13 @@ namespace dstrange::service {
 struct SloReport
 {
     std::string arrival;      ///< Arrival-process key of the run.
+    std::string shedPolicy;   ///< Admission-control key of the run.
     double offeredMbps = 0.0; ///< Configured offered load.
     Cycle sloTargetCycles = 0;
     Cycle durationCycles = 0;
 
     std::uint64_t offered = 0;
+    std::uint64_t shed = 0;   ///< Arrivals refused by admission control.
     std::uint64_t completed = 0;
     std::uint64_t overSlo = 0;
     std::uint64_t servedBuffer = 0;
@@ -44,6 +46,7 @@ struct SloReport
     double meanLatency = 0.0;
 
     double pctOverSlo = 0.0;    ///< % of completions above the target.
+    double pctShed = 0.0;       ///< % of offered arrivals shed.
     double completedRps = 0.0;  ///< Completions per second of wall time.
     double goodputRps = 0.0;    ///< Within-SLO completions per second.
     /**

@@ -6,9 +6,11 @@
 #include <stdexcept>
 
 #include "dram/mapping_registry.h"
+#include "fault/fault_registry.h"
 #include "mem/backend_registry.h"
 #include "mem/scheduler_registry.h"
 #include "service/arrival_process.h"
+#include "service/shed_policy.h"
 #include "sim/design_registry.h"
 #include "strange/predictor_registry.h"
 
@@ -223,6 +225,16 @@ pathToken(const std::string &path)
     return out;
 }
 
+/** Registered keys joined for eager-validation error messages. */
+std::string
+joinKeys(const std::vector<std::string> &keys)
+{
+    std::string out;
+    for (const std::string &k : keys)
+        out += (out.empty() ? "" : ", ") + k;
+    return out;
+}
+
 bool
 applyServiceField(service::ServiceConfig &s, const std::string &field,
                   const std::string &value)
@@ -246,7 +258,71 @@ applyServiceField(service::ServiceConfig &s, const std::string &field,
         s.sloTargetCycles = parseU64(value);
     else if (field == "duration")
         s.durationCycles = parseU64(value);
+    else if (field == "shed") {
+        if (!service::ShedRegistry::instance().contains(value))
+            throw std::invalid_argument(
+                "unknown shed policy '" + value + "' (known: " +
+                joinKeys(service::ShedRegistry::instance().keys()) +
+                ")");
+        s.shed = value;
+    } else if (field == "shed-limit")
+        s.shedLimit = parseU64(value);
     else
+        return false;
+    return true;
+}
+
+bool
+applyFaultField(fault::FaultConfig &f, const std::string &field,
+                const std::string &value)
+{
+    if (field == "models") {
+        // "-" is the canonical empty sentinel (matching priorities=-).
+        const std::string models = value == "-" ? "" : value;
+        std::istringstream iss(models);
+        std::string key;
+        while (std::getline(iss, key, ',')) {
+            if (!key.empty() &&
+                !fault::FaultRegistry::instance().contains(key))
+                throw std::invalid_argument(
+                    "unknown fault model '" + key + "' (known: " +
+                    joinKeys(fault::FaultRegistry::instance().keys()) +
+                    ")");
+        }
+        f.models = models;
+    } else if (field == "seed")
+        f.seed = parseU64(value);
+    else if (field == "bitflip-rate")
+        f.bitflipRate = parseDouble(value);
+    else if (field == "cells")
+        f.cellsPerChannel = parseUnsigned(value);
+    else if (field == "weak-cells")
+        f.weakCells = parseUnsigned(value);
+    else if (field == "weak-severity")
+        f.weakSeverity = parseUnsigned(value);
+    else if (field == "drift-interval")
+        f.driftInterval = parseU64(value);
+    else if (field == "stuck-rows")
+        f.stuckRows = parseUnsigned(value);
+    else if (field == "spares")
+        f.spareCells = parseUnsigned(value);
+    else if (field == "blacklist-threshold")
+        f.blacklistThreshold = parseUnsigned(value);
+    else if (field == "retry-limit")
+        f.retryLimit = parseUnsigned(value);
+    else if (field == "monitor")
+        f.monitor = parseBool(value);
+    else if (field == "outage-period")
+        f.outagePeriod = parseU64(value);
+    else if (field == "outage-duration")
+        f.outageDuration = parseU64(value);
+    else if (field == "outage-scope") {
+        if (value != "channel" && value != "rank")
+            throw std::invalid_argument("unknown outage scope '" +
+                                        value +
+                                        "' (known: channel, rank)");
+        f.outageScope = value;
+    } else
         return false;
     return true;
 }
@@ -343,7 +419,18 @@ applyToken(SimConfig &cfg, const std::string &key,
             throw std::invalid_argument("unknown key");
     } else if (key.rfind("service.", 0) == 0) {
         if (!applyServiceField(cfg.service, key.substr(8), value))
-            throw std::invalid_argument("unknown key");
+            throw std::invalid_argument(
+                "unknown key (known service.* keys: enabled, arrival, "
+                "offered-mbps, clients, burst, period, slo, duration, "
+                "shed, shed-limit)");
+    } else if (key.rfind("fault.", 0) == 0) {
+        if (!applyFaultField(cfg.fault, key.substr(6), value))
+            throw std::invalid_argument(
+                "unknown key (known fault.* keys: models, seed, "
+                "bitflip-rate, cells, weak-cells, weak-severity, "
+                "drift-interval, stuck-rows, spares, "
+                "blacklist-threshold, retry-limit, monitor, "
+                "outage-period, outage-duration, outage-scope)");
     } else if (key.rfind("backend.", 0) == 0) {
         if (!applyBackendField(cfg, key.substr(8), value))
             throw std::invalid_argument("unknown key");
@@ -412,7 +499,25 @@ serializeConfig(const SimConfig &cfg)
       << " service.burst=" << fmt(sv.burstFactor)
       << " service.period=" << sv.periodCycles
       << " service.slo=" << sv.sloTargetCycles
-      << " service.duration=" << sv.durationCycles;
+      << " service.duration=" << sv.durationCycles
+      << " service.shed=" << sv.shed
+      << " service.shed-limit=" << sv.shedLimit;
+    const fault::FaultConfig &fl = cfg.fault;
+    o << " fault.models=" << (fl.models.empty() ? "-" : fl.models)
+      << " fault.seed=" << fl.seed
+      << " fault.bitflip-rate=" << fmt(fl.bitflipRate)
+      << " fault.cells=" << fl.cellsPerChannel
+      << " fault.weak-cells=" << fl.weakCells
+      << " fault.weak-severity=" << fl.weakSeverity
+      << " fault.drift-interval=" << fl.driftInterval
+      << " fault.stuck-rows=" << fl.stuckRows
+      << " fault.spares=" << fl.spareCells
+      << " fault.blacklist-threshold=" << fl.blacklistThreshold
+      << " fault.retry-limit=" << fl.retryLimit
+      << " fault.monitor=" << (fl.monitor ? 1 : 0)
+      << " fault.outage-period=" << fl.outagePeriod
+      << " fault.outage-duration=" << fl.outageDuration
+      << " fault.outage-scope=" << fl.outageScope;
     o << " backend.kind=" << cfg.backend
       << " backend.read-latency=" << cfg.backendReadLatency
       << " backend.write-latency=" << cfg.backendWriteLatency

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/env_util.h"
+#include "fault/fault_plane.h"
 
 namespace dstrange::sim {
 
@@ -75,9 +76,13 @@ systemFingerprint(const System &sys)
             << "pred.false_neg=" << ps->falseNegatives << '\n';
     }
 
+    if (const fault::FaultPlane *fp = mc.faultInjection())
+        out << fp->fingerprint();
+
     if (const service::OpenLoopService *svc = sys.service()) {
         const service::ServiceStats &ss = svc->stats();
         out << "svc.offered=" << ss.offered << '\n'
+            << "svc.shed=" << ss.shed << '\n'
             << "svc.issued=" << ss.issued << '\n'
             << "svc.completed=" << ss.completed << '\n'
             << "svc.over_slo=" << ss.overSlo << '\n'

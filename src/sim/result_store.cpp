@@ -1,6 +1,7 @@
 #include "sim/result_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <vector>
@@ -225,6 +226,7 @@ ResultStore::storeAlone(const std::string &key,
 #endif
 
     DirLock lock(root, /*exclusive=*/true);
+    sweepStaleTmp(); // First write only; under the exclusive lock.
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
@@ -247,6 +249,30 @@ ResultStore::storeAlone(const std::string &key,
     if (maxBytes > 0)
         evictOverBudget(); // Still under the exclusive lock.
     return true;
+}
+
+void
+ResultStore::sweepStaleTmp() const
+{
+    if (tmpSwept.exchange(true))
+        return;
+    // A crashed writer leaves `<name>.json.tmp.<pid>` behind — rename
+    // never ran, so nothing references the file. Ten minutes is orders
+    // of magnitude beyond any single write, which keeps live writers
+    // from other processes safe even without examining their pids.
+    constexpr auto kMinAge = std::chrono::minutes(10);
+    const auto now = fs::file_time_type::clock::now();
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(root, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        std::error_code fec;
+        const fs::file_time_type mtime = de.last_write_time(fec);
+        if (fec || now - mtime < kMinAge)
+            continue;
+        fs::remove(de.path(), fec);
+    }
 }
 
 std::string
@@ -276,6 +302,7 @@ ResultStore::storeCellCost(const std::string &cell_key,
 #endif
 
     DirLock lock(root, /*exclusive=*/true);
+    sweepStaleTmp(); // First write only; under the exclusive lock.
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
@@ -431,6 +458,10 @@ writeWorkloadResult(JsonWriter &w, const Runner::WorkloadResult &result)
         w.key("service");
         result.service->writeJson(w);
     }
+    if (result.fault) {
+        w.key("fault");
+        result.fault->writeJson(w);
+    }
     w.endObject();
 }
 
@@ -474,6 +505,8 @@ workloadResultFromJson(const JsonValue &v)
         res.idlePeriods.push_back(static_cast<std::uint32_t>(p.asU64()));
     if (const JsonValue *svc = v.find("service"))
         res.service = service::SloReport::fromJson(*svc);
+    if (const JsonValue *flt = v.find("fault"))
+        res.fault = fault::FaultReport::fromJson(*flt);
     return res;
 }
 

@@ -138,10 +138,20 @@ class ResultStore
     /** Delete oldest-mtime cache files until the budget is met. Must
      *  be called with the exclusive directory lock held; never throws. */
     void evictOverBudget() const;
+    /**
+     * Remove `*.tmp.*` droppings left behind by writers that crashed
+     * between creating a temp file and renaming it. Age-gated (only
+     * files older than ten minutes), so an in-flight write by a live
+     * concurrent process is never touched. Runs at most once per store,
+     * on the first write, under the exclusive directory lock; never
+     * throws.
+     */
+    void sweepStaleTmp() const;
 
     std::string root;
     std::string stamp;
     std::uint64_t maxBytes = 0;
+    mutable std::atomic<bool> tmpSwept{false};
     mutable std::atomic<std::uint64_t> nHits{0};
     mutable std::atomic<std::uint64_t> nMisses{0};
     mutable std::atomic<std::uint64_t> nStores{0};

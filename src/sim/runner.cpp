@@ -279,6 +279,8 @@ Runner::run(const SimConfig &cfg, const workloads::WorkloadSpec &spec)
     if (const service::OpenLoopService *svc = sys.service())
         result.service =
             service::SloReport::from(svc->config(), svc->stats());
+    if (const fault::FaultPlane *fp = sys.mc().faultInjection())
+        result.fault = fp->report();
     result.bufferServeRate = result.mcStats.bufferServeRate();
     if (auto ps = sys.mc().predictorStats())
         result.predictorAccuracy = ps->accuracy();

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plane.h"
 #include "service/slo_report.h"
 #include "sim/metrics.h"
 #include "sim/system.h"
@@ -71,6 +72,9 @@ class Runner
         /** Tail-latency/SLO report of the open-loop service layer;
          *  present only when the run's config enables it. */
         std::optional<service::SloReport> service;
+        /** Fault-injection/mitigation counters; present only when the
+         *  run's config lists cell-level fault models. */
+        std::optional<fault::FaultReport> fault;
 
         /** Mean slowdown of the non-RNG applications. */
         double avgNonRngSlowdown() const;

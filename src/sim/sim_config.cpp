@@ -162,6 +162,7 @@ mcConfigFor(const SimConfig &cfg)
     mc.backendReadLatency = cfg.backendReadLatency;
     mc.backendWriteLatency = cfg.backendWriteLatency;
     mc.backendGap = cfg.backendGap;
+    mc.fault = cfg.fault;
     return mc;
 }
 

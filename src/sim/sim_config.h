@@ -22,6 +22,7 @@
 
 #include "dram/address_mapper.h"
 #include "dram/dram_timings.h"
+#include "fault/fault_config.h"
 #include "mem/memory_controller.h"
 #include "service/service_config.h"
 #include "trng/trng_mechanism.h"
@@ -125,6 +126,10 @@ struct SimConfig
     /** Open-loop RNG-as-a-service layer (off by default; orthogonal to
      *  the design presets, which never touch it). */
     service::ServiceConfig service;
+
+    /** Deterministic fault injection (off by default — no models
+     *  listed; orthogonal to the design presets). */
+    fault::FaultConfig fault;
 
     /** Record the controller-boundary request stream to this file
      *  (empty = off; see trace/trace_writer.h). */

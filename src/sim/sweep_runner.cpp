@@ -184,26 +184,48 @@ SweepRunner::runCell(const Cell &cell)
 {
     CellResult out;
     const auto start = std::chrono::steady_clock::now();
-    try {
-        if (cell.config) {
-            out.result = shared.run(*cell.config, cell.spec);
-        } else {
-            // Copy the shared runner's base() so between-sweep
-            // mutations of runner().base() apply to design-key cells
-            // too (workers only read it during a sweep).
-            SimConfig cfg = shared.base();
-            DesignRegistry::instance().apply(cell.design, cfg);
-            out.result = shared.run(cfg, cell.spec);
+    const auto attempt = [&] {
+        try {
+            if (cell.config) {
+                out.result = shared.run(*cell.config, cell.spec);
+            } else {
+                // Copy the shared runner's base() so between-sweep
+                // mutations of runner().base() apply to design-key
+                // cells too (workers only read it during a sweep).
+                SimConfig cfg = shared.base();
+                DesignRegistry::instance().apply(cell.design, cfg);
+                out.result = shared.run(cfg, cell.spec);
+            }
+            out.ok = true;
+            out.error.clear();
+        } catch (const std::exception &e) {
+            out.ok = false;
+            out.error = e.what();
+        } catch (...) {
+            out.ok = false;
+            out.error = "unknown exception";
         }
-        out.ok = true;
-    } catch (const std::exception &e) {
-        out.error = e.what();
-    } catch (...) {
-        out.error = "unknown exception";
+    };
+    attempt();
+    if (!out.ok) {
+        // One bounded retry: cells are pure functions of their inputs,
+        // but the run may share a cache directory or trace files with
+        // other processes, so a transient I/O hiccup deserves a second
+        // chance. A deterministic failure (bad design key, invalid
+        // config) just fails again immediately.
+        attempt();
+        out.outcome = out.ok ? "retried" : "error";
     }
     const auto elapsed = std::chrono::steady_clock::now() - start;
     out.wallMs =
         std::chrono::duration<double, std::milli>(elapsed).count();
+    // Advisory wall-clock budget (seconds; 0 = off). Workers are never
+    // killed mid-simulation — determinism would not survive — so an
+    // overrunning cell keeps its valid result and is only *tagged*,
+    // letting run_all output and CI flag runaway grid corners.
+    const std::uint64_t budget_s = envU64("DS_CELL_TIMEOUT", 0);
+    if (budget_s > 0 && out.wallMs > 1000.0 * static_cast<double>(budget_s))
+        out.outcome = "timeout";
     // Record the measured cost so later balanced-shard runs can split
     // the grid by real wall-clock (best-effort; failures are ignored).
     // Sharded runs only *consume* costs: every shard of a family must
@@ -236,6 +258,7 @@ SweepRunner::run(const std::vector<Cell> &cells)
             owned.push_back(i);
         } else {
             results[i].skipped = true;
+            results[i].outcome = "skipped";
             results[i].error = "cell owned by another shard (" +
                                std::to_string(shard.index) + "/" +
                                std::to_string(shard.count) +

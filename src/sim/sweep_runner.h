@@ -60,6 +60,15 @@ class SweepRunner
          *  error, never a result. */
         bool skipped = false;
         std::string error; ///< Exception message when !ok.
+        /**
+         * Execution-hygiene tag: "ok" (first attempt succeeded),
+         * "retried" (first attempt threw, the bounded retry succeeded),
+         * "error" (both attempts threw), "timeout" (the cell ran past
+         * the DS_CELL_TIMEOUT budget — advisory: simulation threads are
+         * never killed, so the result above is still valid and ok is
+         * unaffected), or "skipped" (owned by another shard).
+         */
+        std::string outcome = "ok";
     };
 
     /**

@@ -182,9 +182,12 @@ TEST(SweepRunner, FailedCellCarriesErrorAndOthersStillRun)
     const auto results = sweep.run(cells);
     ASSERT_EQ(results.size(), 2u);
     EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(results[0].outcome, "ok");
     EXPECT_FALSE(results[1].ok);
     EXPECT_NE(results[1].error.find("unknown design"), std::string::npos)
         << results[1].error;
+    // A deterministic throw fails its one bounded retry too.
+    EXPECT_EQ(results[1].outcome, "error");
 }
 
 TEST(SweepRunner, ExplicitConfigCellOverridesBase)
