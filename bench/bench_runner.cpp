@@ -193,6 +193,17 @@ setFastForwardEnv(const char *value)
 #endif
 }
 
+/** Same for DS_BATCH (batched command retirement). */
+void
+setBatchEnv(const char *value)
+{
+#ifdef _WIN32
+    _putenv_s("DS_BATCH", value);
+#else
+    setenv("DS_BATCH", value, /*overwrite=*/1);
+#endif
+}
+
 /**
  * The sweep grid, stratified into workload tiers mirroring the bench
  * suite: the Figure-6 heavy dual-core mixes at 5 Gb/s, the Section-8.8
@@ -385,11 +396,15 @@ runSweep(unsigned jobs, unsigned n_mixes,
     sweep.shardIndex = shard.index;
     sweep.shardCount = shard.count;
 
-    // The comparison phases control DS_FAST_FORWARD themselves;
-    // remember any inherited override and restore it afterwards.
+    // The comparison phases control DS_FAST_FORWARD/DS_BATCH
+    // themselves; remember any inherited overrides and restore them
+    // afterwards.
     const char *ff_env = std::getenv("DS_FAST_FORWARD");
     const std::string ff_orig = ff_env ? ff_env : "";
+    const char *batch_env = std::getenv("DS_BATCH");
+    const std::string batch_orig = batch_env ? batch_env : "";
     setFastForwardEnv("1");
+    setBatchEnv("1");
 
     dstrange::sim::SweepRunner runner =
         bench::baseBuilder().buildSweepRunner(jobs);
@@ -479,12 +494,28 @@ runSweep(unsigned jobs, unsigned n_mixes,
     timer.reset();
     const auto step1_results = step1.run(cells);
     sweep.step1WallMs = timer.elapsedMs();
+
+    // Batch-off reference: fast-forward on, batched command retirement
+    // off — isolates what batching itself buys on top of span skipping.
+    setFastForwardEnv("1");
+    setBatchEnv("0");
+    dstrange::sim::SweepRunner batchoff =
+        bench::baseBuilder().cacheDir("").buildSweepRunner(1);
+    batchoff.setShard(shard);
+    batchoff.setShardOwners(owners);
+    timer.reset();
+    const auto batchoff_results = batchoff.run(cells);
+    sweep.batchOffWallMs = timer.elapsedMs();
     if (ff_env)
         setFastForwardEnv(ff_orig.c_str());
     else
         setFastForwardEnv("1");
+    if (batch_env)
+        setBatchEnv(batch_orig.c_str());
+    else
+        setBatchEnv("1");
 
-    // Per-tier fast-forward accounting from the two serial runs
+    // Per-tier fast-forward and batch accounting from the serial runs
     // (owned cells only; a merge re-sums tiers across shards).
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (results[i].skipped)
@@ -499,6 +530,16 @@ runSweep(unsigned jobs, unsigned n_mixes,
         }
         tier->step1Ms += step1_results[i].wallMs;
         tier->ffMs += serial_results[i].wallMs;
+        bench::BatchTierRecord *btier = nullptr;
+        for (auto &t : sweep.batchTiers)
+            if (t.name == grid.tiers[i])
+                btier = &t;
+        if (!btier) {
+            sweep.batchTiers.push_back({grid.tiers[i], 0.0, 0.0});
+            btier = &sweep.batchTiers.back();
+        }
+        btier->offMs += batchoff_results[i].wallMs;
+        btier->onMs += serial_results[i].wallMs;
     }
 
     // Bit-identity across the (up to) three runs.
@@ -514,6 +555,7 @@ runSweep(unsigned jobs, unsigned n_mixes,
         if (sweep.jobs > 1)
             check(serial_results);
         check(step1_results);
+        check(batchoff_results);
     }
     if (!sweep.bitIdentical)
         ++failures;
@@ -535,6 +577,12 @@ runSweep(unsigned jobs, unsigned n_mixes,
         std::cout << "[run_all]   tier " << t.name << ": "
                   << bench::num(t.step1Ms, 1) << " ms step-1 -> "
                   << bench::num(t.ffMs, 1) << " ms ff ("
+                  << bench::num(t.speedup(), 2) << "x)\n";
+    }
+    for (const bench::BatchTierRecord &t : sweep.batchTiers) {
+        std::cout << "[run_all]   tier " << t.name << " batch: "
+                  << bench::num(t.offMs, 1) << " ms off -> "
+                  << bench::num(t.onMs, 1) << " ms on ("
                   << bench::num(t.speedup(), 2) << "x)\n";
     }
     for (std::size_t i = 0; i < results.size(); ++i)
@@ -679,6 +727,18 @@ parseFragment(const std::string &path)
         tier.step1Ms = tv.at("step1_wall_ms").asDouble();
         tier.ffMs = tv.at("ff_wall_ms").asDouble();
         sweep.ffTiers.push_back(std::move(tier));
+    }
+    // Fragments written before the batch record existed merge with
+    // zeroed batch wall-clocks rather than failing.
+    if (const dstrange::JsonValue *batch = sv.find("batch")) {
+        sweep.batchOffWallMs = batch->at("off_wall_ms").asDouble();
+        for (const auto &tv : batch->at("tiers").array()) {
+            bench::BatchTierRecord tier;
+            tier.name = tv.at("name").asString();
+            tier.offMs = tv.at("off_wall_ms").asDouble();
+            tier.onMs = tv.at("on_wall_ms").asDouble();
+            sweep.batchTiers.push_back(std::move(tier));
+        }
     }
     if (const dstrange::JsonValue *cache = sv.find("cache")) {
         sweep.cacheEnabled = true;
@@ -883,6 +943,19 @@ mergeShards(const std::string &dir, const std::string &out_dir)
             }
             dst->step1Ms += tier.step1Ms;
             dst->ffMs += tier.ffMs;
+        }
+        merged.batchOffWallMs += s.batchOffWallMs;
+        for (const bench::BatchTierRecord &tier : s.batchTiers) {
+            bench::BatchTierRecord *dst = nullptr;
+            for (auto &t : merged.batchTiers)
+                if (t.name == tier.name)
+                    dst = &t;
+            if (!dst) {
+                merged.batchTiers.push_back({tier.name, 0.0, 0.0});
+                dst = &merged.batchTiers.back();
+            }
+            dst->offMs += tier.offMs;
+            dst->onMs += tier.onMs;
         }
         bench::ShardSummaryRecord summary;
         summary.index = f.index;

@@ -33,6 +33,23 @@ class BlissScheduler : public Scheduler
                    Cycle clearing_interval);
 
     int pick(const SchedContext &ctx) override;
+
+    /**
+     * A single-entry queue leaves BLISS no ranking to do: the lone
+     * request wins when issuable regardless of blacklist state. Any
+     * larger queue needs the full priority comparison.
+     */
+    int
+    forcedPick(const SchedContext &ctx) const override
+    {
+        if (ctx.queue.size() != 1)
+            return kUnknownPick;
+        const Request &req = ctx.queue.at(0);
+        const dram::DramCmd cmd = nextCommandFor(req, ctx.channel);
+        return ctx.channel.canIssue(cmd, req.coord.bank, ctx.now) ? 0
+                                                                  : kNoPick;
+    }
+
     void onColumnIssued(const Request &req, unsigned channel_id) override;
     void tick(Cycle now) override;
 

@@ -96,6 +96,26 @@ FrFcfsScheduler::pick(const SchedContext &ctx)
     return best;
 }
 
+int
+FrFcfsScheduler::forcedPick(const SchedContext &ctx) const
+{
+    const auto &entries = ctx.queue.all();
+    if (entries.empty())
+        return kNoPick;
+    // entries is age-ordered and seq is assigned at enqueue, so the
+    // front request is the global minimum-seq candidate: if it passes
+    // every pass-1 filter it IS pass 1's winner.
+    const Request &req = entries.front();
+    const dram::DramCmd cmd = nextCommandFor(req, ctx.channel);
+    if (cmd != dram::DramCmd::Rd && cmd != dram::DramCmd::Wr)
+        return kUnknownPick;
+    if (!ctx.channel.canIssue(cmd, req.coord.bank, ctx.now))
+        return kUnknownPick;
+    if (capBlocked(ctx, req))
+        return kUnknownPick;
+    return 0;
+}
+
 void
 FrFcfsScheduler::onColumnIssued(const Request &req, unsigned channel_id)
 {

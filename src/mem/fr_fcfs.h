@@ -30,6 +30,14 @@ class FrFcfsScheduler : public Scheduler
                     unsigned column_cap);
 
     int pick(const SchedContext &ctx) override;
+
+    /**
+     * O(1) short-circuit: the queue is age-ordered, so when the front
+     * request is an issuable, non-cap-blocked row hit it is exactly
+     * pass 1's oldest winner and pick() must return 0.
+     */
+    int forcedPick(const SchedContext &ctx) const override;
+
     void onColumnIssued(const Request &req, unsigned channel_id) override;
 
     /** FR-FCFS has no per-cycle housekeeping; never blocks skipping. */

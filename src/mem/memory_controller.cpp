@@ -121,6 +121,8 @@ MemoryController::MemoryController(const McConfig &config,
     pendingBufferServes.reserve(4 * static_cast<std::size_t>(num_cores));
     pendingBufferServeDone.reserve(
         4 * static_cast<std::size_t>(num_cores));
+
+    horizonCache.resize(geometry.channels);
 }
 
 MemoryController::~MemoryController() = default;
@@ -165,6 +167,7 @@ MemoryController::enqueueAccept(Request &req, Cycle now)
             rngPolicy->markRngApp(req.core);
         if (buf && buf->canServe64(req.core)) {
             buf->serve64(req.core);
+            ++productionV; // Buffer level dropped.
             statistics.rngRequests++;
             statistics.rngServedFromBuffer++;
             statistics.sumRngLatency += cfg.bufferServeLatency;
@@ -194,6 +197,9 @@ MemoryController::enqueueAccept(Request &req, Cycle now)
         job.bitsCollected = stagingBits;
         stagingBits = 0.0;
         rngJobs.push_back(job);
+        ++productionV; // New front job possible; membership changed.
+        if (rngPolicy)
+            rngPolicy->noteJobsChanged();
         return true;
     }
 
@@ -258,6 +264,11 @@ MemoryController::routeBits(double bits, Cycle now)
             if (onComplete)
                 onComplete(job.core, job.token, ReqType::Rng, job.path);
             rngJobs.pop_front();
+            // The completed job *was* the predicted production event;
+            // the next front job starts a new stream to model.
+            ++productionV;
+            if (rngPolicy)
+                rngPolicy->noteJobsChanged();
         }
     }
     if (bits > 0.0 && buf)
@@ -474,7 +485,22 @@ MemoryController::serveChannel(unsigned ch, Cycle now)
     }
 
     const SchedContext ctx{*queue, chan, ch, now};
-    const int pick = sched->pick(ctx);
+    int pick = kUnknownPick;
+    if (batchMode) {
+        // Cached horizon first: when no queued command's timing fence
+        // has passed, every canIssue() is false and the full pick()
+        // scan must return kNoPick — skip it. (Refresh/RNG/power-down
+        // exclusions were already early-outed above.)
+        if (nextIssueCycle(*queue, ch, now) > now)
+            return;
+        pick = sched->forcedPick(ctx);
+#ifndef NDEBUG
+        assert((pick == kUnknownPick || pick == sched->pick(ctx)) &&
+               "forcedPick() must agree with pick()");
+#endif
+    }
+    if (pick == kUnknownPick)
+        pick = sched->pick(ctx);
     if (pick < 0)
         return;
 
@@ -545,6 +571,10 @@ MemoryController::tick(Cycle now)
                 routeBits(bits, now);
                 if (rngPolicy)
                     rngPolicy->noteServed(ch, QueueChoice::Rng);
+            } else {
+                // Discarded round: no bits routed, but the audit
+                // rotation (and possibly the blacklist) advanced.
+                ++productionV;
             }
         }
     }
@@ -572,6 +602,7 @@ MemoryController::tick(Cycle now)
                         0 &&
                     !buf->full()) {
                     buf->deposit(fillMech.bitsPerRound);
+                    ++productionV; // Buffer level rose.
                 }
             }
             // Other idle channels keep their accrued credit paused.
@@ -677,14 +708,42 @@ MemoryController::nextIssueCycle(const RequestQueue &queue, unsigned ch,
     // next command is legal; with nothing issuable before that, queue
     // and bank state are static and pick() stays kNoPick.
     const MemoryBackend &chan = *chans[ch];
+    if (!batchMode) {
+        Cycle earliest = kNoEvent;
+        for (const Request &req : queue.all()) {
+            const dram::DramCmd cmd = nextCommandFor(req, chan);
+            earliest = std::min(
+                earliest, chan.earliestIssueCycle(cmd, req.coord.bank));
+            if (earliest <= now)
+                return now;
+        }
+        return earliest;
+    }
+
+    // Batch mode memoizes the *full* queue minimum, keyed on the
+    // backend's fence version and the queue's membership version. Only
+    // completed scans are cached: when some entry's fence has already
+    // passed the scan early-exits with `now` uncached (a partial prefix
+    // minimum would not be reusable at a later `now`), which keeps the
+    // issuable-right-now case exactly as cheap as the uncached path.
+    // The cache pays off in blocked phases, where the old code rescanned
+    // the whole queue on every probe.
+    IssueHorizon &hz =
+        horizonCache[ch][&queue == perChan[ch].writeQ.get() ? 1 : 0];
+    const std::uint64_t tv = chan.timingVersion();
+    if (hz.timingV == tv && hz.queueV == queue.version())
+        return std::max(hz.earliest, now);
     Cycle earliest = kNoEvent;
     for (const Request &req : queue.all()) {
         const dram::DramCmd cmd = nextCommandFor(req, chan);
-        earliest = std::min(
-            earliest, chan.earliestIssueCycle(cmd, req.coord.bank));
+        earliest = std::min(earliest,
+                            chan.earliestIssueCycle(cmd, req.coord.bank));
         if (earliest <= now)
             return now;
     }
+    hz.earliest = earliest;
+    hz.timingV = tv;
+    hz.queueV = queue.version();
     return earliest;
 }
 
@@ -800,61 +859,105 @@ MemoryController::productionEventCycle(Cycle now, Cycle bound) const
     if (producerScratch.empty())
         return kNoEvent;
 
-    const bool jobs = !rngJobs.empty();
-    // Front-job fill level, replicating routeBits's exact arithmetic.
-    double collected = jobs ? rngJobs.front().bitsCollected : 0.0;
-    // Without jobs, round bits deposit into the buffer; the deposit
-    // that fills it flips fill_capable and is therefore an event. The
-    // spare tracking here subtracts whole rounds (the buffer's own
-    // partition arithmetic may differ in the last ulps), so trigger one
-    // round early and let normal ticks handle the exact crossing.
-    double spare = 0.0;
-    if (!jobs) {
-        // Without a fault plane, bufferless production is pure (staging
-        // absorbs everything); with one, rounds must still be walked so
-        // a failing audit ends the span.
-        if (!buf && !faultPlane)
-            return kNoEvent;
-        if (buf)
-            spare = buf->capacityBits() - buf->levelBits();
-    }
-
-    if (faultPlane)
-        faultPlane->beginPeek();
-    for (unsigned step = 0; step < kMaxProductionSteps; ++step) {
-        std::size_t best = producerScratch.size();
+    // Memo hit: no unmodeled mutation happened (productionV), the
+    // event has not fired yet, and every producer is the cached one
+    // advanced an integral number of rounds along the modeled stream.
+    // Rounds completing inside the span — whether replayed by
+    // fastForward() or ticked normally — are exactly the rounds the
+    // walk peeked, and routeBits() replicates the walk's arithmetic
+    // bit for bit, so the predicted event survives them.
+    const auto cacheValid = [&]() -> bool {
+        if (prodCache.v != productionV + 1)
+            return false;
+        if (prodCache.event != kNoEvent && prodCache.event <= now)
+            return false; // Fired (e.g. a buffer-full checkpoint).
+        if (prodCache.producers.size() != producerScratch.size())
+            return false;
         for (std::size_t i = 0; i < producerScratch.size(); ++i) {
-            if (best == producerScratch.size() ||
-                producerScratch[i].next < producerScratch[best].next)
-                best = i;
+            const Producer &c = prodCache.producers[i];
+            const Producer &p = producerScratch[i];
+            if (p.ch != c.ch || p.period != c.period ||
+                p.bits != c.bits || p.oneShot != c.oneShot)
+                return false;
+            if (p.next == c.next)
+                continue;
+            // A one-shot (stopping) producer's single round either has
+            // not fired (next unchanged) or ended the producer (size
+            // mismatch above); any other drift is a restarted session.
+            if (p.oneShot || p.next < c.next ||
+                (p.next - c.next) % p.period != 0)
+                return false;
         }
-        Producer &p = producerScratch[best];
-        if (p.next >= bound)
-            return kNoEvent;
-        // A round whose audit fails delivers nothing and mutates the
-        // health monitor — always a span-ending event. Peeked-and-passed
-        // rounds are exactly what fastForward() later commits.
-        if (faultPlane && !faultPlane->peekRound(p.ch))
-            return p.next;
-        if (jobs) {
-            const double need = 64.0 - collected;
-            const double take = std::min(need, p.bits);
-            if (collected + take >= 64.0)
-                return p.next; // The front job completes here.
-            collected += take;
-        } else if (buf) {
-            if (2.0 * p.bits >= spare)
-                return p.next; // At (or one round before) buffer-full.
-            spare -= p.bits;
+        return true;
+    };
+    if (cacheValid())
+        return prodCache.event < bound ? prodCache.event : kNoEvent;
+    // The walk below advances producerScratch in place; snapshot first.
+    prodCache.producers = producerScratch;
+    prodCache.v = productionV + 1;
+
+    const Cycle event = [&]() -> Cycle {
+        const bool jobs = !rngJobs.empty();
+        // Front-job fill level, replicating routeBits's arithmetic.
+        double collected = jobs ? rngJobs.front().bitsCollected : 0.0;
+        // Without jobs, round bits deposit into the buffer; the deposit
+        // that fills it flips fill_capable and is therefore an event.
+        // The spare tracking here subtracts whole rounds (the buffer's
+        // own partition arithmetic may differ in the last ulps), so
+        // trigger one round early and let normal ticks handle the exact
+        // crossing.
+        double spare = 0.0;
+        if (!jobs) {
+            // Without a fault plane, bufferless production is pure
+            // (staging absorbs everything); with one, rounds must still
+            // be walked so a failing audit ends the span.
+            if (!buf && !faultPlane)
+                return kNoEvent;
+            if (buf)
+                spare = buf->capacityBits() - buf->levelBits();
         }
-        p.next = p.oneShot ? kNoEvent : p.next + p.period;
-    }
-    // Too many rounds to prove quiescence further: checkpoint here and
-    // re-derive (the skip up to this point is already large).
-    Cycle checkpoint = kNoEvent;
-    for (const Producer &p : producerScratch)
-        checkpoint = std::min(checkpoint, p.next);
-    return checkpoint;
+
+        if (faultPlane)
+            faultPlane->beginPeek();
+        for (unsigned step = 0; step < kMaxProductionSteps; ++step) {
+            std::size_t best = producerScratch.size();
+            for (std::size_t i = 0; i < producerScratch.size(); ++i) {
+                if (best == producerScratch.size() ||
+                    producerScratch[i].next < producerScratch[best].next)
+                    best = i;
+            }
+            Producer &p = producerScratch[best];
+            if (p.next == kNoEvent)
+                return kNoEvent; // Every one-shot producer consumed.
+            // A round whose audit fails delivers nothing and mutates
+            // the health monitor — always a span-ending event. Peeked-
+            // and-passed rounds are exactly what fastForward() later
+            // commits.
+            if (faultPlane && !faultPlane->peekRound(p.ch))
+                return p.next;
+            if (jobs) {
+                const double need = 64.0 - collected;
+                const double take = std::min(need, p.bits);
+                if (collected + take >= 64.0)
+                    return p.next; // The front job completes here.
+                collected += take;
+            } else if (buf) {
+                if (2.0 * p.bits >= spare)
+                    return p.next; // At/one round before buffer-full.
+                spare -= p.bits;
+            }
+            p.next = p.oneShot ? kNoEvent : p.next + p.period;
+        }
+        // Too many rounds to prove quiescence further: checkpoint here
+        // and re-derive (the skip up to this point is already large).
+        Cycle checkpoint = kNoEvent;
+        for (const Producer &p : producerScratch)
+            checkpoint = std::min(checkpoint, p.next);
+        return checkpoint;
+    }();
+
+    prodCache.event = event;
+    return event < bound ? event : kNoEvent;
 }
 
 Cycle
@@ -1041,6 +1144,29 @@ MemoryController::rngOccupiedCycles() const
     for (const auto &eng : engines)
         total += eng->totalOccupiedCycles();
     return total;
+}
+
+bool
+MemoryController::hasWorkForPort(CoreId first) const
+{
+    for (const RngJob &j : rngJobs)
+        if (j.core >= first)
+            return true;
+    for (const RngJob &j : pendingBufferServes)
+        if (j.core >= first)
+            return true;
+    for (const ChannelState &cs : perChan) {
+        for (const Request &r : cs.inflightReads)
+            if (r.core >= first)
+                return true;
+        for (const Request &r : cs.readQ->all())
+            if (r.core >= first)
+                return true;
+        for (const Request &r : cs.writeQ->all())
+            if (r.core >= first)
+                return true;
+    }
+    return false;
 }
 
 bool

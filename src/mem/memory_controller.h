@@ -13,6 +13,7 @@
 #ifndef DSTRANGE_MEM_MEMORY_CONTROLLER_H
 #define DSTRANGE_MEM_MEMORY_CONTROLLER_H
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -300,6 +301,27 @@ class MemoryController
 
     const RngAwarePolicy *policy() const { return rngPolicy.get(); }
 
+    /**
+     * Enable/disable batch mode (DS_BATCH): memoized per-queue issue
+     * horizons plus the scheduler forcedPick() fast path. Pure
+     * shortcuts — behaviour must stay bit-identical either way, which
+     * DS_LOCKSTEP and the difftest harness verify. Off by default so a
+     * bare controller behaves exactly as before; sim::System turns it
+     * on alongside fast-forward.
+     */
+    void setBatchMode(bool on) { batchMode = on; }
+    bool batchModeEnabled() const { return batchMode; }
+
+    /**
+     * true while any queued, in-flight, or RNG work belongs to a core
+     * port >= @p first. System's drain loop refuses to run while the
+     * service driver (whose ports start past the traced cores) has work
+     * in flight, because RNG completions are delivered directly from
+     * inside tick() rather than through a queue front the drain could
+     * bound on.
+     */
+    bool hasWorkForPort(CoreId first) const;
+
     /** The fault-injection plane, or nullptr when no cell-fault model
      *  is configured (see fault/fault_plane.h). */
     const fault::FaultPlane *faultInjection() const
@@ -367,6 +389,19 @@ class MemoryController
     /** First cycle >= @p now any of @p queue's requests can issue. */
     Cycle nextIssueCycle(const RequestQueue &queue, unsigned ch,
                          Cycle now) const;
+
+    /**
+     * Memoized full-queue issue horizon, valid while neither the
+     * backend's timing fences nor the queue's membership have changed.
+     * Two slots per channel: [0] readQ, [1] writeQ. Only consulted in
+     * batch mode; the sentinel versions make the first probe a miss.
+     */
+    struct IssueHorizon
+    {
+        std::uint64_t timingV = ~std::uint64_t{0};
+        std::uint64_t queueV = ~std::uint64_t{0};
+        Cycle earliest = 0;
+    };
     /** Next greedy-oracle deposit cycle on the selected channel, or
      *  @p now when credit bookkeeping mutates state this cycle. */
     Cycle greedyNextEventCycle(Cycle now) const;
@@ -386,6 +421,8 @@ class MemoryController
         /** Stopping engine: exactly one more round completes, then the
          *  switch-out (whose end bounds the span) begins. */
         bool oneShot = false;
+
+        bool operator==(const Producer &) const = default;
     };
     /** Collect the stable producers into producerScratch (time/ch
      *  keyed exactly like the per-cycle tick order). */
@@ -461,6 +498,36 @@ class MemoryController
 
     /** Scratch for collectProducers (avoids per-horizon allocation). */
     mutable std::vector<Producer> producerScratch;
+
+    /**
+     * Version of the production-relevant state the producer walk reads
+     * *besides* the producer snapshot itself: RNG-job membership and
+     * front-job fill level, buffer level, and fault-plane audit state.
+     * Bumped at every mutation of those (routeBits, RNG enqueue paths,
+     * direct buffer deposits/serves, discarded fault rounds).
+     */
+    std::uint64_t productionV = 0;
+    /**
+     * Memo of productionEventCycle()'s bound-independent walk result.
+     * The walk never reads its bound except to clamp — the candidate
+     * round cycles it considers are non-decreasing, so the bounded
+     * result equals the unbounded event iff that event lies below the
+     * bound. Engine phases are captured by comparing the producer
+     * snapshot; everything else bumps productionV. Horizon probes
+     * between round completions then reuse the cached event instead of
+     * re-simulating the production stream.
+     */
+    struct ProductionCache
+    {
+        std::uint64_t v = 0; ///< productionV + 1 at fill (0 = empty).
+        std::vector<Producer> producers; ///< Snapshot at fill time.
+        Cycle event = kNoEvent; ///< Unbounded walk result.
+    };
+    mutable ProductionCache prodCache;
+
+    bool batchMode = false; ///< See setBatchMode().
+    /** Per-channel {readQ, writeQ} horizon memos (see IssueHorizon). */
+    mutable std::vector<std::array<IssueHorizon, 2>> horizonCache;
 
     /** Cap on stored idle-period samples per channel (memory bound). */
     static constexpr std::size_t kMaxIdleSamples = 1u << 18;

@@ -8,6 +8,7 @@
 #define DSTRANGE_MEM_REQUEST_QUEUE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dram/bank.h"
@@ -38,6 +39,7 @@ class RequestQueue
         if (full())
             return false;
         entries.push_back(req);
+        ++ver;
         return true;
     }
 
@@ -45,13 +47,25 @@ class RequestQueue
     Request &at(std::size_t i) { return entries[i]; }
 
     /** Remove the request at index @p i (its column command issued). */
-    void erase(std::size_t i) { entries.erase(entries.begin() + i); }
+    void
+    erase(std::size_t i)
+    {
+        entries.erase(entries.begin() + i);
+        ++ver;
+    }
 
     const std::vector<Request> &all() const { return entries; }
+
+    /**
+     * Monotone counter bumped on every membership change; memoized
+     * per-queue issue horizons key on (this, backend timingVersion).
+     */
+    std::uint64_t version() const { return ver; }
 
   private:
     std::size_t cap;
     std::vector<Request> entries;
+    std::uint64_t ver = 0;
 };
 
 /**

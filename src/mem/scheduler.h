@@ -28,6 +28,9 @@ struct SchedContext
 /** Index-based pick result; kNoPick when nothing can issue this cycle. */
 inline constexpr int kNoPick = -1;
 
+/** forcedPick() result meaning "run the full pick() scan". */
+inline constexpr int kUnknownPick = -2;
+
 /**
  * Intra-queue memory request scheduler. Implementations must be
  * work-conserving: if any request's next command can legally issue at
@@ -40,6 +43,21 @@ class Scheduler
 
     /** Choose the queue index whose next DRAM command to issue now. */
     virtual int pick(const SchedContext &ctx) = 0;
+
+    /**
+     * O(1) fast path for batch mode: when the policy can prove its
+     * choice without scanning the queue, return the index pick() would
+     * return (or kNoPick); otherwise return kUnknownPick and the caller
+     * falls back to the full pick() scan. Must NEVER disagree with
+     * pick() — batch mode is bit-identity-checked against the stepped
+     * run.
+     */
+    virtual int
+    forcedPick(const SchedContext &ctx) const
+    {
+        (void)ctx;
+        return kUnknownPick;
+    }
 
     /**
      * Notify that a request's *column* command was issued (the request

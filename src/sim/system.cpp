@@ -13,7 +13,8 @@ System::System(const SimConfig &config,
                std::vector<std::unique_ptr<cpu::TraceSource>> traces)
     : cfg(config), traceOwners(std::move(traces)),
       entropySource(mix64(config.seed) ^ 0xdead),
-      ffEnabled(envFlag("DS_FAST_FORWARD", true))
+      ffEnabled(envFlag("DS_FAST_FORWARD", true)),
+      batchEnabled(envFlag("DS_BATCH", true))
 {
     // A system needs at least one request source: a traced core, the
     // open-loop service port, or a replay tape standing in for both.
@@ -36,6 +37,7 @@ System::System(const SimConfig &config,
     controller = std::make_unique<mem::MemoryController>(
         mcConfigFor(cfg), cfg.timings, cfg.geometry, cfg.mechanism,
         n_ports);
+    applyBatchMode();
 
     if (!replay) {
         cpu::Core::Config core_cfg;
@@ -58,10 +60,12 @@ System::System(const SimConfig &config,
     controller->setCompletionCallback(
         [this](CoreId core, std::uint64_t token, mem::ReqType,
                mem::ServePath path) {
-            if (core < cores.size())
+            if (core < cores.size()) {
                 cores[core]->onCompletion(token);
-            else if (svc)
+                coreCompletionPending = true;
+            } else if (svc) {
                 svc->onCompletion(token, now, path);
+            }
         });
 
     if (replay) {
@@ -115,6 +119,14 @@ System::System(const SimConfig &config,
                 recorder->append(rec);
             });
     }
+}
+
+void
+System::applyBatchMode()
+{
+    // Batch mode is an acceleration of the fast-forward path; the
+    // step-1 lockstep reference must run the historical code exactly.
+    controller->setBatchMode(ffEnabled && batchEnabled);
 }
 
 bool
@@ -193,6 +205,15 @@ System::advanceUntil(Cycle end, bool stop_when_finished)
                 now = to;
                 continue;
             }
+            // No system-wide span to skip: the controller is dense. If
+            // it is the *only* dense component, drain it alone — the
+            // command-bound phases of heavy workloads spend most of
+            // their cycles here.
+            if (batchEnabled && tryDrainController(end)) {
+                backoff = 0;
+                probe_at = now;
+                continue;
+            }
         }
         // The service port issues before the controller tick, so an
         // arrival at cycle t can be buffer-served with its completion
@@ -204,13 +225,139 @@ System::advanceUntil(Cycle end, bool stop_when_finished)
         if (replay)
             replay->tickService(now, *controller);
         controller->tick(now);
-        for (auto &core : cores)
-            core->tickBusCycle(now);
+        if (ffEnabled && batchEnabled) {
+            // A core reporting kNoEvent *after* the controller tick (so
+            // same-cycle completions are visible) only does stall
+            // bookkeeping this cycle; the one-cycle fastForward applies
+            // it bit-identically without the five per-CPU-cycle ticks.
+            for (auto &core : cores) {
+                if (core->nextEventCycle(now) == kNoEvent)
+                    core->fastForward(now, now + 1);
+                else
+                    core->tickBusCycle(now);
+            }
+        } else {
+            for (auto &core : cores)
+                core->tickBusCycle(now);
+        }
         if (replay)
             replay->tickCores(now, *controller);
         ffCounters.steppedCycles++;
         ++now;
     }
+}
+
+bool
+System::tryDrainController(Cycle end)
+{
+    // Entry: every core must be quiescent past the current cycle. A
+    // core's horizon is the first cycle its tick does anything beyond
+    // the bookkeeping fastForward() batches — in particular it cannot
+    // issue a request before then — so until the earliest core horizon
+    // the controller is the only component doing per-cycle work.
+    // kNoEvent cores wake only through a completion (watched via the
+    // completion flag below); future-event cores bound the drain.
+    Cycle core_ev = kNoEvent;
+    for (const auto &core : cores) {
+        core_ev = std::min(core_ev, core->nextEventCycle(now));
+        if (core_ev <= now)
+            return false;
+    }
+
+    // The service and replay layers do not tick inside the drain; bound
+    // the drain by their next event so skipping their no-op ticks is
+    // exact. Neither can have an event appear earlier mid-drain: their
+    // state only changes through their own ticks and (for the service)
+    // completions, which the in-flight check below excludes.
+    Cycle bound = std::min(end, core_ev);
+    if (svc)
+        bound = std::min(bound, svc->nextEventCycle(now));
+    if (replay)
+        bound = std::min(bound, replay->nextEventCycle());
+    if (bound <= now)
+        return false;
+
+    // RNG completions are delivered from *inside* the controller tick
+    // (routeBits), not through a queue front the bound could cover; a
+    // service-destined one would mutate service state mid-drain unseen.
+    // Refuse while any service work is in flight — no new service work
+    // can appear during the drain, since the service only issues in its
+    // own tick and the cores are blocked.
+    if (svc &&
+        controller->hasWorkForPort(static_cast<CoreId>(cores.size())))
+        return false;
+
+    const Cycle svcFrom = now;
+    Cycle coreFrom = now;
+    // The caller only drains after a failed skip probe, so the current
+    // cycle is known dense — start probing at the next one.
+    Cycle probe_at = now + 1;
+    unsigned backoff = 0;
+    coreCompletionPending = false;
+    while (now < bound) {
+        if (now >= probe_at) {
+            // Controller-only horizon: much cheaper than the full probe
+            // and still able to skip intra-burst timing gaps.
+            const Cycle to = std::min(controller->nextEventCycle(now),
+                                      bound);
+            if (to > now + 1) {
+                controller->fastForward(now, to);
+                ffCounters.skips++;
+                ffCounters.skippedCycles += to - now;
+                now = to;
+                backoff = 0;
+                continue;
+            }
+            ++backoff;
+            if (backoff > 4)
+                probe_at = now + 1 + std::min(backoff - 4, 8u);
+        }
+
+        // Bring the blocked cores' bookkeeping up to `now` before the
+        // tick: a completion this cycle may wake one, and its wake tick
+        // below must start from consistent state.
+        if (now > coreFrom) {
+            for (auto &core : cores)
+                core->fastForward(coreFrom, now);
+            coreFrom = now;
+        }
+
+        controller->tick(now);
+        ffCounters.drainTicks++;
+
+        if (coreCompletionPending) {
+            coreCompletionPending = false;
+            // A completion only moves a core's horizon earlier; the
+            // drain continues under the tightened bound unless a core
+            // became runnable this very cycle.
+            Cycle ev = kNoEvent;
+            for (const auto &core : cores)
+                ev = std::min(ev, core->nextEventCycle(now));
+            if (ev <= now) {
+                // Finish the cycle exactly as the step path would: the
+                // service/replay ticks it skipped are no-ops below the
+                // bound, the controller already ticked, the cores tick
+                // now (their bookkeeping was flushed to `now` above).
+                for (auto &core : cores)
+                    core->tickBusCycle(now);
+                ffCounters.steppedCycles++;
+                ffCounters.drainTicks--; // Counted as a full step.
+                ++now;
+                coreFrom = now;
+                break;
+            }
+            bound = std::min(bound, ev);
+        }
+        ++now;
+    }
+
+    // Batch the remaining blocked span for the cores and the service.
+    if (now > coreFrom)
+        for (auto &core : cores)
+            core->fastForward(coreFrom, now);
+    if (svc && now > svcFrom)
+        svc->fastForward(svcFrom, now);
+    return true;
 }
 
 void

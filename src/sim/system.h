@@ -54,8 +54,31 @@ class System
      * disabled every bus cycle is ticked individually; results are
      * bit-identical either way.
      */
-    void setFastForward(bool enabled) { ffEnabled = enabled; }
+    void
+    setFastForward(bool enabled)
+    {
+        ffEnabled = enabled;
+        applyBatchMode();
+    }
     bool fastForwardEnabled() const { return ffEnabled; }
+
+    /**
+     * Enable/disable batched command retirement (default: the DS_BATCH
+     * environment flag, which defaults to on). Batch mode rides the
+     * fast-forward path: when every core is head-blocked and the
+     * service/replay layers are quiescent, the controller is ticked
+     * alone — cores advance analytically to each read delivery — and
+     * the controller's memoized issue horizons and scheduler forced
+     * picks cut the per-tick arbitration cost. Results are bit-identical
+     * either way; DS_LOCKSTEP and the difftest harness verify it.
+     */
+    void
+    setBatchMode(bool enabled)
+    {
+        batchEnabled = enabled;
+        applyBatchMode();
+    }
+    bool batchModeEnabled() const { return batchEnabled; }
 
     /**
      * The earliest cycle >= busCycles() at which any component does
@@ -70,6 +93,9 @@ class System
         std::uint64_t steppedCycles = 0; ///< Bus cycles ticked normally.
         std::uint64_t skips = 0;         ///< Fast-forward jumps taken.
         std::uint64_t skippedCycles = 0; ///< Bus cycles jumped over.
+        /** Bus cycles where only the controller ticked (batch drain);
+         *  the cores/service advanced analytically over them. */
+        std::uint64_t drainTicks = 0;
     };
     const FfStats &ffStats() const { return ffCounters; }
 
@@ -103,6 +129,20 @@ class System
     /** Advance to @p end, optionally stopping once all budgets retire. */
     void advanceUntil(Cycle end, bool stop_when_finished);
 
+    /**
+     * Batch drain: while every core reports kNoEvent (only a completion
+     * can wake it) and the service/replay layers have no event before
+     * the bound, tick the controller alone cycle by cycle (with
+     * controller-only span skips in between), watching for a completion
+     * that wakes a core. Returns true when at least one cycle advanced;
+     * false when the entry conditions fail (some component is active at
+     * @p now, or service work is in flight).
+     */
+    bool tryDrainController(Cycle end);
+
+    /** Forward the effective batch flag to the controller. */
+    void applyBatchMode();
+
     SimConfig cfg;
     std::vector<std::unique_ptr<cpu::TraceSource>> traceOwners;
     std::unique_ptr<mem::MemoryController> controller;
@@ -116,6 +156,11 @@ class System
     trng::EntropySource entropySource;
     Cycle now = 0;
     bool ffEnabled;
+    bool batchEnabled;
+    /** Set by the completion callback whenever a core receives a
+     *  completion; the batch drain polls and clears it instead of
+     *  re-deriving every core's horizon after every controller tick. */
+    bool coreCompletionPending = false;
     FfStats ffCounters;
 };
 

@@ -20,6 +20,12 @@
 #include <thread>
 #include <vector>
 
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 #include "drstrange.h"
 
 using namespace dstrange;
@@ -73,9 +79,18 @@ class TempDir
   public:
     TempDir()
     {
+        // gtest_discover_tests runs every case as its own process of
+        // this binary, so a per-process counter alone collides across
+        // parallel ctest jobs — qualify the name with the PID.
         static int counter = 0;
+#ifdef _WIN32
+        const int pid = _getpid();
+#else
+        const int pid = ::getpid();
+#endif
         path = fs::path(::testing::TempDir()) /
-               ("drstrange-shard-" + std::to_string(++counter));
+               ("drstrange-shard-" + std::to_string(pid) + "-" +
+                std::to_string(++counter));
         fs::remove_all(path);
         fs::create_directories(path);
     }

@@ -15,6 +15,12 @@
 #include <random>
 #include <sstream>
 
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 #include "sim/lockstep.h"
 #include "sim/runner.h"
 #include "sim/system.h"
@@ -35,9 +41,18 @@ class TempDir
   public:
     TempDir()
     {
+        // gtest_discover_tests runs every case as its own process of
+        // this binary, so a per-process counter alone collides across
+        // parallel ctest jobs — qualify the name with the PID.
         static int counter = 0;
+#ifdef _WIN32
+        const int pid = _getpid();
+#else
+        const int pid = ::getpid();
+#endif
         path = fs::path(::testing::TempDir()) /
-               ("drstrange-trace-" + std::to_string(++counter));
+               ("drstrange-trace-" + std::to_string(pid) + "-" +
+                std::to_string(++counter));
         fs::remove_all(path);
         fs::create_directories(path);
     }

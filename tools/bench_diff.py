@@ -23,15 +23,23 @@ def load_sweep(path):
         return json.load(f)["sweep"]
 
 
-def tier_map(sweep):
-    return {t["name"]: t for t in sweep.get("fastforward", {}).get("tiers", [])}
+def tier_map(sweep, section="fastforward"):
+    if sweep is None:
+        return {}
+    return {t["name"]: t for t in sweep.get(section, {}).get("tiers", [])}
 
 
 def fmt_delta(cur, prev):
-    if prev is None or prev == 0:
+    # An absent field (old-schema artifact) or a zero baseline carries
+    # no information — "n/a", never a delta computed against 0.0.
+    if cur is None or prev is None or prev == 0:
         return "n/a"
     pct = 100.0 * (cur - prev) / prev
     return f"{pct:+.1f}%"
+
+
+def fmt_speedup(value):
+    return f"{value:.2f}x" if value is not None else "n/a"
 
 
 def main(argv):
@@ -47,7 +55,7 @@ def main(argv):
             print(f"<!-- previous run unreadable: {e} -->")
 
     cur_tiers = tier_map(cur)
-    prev_tiers = tier_map(prev) if prev else {}
+    prev_tiers = tier_map(prev)
 
     print("## Bench diff vs previous run")
     print()
@@ -67,29 +75,58 @@ def main(argv):
         prev_speedup = p.get("speedup") if p else None
         # A tier with no counterpart in the previous run is new, not a
         # regression; mark it rather than leaving the columns blank.
-        if prev_speedup:
-            prev_txt = f"{prev_speedup:.2f}x"
+        if prev_speedup is not None:
+            prev_txt = fmt_speedup(prev_speedup)
         elif prev is not None and p is None and t["name"] != "**overall**":
             prev_txt = "(new)"
         else:
             prev_txt = "—"
+        cur_speedup = t.get("speedup")
         print(
-            "| {name} | {speedup:.2f}x | {prev} | {delta} "
+            "| {name} | {speedup} | {prev} | {delta} "
             "| {step1_wall_ms:.1f} | {ff_wall_ms:.1f} |".format(
+                name=t["name"],
+                speedup=fmt_speedup(cur_speedup),
                 prev=prev_txt,
-                delta=fmt_delta(t["speedup"], prev_speedup),
-                **t,
+                delta=fmt_delta(cur_speedup, prev_speedup),
+                step1_wall_ms=t.get("step1_wall_ms", 0.0),
+                ff_wall_ms=t.get("ff_wall_ms", 0.0),
             )
         )
     # Tiers only in the previous run would otherwise vanish silently.
     for name in sorted(set(prev_tiers) - set(cur_tiers)):
         p = prev_tiers[name]
         print(
-            "| {name} | (removed) | {speedup:.2f}x | n/a | — | — |".format(
-                name=name, speedup=p["speedup"]
+            "| {name} | (removed) | {speedup} | n/a | — | — |".format(
+                name=name, speedup=fmt_speedup(p.get("speedup"))
             )
         )
     print()
+
+    # Batched command retirement: same table over sweep.batch. Older
+    # artifacts (schemas before the batch record) simply skip it.
+    cur_batch = tier_map(cur, "batch")
+    if cur_batch:
+        prev_batch = tier_map(prev, "batch")
+        print("### Batch mode (DS_BATCH off vs on, fast-forward on)")
+        print()
+        print("| tier | batch speedup | previous | delta |")
+        print("|------|---------------|----------|-------|")
+        for t in cur_batch.values():
+            p = prev_batch.get(t["name"])
+            prev_speedup = p.get("speedup") if p else None
+            cur_speedup = t.get("speedup")
+            print(
+                "| {name} | {speedup} | {prev} | {delta} |".format(
+                    name=t["name"],
+                    speedup=fmt_speedup(cur_speedup),
+                    prev=fmt_speedup(prev_speedup)
+                    if prev_speedup is not None
+                    else "—",
+                    delta=fmt_delta(cur_speedup, prev_speedup),
+                )
+            )
+        print()
 
     prev_wall = prev.get("wall_ms") if prev else None
     print(
